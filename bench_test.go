@@ -1,0 +1,169 @@
+// This file is the benchmark harness: one testing.B target per
+// reproduction experiment (DESIGN.md §3 / EXPERIMENTS.md), each reporting
+// its domain metrics (model rounds, recursion depth, space) alongside
+// wall-clock, plus micro-benchmarks of the hot substrate paths.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// Absolute wall-clock is simulation speed, not the paper's testbed; the
+// claims live in the reported custom metrics.
+package ccolor_test
+
+import (
+	"testing"
+
+	"ccolor/internal/baseline"
+	"ccolor/internal/cclique"
+	"ccolor/internal/core"
+	"ccolor/internal/expt"
+	"ccolor/internal/graph"
+	"ccolor/internal/lowspace"
+	"ccolor/internal/mis"
+	"ccolor/internal/verify"
+)
+
+// benchCfg keeps the harness fast enough for -bench=. while exercising
+// every code path; cmd/ccbench runs the full-scale tables.
+var benchCfg = expt.Config{Scale: 0.5, Seed: 2020}
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := expt.Find(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	for i := 0; i < b.N; i++ {
+		tables, err := e.Run(benchCfg)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if i == 0 {
+			rows := 0
+			for _, t := range tables {
+				rows += len(t.Rows)
+			}
+			b.ReportMetric(float64(rows), "table-rows")
+		}
+	}
+}
+
+func BenchmarkE1RoundsVsN(b *testing.B)      { runExperiment(b, "E1") }
+func BenchmarkE2RecursionDepth(b *testing.B) { runExperiment(b, "E2") }
+func BenchmarkE3BadNodes(b *testing.B)       { runExperiment(b, "E3") }
+func BenchmarkE4Invariant(b *testing.B)      { runExperiment(b, "E4") }
+func BenchmarkE5DecaySeries(b *testing.B)    { runExperiment(b, "E5") }
+func BenchmarkE6MPCSpace(b *testing.B)       { runExperiment(b, "E6") }
+func BenchmarkE7LowSpace(b *testing.B)       { runExperiment(b, "E7") }
+func BenchmarkE8SeedSearch(b *testing.B)     { runExperiment(b, "E8") }
+func BenchmarkE9Bandwidth(b *testing.B)      { runExperiment(b, "E9") }
+func BenchmarkE10Families(b *testing.B)      { runExperiment(b, "E10") }
+
+func BenchmarkA1RandomVsDerand(b *testing.B) { runExperiment(b, "A1") }
+func BenchmarkA2BinExponent(b *testing.B)    { runExperiment(b, "A2") }
+func BenchmarkA3BatchWidth(b *testing.B)     { runExperiment(b, "A3") }
+
+// --- direct solver benchmarks (per-workload, with domain metrics) ---
+
+func benchSolve(b *testing.B, n, d int) {
+	b.Helper()
+	g, err := graph.RandomRegular(n, d, uint64(n+d))
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst := graph.DeltaPlus1Instance(g)
+	var rounds, depth int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nw := cclique.New(n)
+		col, tr, err := core.Solve(nw, nw.MsgWords(), inst, core.DefaultParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := verify.ListColoring(inst, col); err != nil {
+			b.Fatal(err)
+		}
+		rounds, depth = nw.Ledger().Rounds(), tr.MaxRecursionDepth()
+	}
+	b.ReportMetric(float64(rounds), "model-rounds")
+	b.ReportMetric(float64(depth), "recursion-depth")
+}
+
+func BenchmarkColorReduceN512D16(b *testing.B)  { benchSolve(b, 512, 16) }
+func BenchmarkColorReduceN1024D16(b *testing.B) { benchSolve(b, 1024, 16) }
+func BenchmarkColorReduceN1024D64(b *testing.B) { benchSolve(b, 1024, 64) }
+
+func BenchmarkRandTrialN1024D16(b *testing.B) {
+	g, err := graph.RandomRegular(1024, 16, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst := graph.DeltaPlus1Instance(g)
+	var rounds int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nw := cclique.New(g.N())
+		if _, _, err := baseline.RandTrial(nw, nw.MsgWords(), inst, 7); err != nil {
+			b.Fatal(err)
+		}
+		rounds = nw.Ledger().Rounds()
+	}
+	b.ReportMetric(float64(rounds), "model-rounds")
+}
+
+func BenchmarkSeqGreedyN1024D16(b *testing.B) {
+	g, err := graph.RandomRegular(1024, 16, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst := graph.DeltaPlus1Instance(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := baseline.SeqGreedy(inst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLowSpaceN512(b *testing.B) {
+	g, err := graph.RandomRegular(512, 22, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst, err := graph.DegPlus1Instance(g, 1<<20, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var crit int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		col, tr, err := lowspace.Solve(inst, lowspace.DefaultParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := verify.ListColoring(inst, col); err != nil {
+			b.Fatal(err)
+		}
+		crit = tr.CriticalRounds
+	}
+	b.ReportMetric(float64(crit), "critical-rounds")
+}
+
+func BenchmarkMISDetN400(b *testing.B) {
+	g, err := graph.GNP(400, 0.03, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var phases int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nw := cclique.New(g.N())
+		_, st, err := mis.SolveDet(nw, nw.MsgWords(), g, mis.DefaultParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		phases = st.Phases
+	}
+	b.ReportMetric(float64(phases), "mis-phases")
+}

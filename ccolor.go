@@ -1,0 +1,195 @@
+// Package ccolor is a Go implementation of
+//
+//	Czumaj, Davies, Parter. "Simple, Deterministic, Constant-Round
+//	Coloring in the Congested Clique." PODC 2020.
+//
+// It provides deterministic (Δ+1)-coloring and (Δ+1)-list coloring in a
+// simulated CONGESTED CLIQUE and linear-space MPC (constant model rounds),
+// and deterministic (deg+1)-list coloring in low-space MPC — together with
+// the full substrate the paper assumes: model simulators with enforced
+// bandwidth/space limits, c-wise independent hash families, the
+// derandomization engine, and an MIS reduction.
+//
+// This file is the public facade over the internal packages; the
+// sub-packages under internal/ hold the implementation, and cmd/ and
+// examples/ show larger deployments. A minimal use:
+//
+//	g, _ := ccolor.GNP(1000, 0.02, 1)
+//	result, err := ccolor.ColorDeltaPlus1(g, nil)
+//	// result.Coloring is a verified proper (Δ+1)-coloring;
+//	// result.Rounds is the exact CONGESTED CLIQUE round count.
+package ccolor
+
+import (
+	"fmt"
+
+	"ccolor/internal/cclique"
+	"ccolor/internal/core"
+	"ccolor/internal/graph"
+	"ccolor/internal/lowspace"
+	"ccolor/internal/mpc"
+	"ccolor/internal/verify"
+)
+
+// Re-exported fundamental types.
+type (
+	// Graph is an immutable undirected simple graph (CSR storage).
+	Graph = graph.Graph
+	// Color is a single color value (the list-coloring universe may be as
+	// large as 𝔫²).
+	Color = graph.Color
+	// Coloring is a per-node color assignment.
+	Coloring = graph.Coloring
+	// Palette is one node's sorted list of permitted colors.
+	Palette = graph.Palette
+	// Instance is a list-coloring instance: graph + palette per node.
+	Instance = graph.Instance
+	// Params are the algorithm knobs (paper-faithful defaults via
+	// DefaultParams).
+	Params = core.Params
+	// Trace is the per-run telemetry (recursion depths, bad-node counts,
+	// invariant audit).
+	Trace = core.Trace
+	// LowSpaceParams configures the Theorem 1.4 algorithm.
+	LowSpaceParams = lowspace.Params
+	// LowSpaceTrace is the low-space run telemetry.
+	LowSpaceTrace = lowspace.Trace
+)
+
+// NoColor marks an uncolored node.
+const NoColor = graph.NoColor
+
+// DefaultParams returns the paper-faithful parameters (§3 exponents).
+func DefaultParams() Params { return core.DefaultParams() }
+
+// Workload generators (deterministic in their seed).
+var (
+	// GNP returns an Erdős–Rényi G(n, p) graph.
+	GNP = graph.GNP
+	// RandomRegular returns a d-regular graph on n nodes.
+	RandomRegular = graph.RandomRegular
+	// PowerLaw returns a preferential-attachment graph.
+	PowerLaw = graph.PowerLaw
+	// FromEdges builds a graph from an undirected edge list.
+	FromEdges = graph.FromEdges
+	// NewPalette validates and sorts a color list.
+	NewPalette = graph.NewPalette
+	// NewInstance validates a list-coloring instance (p(v) > d(v)).
+	NewInstance = graph.NewInstance
+	// DeltaPlus1Instance gives every node palette {1..Δ+1}.
+	DeltaPlus1Instance = graph.DeltaPlus1Instance
+	// ListInstance gives every node Δ+1 colors from a larger universe.
+	ListInstance = graph.ListInstance
+	// DegPlus1Instance gives node v exactly deg(v)+1 colors (for LowSpace).
+	DegPlus1Instance = graph.DegPlus1Instance
+)
+
+// Result is a verified coloring plus its model cost.
+type Result struct {
+	Coloring Coloring
+	// Rounds is the exact model round count (every round moved real,
+	// budget-enforced messages in the simulator).
+	Rounds int
+	// MaxNodeLoad is the maximum words any node sent or received in one
+	// round (the congested clique requires O(𝔫)).
+	MaxNodeLoad int64
+	// Trace is the recursion telemetry.
+	Trace *Trace
+}
+
+// ColorDeltaPlus1 runs Theorem 1.1's algorithm on the congested clique for
+// the classic (Δ+1)-coloring problem. params may be nil for defaults. The
+// returned coloring is verified before it is returned.
+func ColorDeltaPlus1(g *Graph, params *Params) (*Result, error) {
+	return ColorList(DeltaPlus1Instance(g), params)
+}
+
+// ColorList runs Theorem 1.1's algorithm on the congested clique for a
+// (Δ+1)-list coloring instance (every palette strictly larger than Δ).
+func ColorList(inst *Instance, params *Params) (*Result, error) {
+	p := DefaultParams()
+	if params != nil {
+		p = *params
+	}
+	nw := cclique.New(inst.G.N())
+	col, tr, err := core.Solve(nw, nw.MsgWords(), inst, p)
+	if err != nil {
+		return nil, err
+	}
+	if err := verify.ListColoring(inst, col); err != nil {
+		return nil, fmt.Errorf("ccolor: internal verification failed: %w", err)
+	}
+	load := nw.Ledger().MaxRecvLoad()
+	if s := nw.Ledger().MaxSendLoad(); s > load {
+		load = s
+	}
+	return &Result{Coloring: col, Rounds: nw.Ledger().Rounds(), MaxNodeLoad: load, Trace: tr}, nil
+}
+
+// MPCResult extends Result with machine-space telemetry (Theorems 1.2–1.3).
+type MPCResult struct {
+	Result
+	Machines  int
+	Space     int64 // 𝔰, words per machine
+	PeakSpace int64 // max observed single-machine need
+}
+
+// ColorListMPC runs the same algorithm on a linear-space MPC cluster
+// (Theorem 1.2). Set params.CompactPalettes for the Theorem 1.3 O(𝔪+𝔫)
+// global-space mode (requires {1..Δ+1} palettes).
+func ColorListMPC(inst *Instance, params *Params) (*MPCResult, error) {
+	p := DefaultParams()
+	if params != nil {
+		p = *params
+	}
+	g := inst.G
+	cl, err := mpc.NewLinear(g.N(), func(v int) int64 {
+		return int64(g.Degree(int32(v)) + len(inst.Palettes[v]) + 2)
+	}, 64)
+	if err != nil {
+		return nil, err
+	}
+	col, tr, err := core.Solve(cl, 8, inst, p)
+	if err != nil {
+		return nil, err
+	}
+	if err := verify.ListColoring(inst, col); err != nil {
+		return nil, fmt.Errorf("ccolor: internal verification failed: %w", err)
+	}
+	load := cl.Ledger().MaxRecvLoad()
+	if s := cl.Ledger().MaxSendLoad(); s > load {
+		load = s
+	}
+	return &MPCResult{
+		Result:    Result{Coloring: col, Rounds: cl.Ledger().Rounds(), MaxNodeLoad: load, Trace: tr},
+		Machines:  cl.Machines(),
+		Space:     cl.Space(),
+		PeakSpace: cl.PeakMachineSpace(),
+	}, nil
+}
+
+// DefaultLowSpaceParams returns the Theorem 1.4 defaults (𝔰 = 𝔫^0.5).
+func DefaultLowSpaceParams() LowSpaceParams { return lowspace.DefaultParams() }
+
+// ColorDegPlus1LowSpace runs the low-space MPC algorithm (Theorem 1.4) on a
+// (deg+1)-list instance. params may be nil for defaults.
+func ColorDegPlus1LowSpace(inst *Instance, params *LowSpaceParams) (Coloring, *LowSpaceTrace, error) {
+	p := DefaultLowSpaceParams()
+	if params != nil {
+		p = *params
+	}
+	col, tr, err := lowspace.Solve(inst, p)
+	if err != nil {
+		return nil, tr, err
+	}
+	if err := verify.ListColoring(inst, col); err != nil {
+		return nil, tr, fmt.Errorf("ccolor: internal verification failed: %w", err)
+	}
+	return col, tr, nil
+}
+
+// VerifyListColoring checks a coloring against an instance (completeness,
+// properness, palette membership).
+func VerifyListColoring(inst *Instance, c Coloring) error {
+	return verify.ListColoring(inst, c)
+}

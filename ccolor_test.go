@@ -1,0 +1,101 @@
+package ccolor_test
+
+import (
+	"testing"
+
+	"ccolor"
+)
+
+func TestFacadeDeltaPlus1(t *testing.T) {
+	g, err := ccolor.GNP(300, 0.05, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ccolor.ColorDeltaPlus1(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds < 1 || !res.Coloring.Complete() {
+		t.Fatalf("bad result: rounds=%d", res.Rounds)
+	}
+	if res.MaxNodeLoad <= 0 {
+		t.Fatal("no load recorded")
+	}
+	if res.Trace.MaxRecursionDepth() > 9 {
+		t.Fatalf("depth %d exceeds 9", res.Trace.MaxRecursionDepth())
+	}
+}
+
+func TestFacadeListColoring(t *testing.T) {
+	g, err := ccolor.RandomRegular(200, 12, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := ccolor.ListInstance(g, 1<<20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := ccolor.DefaultParams()
+	res, err := ccolor.ColorList(inst, &p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ccolor.VerifyListColoring(inst, res.Coloring); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeMPC(t *testing.T) {
+	g, err := ccolor.GNP(250, 0.08, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := ccolor.DeltaPlus1Instance(g)
+	res, err := ccolor.ColorListMPC(inst, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PeakSpace > res.Space {
+		t.Fatalf("peak %d exceeds machine space %d", res.PeakSpace, res.Space)
+	}
+	if res.Machines < 1 {
+		t.Fatal("no machines")
+	}
+}
+
+func TestFacadeCompactMPC(t *testing.T) {
+	g, err := ccolor.GNP(150, 0.1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := ccolor.DefaultParams()
+	p.CompactPalettes = true
+	res, err := ccolor.ColorListMPC(ccolor.DeltaPlus1Instance(g), &p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Coloring.Complete() {
+		t.Fatal("incomplete coloring")
+	}
+}
+
+func TestFacadeLowSpace(t *testing.T) {
+	g, err := ccolor.PowerLaw(300, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := ccolor.DegPlus1Instance(g, 1<<16, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, tr, err := ccolor.ColorDegPlus1LowSpace(inst, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !col.Complete() {
+		t.Fatal("incomplete coloring")
+	}
+	if tr.PeakMachineWords > tr.SpaceWords {
+		t.Fatalf("peak %d exceeds 𝔰=%d", tr.PeakMachineWords, tr.SpaceWords)
+	}
+}

@@ -1,0 +1,76 @@
+// ccbench regenerates the reproduction experiment tables (DESIGN.md §3,
+// EXPERIMENTS.md).
+//
+// Usage:
+//
+//	ccbench                 # run every experiment at full scale
+//	ccbench -e E1,E7        # run selected experiments
+//	ccbench -scale 0.5      # shrink workloads
+//	ccbench -csv results/   # also write one CSV per table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"ccolor/internal/expt"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ccbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		ids    = flag.String("e", "all", "comma-separated experiment IDs, or 'all'")
+		scale  = flag.Float64("scale", 1.0, "workload scale factor")
+		seed   = flag.Uint64("seed", 2020, "workload generation seed")
+		csvDir = flag.String("csv", "", "directory to write per-table CSV files (optional)")
+	)
+	flag.Parse()
+
+	cfg := expt.Config{Scale: *scale, Seed: *seed}
+	var selected []expt.Experiment
+	if *ids == "all" {
+		selected = expt.Registry()
+	} else {
+		for _, id := range strings.Split(*ids, ",") {
+			e, ok := expt.Find(strings.TrimSpace(id))
+			if !ok {
+				return fmt.Errorf("unknown experiment %q (known: E1..E10, A1..A3)", id)
+			}
+			selected = append(selected, e)
+		}
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+	}
+	for _, e := range selected {
+		start := time.Now()
+		tables, err := e.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Printf("# %s — %s\n# claim: %s\n", e.ID, e.Title, e.Claim)
+		for _, tb := range tables {
+			fmt.Println(tb.Render())
+			if *csvDir != "" {
+				path := filepath.Join(*csvDir, tb.ID+".csv")
+				if err := os.WriteFile(path, []byte(tb.CSV()), 0o644); err != nil {
+					return err
+				}
+			}
+		}
+		fmt.Printf("# %s done in %v\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+// cctrace runs ColorReduce on a small instance and prints the full
+// recursion anatomy: per-depth statistics, round attribution by phase, the
+// invariant audit, and the derandomization cost — a teaching view of
+// Algorithm 1's execution.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ccolor/internal/cclique"
+	"ccolor/internal/core"
+	"ccolor/internal/graph"
+	"ccolor/internal/verify"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cctrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		n    = flag.Int("n", 400, "nodes")
+		d    = flag.Int("d", 40, "regular degree")
+		seed = flag.Uint64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+	if (*n**d)%2 != 0 {
+		*d++
+	}
+	g, err := graph.RandomRegular(*n, *d, *seed)
+	if err != nil {
+		return err
+	}
+	inst := graph.DeltaPlus1Instance(g)
+	nw := cclique.New(g.N())
+	col, tr, err := core.Solve(nw, nw.MsgWords(), inst, core.DefaultParams())
+	if err != nil {
+		return err
+	}
+	if err := verify.ListColoring(inst, col); err != nil {
+		return err
+	}
+
+	fmt.Printf("ColorReduce on %d-regular graph, n=%d (Δ+1 = %d colors)\n\n", *d, *n, g.MaxDegree()+1)
+	fmt.Println("— recursion anatomy —")
+	fmt.Println(tr)
+
+	fmt.Println("— round ledger —")
+	fmt.Println(nw.Ledger())
+
+	fmt.Println("\n— derandomization —")
+	for _, ds := range tr.PerDepth {
+		if ds.Partitions == 0 {
+			continue
+		}
+		fmt.Printf("depth %d: %d partitions, %d seed batches, %d candidates, bad=%d (budget %d)\n",
+			ds.Depth, ds.Partitions, ds.SeedBatches, ds.SeedCandidates, ds.BadNodes, ds.BadBound)
+	}
+
+	a := tr.Audit
+	fmt.Printf("\n— invariant audit (Cor. 3.3) —\nchecks=%d  (i) ℓ<p misses=%d  (ii) d≤ℓ+ℓ^0.7 misses=%d  (iii) d<p misses=%d\n",
+		a.Checked, a.EllBelowPalette, a.DegreeAboveEll, a.PaletteNotAboveDeg)
+	fmt.Printf("\ncolors used: %d — verified ✓\n", verify.ColorCount(col))
+	return nil
+}

@@ -1,0 +1,68 @@
+package ccolor_test
+
+import (
+	"fmt"
+	"log"
+
+	"ccolor"
+)
+
+// ExampleColorDeltaPlus1 colors a random graph with Δ+1 colors in the
+// simulated CONGESTED CLIQUE and verifies the result.
+func ExampleColorDeltaPlus1() {
+	g, err := ccolor.GNP(200, 0.05, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := ccolor.ColorDeltaPlus1(g, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("complete:", res.Coloring.Complete())
+	fmt.Println("depth ≤ 9:", res.Trace.MaxRecursionDepth() <= 9)
+	// Output:
+	// complete: true
+	// depth ≤ 9: true
+}
+
+// ExampleColorList solves a list-coloring instance where every node has its
+// own palette of Δ+1 colors from a large universe.
+func ExampleColorList() {
+	g, err := ccolor.RandomRegular(100, 10, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	inst, err := ccolor.ListInstance(g, 1_000_000, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := ccolor.ColorList(inst, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("verified:", ccolor.VerifyListColoring(inst, res.Coloring) == nil)
+	// Output:
+	// verified: true
+}
+
+// ExampleColorDegPlus1LowSpace runs the low-space MPC algorithm on a
+// (deg+1)-list instance and checks the machine-space budget held.
+func ExampleColorDegPlus1LowSpace() {
+	g, err := ccolor.PowerLaw(200, 3, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	inst, err := ccolor.DegPlus1Instance(g, 1<<16, 9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	col, tr, err := ccolor.ColorDegPlus1LowSpace(inst, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("complete:", col.Complete())
+	fmt.Println("space held:", tr.PeakMachineWords <= tr.SpaceWords)
+	// Output:
+	// complete: true
+	// space held: true
+}

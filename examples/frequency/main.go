@@ -1,0 +1,75 @@
+// Frequency assignment: cellular base stations must be assigned channels
+// so that no two interfering stations share one — list coloring, because
+// regulators license each operator a different channel set. This is the
+// (Δ+1)-list coloring problem of Theorem 1.1: as long as every station has
+// one more permitted channel than it has interferers, the deterministic
+// constant-round algorithm assigns channels with no randomness to audit.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ccolor/internal/cclique"
+	"ccolor/internal/core"
+	"ccolor/internal/graph"
+	"ccolor/internal/verify"
+)
+
+func main() {
+	const stations = 600
+
+	// Interference graph: stations interfere with geometric-ish neighbors;
+	// a preferential-attachment graph gives the skewed degrees of real
+	// deployments (dense urban hubs, sparse rural edges).
+	g, err := graph.PowerLaw(stations, 5, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	delta := g.MaxDegree()
+
+	// Each operator owns a different slice of spectrum: station v's palette
+	// is Δ+1 channels drawn from its operator's band.
+	const bandWidth = 3000 // channels per operator band
+	rng := graph.NewRand(99)
+	palettes := make([]graph.Palette, stations)
+	for v := 0; v < stations; v++ {
+		operator := graph.Color(v % 4)
+		base := operator * bandWidth
+		seen := make(map[graph.Color]struct{}, delta+1)
+		channels := make([]graph.Color, 0, delta+1)
+		for len(channels) < delta+1 {
+			ch := base + graph.Color(rng.Intn(bandWidth))
+			if _, dup := seen[ch]; dup {
+				continue
+			}
+			seen[ch] = struct{}{}
+			channels = append(channels, ch)
+		}
+		p, err := graph.NewPalette(channels)
+		if err != nil {
+			log.Fatal(err)
+		}
+		palettes[v] = p
+	}
+	inst, err := graph.NewInstance(g, palettes)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	nw := cclique.New(stations)
+	assignment, _, err := core.Solve(nw, nw.MsgWords(), inst, core.DefaultParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := verify.ListColoring(inst, assignment); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%d stations, %d interference pairs, max interferers %d\n", stations, g.M(), delta)
+	fmt.Printf("assigned channels from per-operator palettes in %d model rounds\n", nw.Ledger().Rounds())
+	for v := 0; v < 5; v++ {
+		fmt.Printf("  station %d (operator %d): channel %d\n", v, v%4, assignment[v])
+	}
+	fmt.Println("no interfering pair shares a channel ✓ (verified)")
+}

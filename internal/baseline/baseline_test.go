@@ -1,0 +1,80 @@
+package baseline
+
+import (
+	"testing"
+
+	"ccolor/internal/cclique"
+	"ccolor/internal/graph"
+	"ccolor/internal/verify"
+)
+
+func TestSeqGreedy(t *testing.T) {
+	g, err := graph.GNP(150, 0.1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := graph.DeltaPlus1Instance(g)
+	col, err := SeqGreedy(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.ListColoring(inst, col); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandTrial(t *testing.T) {
+	g, err := graph.GNP(200, 0.08, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := graph.DeltaPlus1Instance(g)
+	nw := cclique.New(g.N())
+	col, st, err := RandTrial(nw, nw.MsgWords(), inst, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.ListColoring(inst, col); err != nil {
+		t.Fatal(err)
+	}
+	if st.Phases < 1 {
+		t.Fatal("no phases recorded")
+	}
+	t.Logf("phases=%d rounds=%d", st.Phases, nw.Ledger().Rounds())
+}
+
+func TestRandTrialListInstance(t *testing.T) {
+	g, err := graph.RandomRegular(120, 10, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := graph.ListInstance(g, 4000, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw := cclique.New(g.N())
+	col, _, err := RandTrial(nw, nw.MsgWords(), inst, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.ListColoring(inst, col); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHalvingDet(t *testing.T) {
+	g, err := graph.GNP(250, 0.12, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := graph.DeltaPlus1Instance(g)
+	nw := cclique.New(g.N())
+	col, tr, err := HalvingDet(nw, nw.MsgWords(), inst)
+	if err != nil {
+		t.Fatalf("%v\ntrace:\n%v", err, tr)
+	}
+	if err := verify.ListColoring(inst, col); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("halving depth=%d rounds=%d", tr.MaxRecursionDepth(), nw.Ledger().Rounds())
+}

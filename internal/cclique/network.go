@@ -1,0 +1,154 @@
+// Package cclique simulates the CONGESTED CLIQUE model (paper §1.1):
+// 𝔫 nodes, synchronous rounds, and in each round every node may send
+// O(log 𝔫) bits — a constant number of machine words — to every other node.
+//
+// The simulator executes each node's per-round program in its own goroutine
+// behind a barrier, moves all inter-node data as counted messages, and
+// enforces the per-ordered-pair word budget, failing loudly on violations.
+package cclique
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"ccolor/internal/fabric"
+)
+
+// DefaultMsgWords is the default per-ordered-pair per-round budget, in
+// 64-bit words. The model allows O(log 𝔫) bits per pair per round; a small
+// constant number of words is the standard reading.
+const DefaultMsgWords = 4
+
+// Network is a CONGESTED CLIQUE instance.
+type Network struct {
+	n        int
+	msgWords int
+	ledger   *fabric.Ledger
+	workers  int // goroutine pool width
+}
+
+var _ fabric.Fabric = (*Network)(nil)
+
+// Option configures a Network.
+type Option func(*Network)
+
+// WithMsgWords sets the per-ordered-pair per-round word budget.
+func WithMsgWords(w int) Option {
+	return func(nw *Network) { nw.msgWords = w }
+}
+
+// WithParallelism caps the number of goroutines used to execute node
+// programs concurrently (defaults to GOMAXPROCS).
+func WithParallelism(p int) Option {
+	return func(nw *Network) { nw.workers = p }
+}
+
+// New returns a clique on n nodes.
+func New(n int, opts ...Option) *Network {
+	nw := &Network{
+		n:        n,
+		msgWords: DefaultMsgWords,
+		ledger:   fabric.NewLedger(),
+		workers:  runtime.GOMAXPROCS(0),
+	}
+	for _, o := range opts {
+		o(nw)
+	}
+	if nw.workers < 1 {
+		nw.workers = 1
+	}
+	return nw
+}
+
+// Workers returns 𝔫, the number of nodes.
+func (nw *Network) Workers() int { return nw.n }
+
+// Ledger returns the round/traffic ledger.
+func (nw *Network) Ledger() *fabric.Ledger { return nw.ledger }
+
+// MsgWords returns the per-ordered-pair word budget.
+func (nw *Network) MsgWords() int { return nw.msgWords }
+
+// BandwidthError reports a violated congested-clique bandwidth constraint.
+type BandwidthError struct {
+	From, To int
+	Words    int
+	Budget   int
+}
+
+func (e *BandwidthError) Error() string {
+	return fmt.Sprintf("cclique: node %d sent %d words to node %d in one round (budget %d)",
+		e.From, e.Words, e.To, e.Budget)
+}
+
+// Round executes one synchronous round. produce runs for every node in a
+// bounded goroutine pool; returned messages are validated (destination in
+// range, per-ordered-pair total ≤ MsgWords) and delivered sorted by sender.
+func (nw *Network) Round(produce func(w int) []fabric.Msg) ([][]fabric.Msg, error) {
+	out := make([][]fabric.Msg, nw.n)
+	nw.runParallel(func(v int) {
+		out[v] = produce(v)
+	})
+
+	inboxes := make([][]fabric.Msg, nw.n)
+	var totalWords, maxSend, maxRecv int64
+	recvWords := make([]int64, nw.n)
+	for from, msgs := range out {
+		var sent int64
+		pairWords := make(map[int]int, len(msgs))
+		for _, m := range msgs {
+			if m.To < 0 || m.To >= nw.n {
+				return nil, fmt.Errorf("cclique: node %d sent to out-of-range node %d", from, m.To)
+			}
+			pairWords[m.To] += len(m.Words)
+			if pairWords[m.To] > nw.msgWords {
+				return nil, &BandwidthError{From: from, To: m.To, Words: pairWords[m.To], Budget: nw.msgWords}
+			}
+			m.From = from
+			inboxes[m.To] = append(inboxes[m.To], m)
+			sent += int64(len(m.Words))
+			recvWords[m.To] += int64(len(m.Words))
+		}
+		totalWords += sent
+		if sent > maxSend {
+			maxSend = sent
+		}
+	}
+	for _, r := range recvWords {
+		if r > maxRecv {
+			maxRecv = r
+		}
+	}
+	for v := range inboxes {
+		fabric.SortInbox(inboxes[v])
+	}
+	nw.ledger.AddRound(totalWords, maxSend, maxRecv)
+	return inboxes, nil
+}
+
+// runParallel executes f(v) for every node v using the configured pool.
+func (nw *Network) runParallel(f func(v int)) {
+	if nw.workers == 1 {
+		for v := 0; v < nw.n; v++ {
+			f(v)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < nw.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for v := range next {
+				f(v)
+			}
+		}()
+	}
+	for v := 0; v < nw.n; v++ {
+		next <- v
+	}
+	close(next)
+	wg.Wait()
+}

@@ -1,0 +1,231 @@
+package cclique
+
+import (
+	"fmt"
+	"sort"
+
+	"ccolor/internal/fabric"
+)
+
+// UnitMsg is one O(log 𝔫)-bit routing unit for RouteAll.
+type UnitMsg struct {
+	From, To int
+	Word     uint64
+}
+
+// RouteAll implements Lenzen's routing guarantee [15]: any message set in
+// which every node is the source of at most 𝔫 units and the target of at
+// most 𝔫 units is delivered in O(1) rounds.
+//
+// The schedule is the rank-based two-phase relay: units destined to the
+// same target are ranked (via a 2-round offset computation at node 0, the
+// prefix-sums step of Lemma 2.1) and unit of per-target rank r relays
+// through intermediate r mod 𝔫. Ranks within one target are contiguous, so
+// each (intermediate, target) pair carries at most ⌈load(target)/𝔫⌉ ≤ 1
+// unit, and a sender's units to one target spread across distinct
+// intermediates; a sender's units to *different* targets may collide on an
+// intermediate, so phase 1 is scheduled greedily into the minimum number of
+// per-pair-respecting sub-rounds (≤ ⌈maxSourceLoad/𝔫⌉ + collision slack,
+// a constant under the precondition).
+//
+// Returns the delivered units grouped per target, sorted by (From, Word).
+func RouteAll(nw *Network, units []UnitMsg) ([][]UnitMsg, error) {
+	n := nw.Workers()
+	srcLoad := make([]int, n)
+	dstLoad := make([]int, n)
+	for _, u := range units {
+		if u.From < 0 || u.From >= n || u.To < 0 || u.To >= n {
+			return nil, fmt.Errorf("cclique: unit (%d→%d) out of range", u.From, u.To)
+		}
+		srcLoad[u.From]++
+		dstLoad[u.To]++
+	}
+	for v := 0; v < n; v++ {
+		if srcLoad[v] > n {
+			return nil, fmt.Errorf("cclique: node %d sources %d > n units", v, srcLoad[v])
+		}
+		if dstLoad[v] > n {
+			return nil, fmt.Errorf("cclique: node %d targets %d > n units", v, dstLoad[v])
+		}
+	}
+
+	// Rank units per target: 2 real rounds, one word per pair each way —
+	// every sender tells each of its targets how many units it will send;
+	// each target assigns its senders contiguous rank blocks (in sender-ID
+	// order) and replies with the block offset.
+	type key struct{ from, to int }
+	counts := make(map[key]int)
+	for _, u := range units {
+		counts[key{u.From, u.To}]++
+	}
+	nw.Ledger().SetPhase("route:offsets")
+	if _, err := nw.Round(func(w int) []fabric.Msg {
+		var out []fabric.Msg
+		for t := 0; t < n; t++ {
+			if c := counts[key{w, t}]; c > 0 && t != w {
+				out = append(out, fabric.Msg{To: t, Words: []uint64{uint64(c)}})
+			}
+		}
+		return out
+	}); err != nil {
+		return nil, err
+	}
+	// Each target's local offset computation (sender-ID order).
+	offsets := make(map[key]int, len(counts))
+	for t := 0; t < n; t++ {
+		acc := 0
+		for f := 0; f < n; f++ {
+			if c := counts[key{f, t}]; c > 0 {
+				offsets[key{f, t}] = acc
+				acc += c
+			}
+		}
+	}
+	if _, err := nw.Round(func(w int) []fabric.Msg {
+		var out []fabric.Msg
+		for f := 0; f < n; f++ {
+			if f == w {
+				continue
+			}
+			if _, used := counts[key{f, w}]; used {
+				out = append(out, fabric.Msg{To: f, Words: []uint64{uint64(offsets[key{f, w}])}})
+			}
+		}
+		return out
+	}); err != nil {
+		return nil, err
+	}
+
+	// Assign ranks: units of one (from,to) pair take consecutive ranks.
+	ranked := make([]int, len(units))
+	next := make(map[key]int, len(counts))
+	for i, u := range units {
+		k := key{u.From, u.To}
+		ranked[i] = offsets[k] + next[k]
+		next[k]++
+	}
+
+	// Phase 1: greedy sub-round schedule — a unit goes in the earliest
+	// sub-round where its (sender → intermediate) slot is free.
+	type rec struct {
+		to   int
+		rank int
+		from int
+		word uint64
+	}
+	held := make([][]rec, n)
+	type slot struct{ sub, from, inter int }
+	taken := make(map[slot]bool)
+	subOf := make([]int, len(units))
+	maxSub := 0
+	for i, u := range units {
+		inter := ranked[i] % n
+		s := 0
+		for taken[slot{s, u.From, inter}] {
+			s++
+		}
+		taken[slot{s, u.From, inter}] = true
+		subOf[i] = s
+		if s > maxSub {
+			maxSub = s
+		}
+	}
+	nw.Ledger().SetPhase("route:spread")
+	for s := 0; s <= maxSub; s++ {
+		in, err := nw.Round(func(w int) []fabric.Msg {
+			var out []fabric.Msg
+			for i, u := range units {
+				if u.From != w || subOf[i] != s {
+					continue
+				}
+				inter := ranked[i] % n
+				if inter == w {
+					held[w] = append(held[w], rec{u.To, ranked[i], u.From, u.Word})
+					continue
+				}
+				out = append(out, fabric.Msg{To: inter, Words: []uint64{uint64(u.To), uint64(ranked[i]), uint64(u.From), u.Word}})
+			}
+			return out
+		})
+		if err != nil {
+			return nil, err
+		}
+		for v := 0; v < n; v++ {
+			for _, m := range in[v] {
+				held[v] = append(held[v], rec{int(m.Words[0]), int(m.Words[1]), int(m.Words[2]), m.Words[3]})
+			}
+		}
+	}
+
+	// Phase 2: delivery — each intermediate holds ≤ 1 unit per target per
+	// residue layer; ship one unit per (intermediate, target) per round.
+	for v := range held {
+		sort.Slice(held[v], func(a, b int) bool {
+			if held[v][a].to != held[v][b].to {
+				return held[v][a].to < held[v][b].to
+			}
+			return held[v][a].rank < held[v][b].rank
+		})
+	}
+	out := make([][]UnitMsg, n)
+	nw.Ledger().SetPhase("route:deliver")
+	for {
+		any := false
+		for v := range held {
+			if len(held[v]) > 0 {
+				any = true
+				break
+			}
+		}
+		if !any {
+			break
+		}
+		in, err := nw.Round(func(w int) []fabric.Msg {
+			var msgs []fabric.Msg
+			lastTo := -1
+			for _, r := range held[w] {
+				if r.to == lastTo {
+					continue // one unit per (intermediate, target) per round
+				}
+				lastTo = r.to
+				if r.to == w {
+					continue // delivered locally below
+				}
+				msgs = append(msgs, fabric.Msg{To: r.to, Words: []uint64{uint64(r.from), r.word}})
+			}
+			return msgs
+		})
+		if err != nil {
+			return nil, err
+		}
+		for v := 0; v < n; v++ {
+			kept := held[v][:0]
+			lastTo := -1
+			for _, r := range held[v] {
+				if r.to != lastTo {
+					lastTo = r.to
+					if r.to == v {
+						out[v] = append(out[v], UnitMsg{From: r.from, To: v, Word: r.word})
+					}
+					continue
+				}
+				kept = append(kept, r)
+			}
+			held[v] = kept
+		}
+		for t := 0; t < n; t++ {
+			for _, m := range in[t] {
+				out[t] = append(out[t], UnitMsg{From: int(m.Words[0]), To: t, Word: m.Words[1]})
+			}
+		}
+	}
+	for v := range out {
+		sort.Slice(out[v], func(a, b int) bool {
+			if out[v][a].From != out[v][b].From {
+				return out[v][a].From < out[v][b].From
+			}
+			return out[v][a].Word < out[v][b].Word
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,147 @@
+package cclique
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ccolor/internal/graph"
+)
+
+func checkDelivery(t *testing.T, n int, units []UnitMsg) *Network {
+	t.Helper()
+	nw := New(n)
+	got, err := RouteAll(nw, units)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every unit arrives exactly once, attributed to its sender.
+	want := make(map[int][]UnitMsg)
+	for _, u := range units {
+		want[u.To] = append(want[u.To], u)
+	}
+	for v := 0; v < n; v++ {
+		if len(got[v]) != len(want[v]) {
+			t.Fatalf("node %d received %d units, want %d", v, len(got[v]), len(want[v]))
+		}
+		seen := make(map[UnitMsg]int)
+		for _, u := range want[v] {
+			seen[u]++
+		}
+		for _, u := range got[v] {
+			if seen[u] == 0 {
+				t.Fatalf("node %d received unexpected unit %+v", v, u)
+			}
+			seen[u]--
+		}
+	}
+	return nw
+}
+
+func TestRouteAllBasic(t *testing.T) {
+	units := []UnitMsg{
+		{From: 0, To: 3, Word: 10},
+		{From: 1, To: 3, Word: 11},
+		{From: 2, To: 0, Word: 12},
+		{From: 3, To: 3, Word: 13}, // self-delivery
+	}
+	checkDelivery(t, 5, units)
+}
+
+func TestRouteAllHotspot(t *testing.T) {
+	// A single sender with n units to ONE destination — the case direct
+	// per-pair sending cannot do in O(1) rounds and Lenzen routing exists
+	// for.
+	n := 16
+	var units []UnitMsg
+	for i := 0; i < n; i++ {
+		units = append(units, UnitMsg{From: 2, To: 9, Word: uint64(100 + i)})
+	}
+	nw := checkDelivery(t, n, units)
+	if r := nw.Ledger().Rounds(); r > 8 {
+		t.Fatalf("hotspot routing took %d rounds; want O(1) (≤8)", r)
+	}
+}
+
+func TestRouteAllFullLoad(t *testing.T) {
+	// Every node sends one unit to every node (n units per source AND per
+	// target — the extreme of the precondition).
+	n := 12
+	var units []UnitMsg
+	for f := 0; f < n; f++ {
+		for d := 0; d < n; d++ {
+			units = append(units, UnitMsg{From: f, To: d, Word: uint64(f*100 + d)})
+		}
+	}
+	nw := checkDelivery(t, n, units)
+	if r := nw.Ledger().Rounds(); r > 3*n {
+		t.Fatalf("full-load routing took %d rounds", r)
+	}
+}
+
+func TestRouteAllRejectsOverload(t *testing.T) {
+	n := 4
+	var units []UnitMsg
+	for i := 0; i <= n; i++ { // n+1 units from one source
+		units = append(units, UnitMsg{From: 0, To: i % n, Word: 1})
+	}
+	nw := New(n)
+	if _, err := RouteAll(nw, units); err == nil {
+		t.Fatal("source overload accepted")
+	}
+	units = units[:0]
+	for i := 0; i <= n; i++ { // n+1 units to one target
+		units = append(units, UnitMsg{From: i % n, To: 0, Word: 1})
+	}
+	if _, err := RouteAll(New(n), units); err == nil {
+		t.Fatal("target overload accepted")
+	}
+}
+
+func TestRouteAllQuick(t *testing.T) {
+	f := func(seed uint64, nn uint8) bool {
+		n := 4 + int(nn)%12
+		rng := graph.NewRand(seed)
+		srcLeft := make([]int, n)
+		dstLeft := make([]int, n)
+		for i := range srcLeft {
+			srcLeft[i], dstLeft[i] = n, n
+		}
+		var units []UnitMsg
+		for i := 0; i < 3*n; i++ {
+			f := int(rng.Intn(int64(n)))
+			d := int(rng.Intn(int64(n)))
+			if srcLeft[f] == 0 || dstLeft[d] == 0 {
+				continue
+			}
+			srcLeft[f]--
+			dstLeft[d]--
+			units = append(units, UnitMsg{From: f, To: d, Word: rng.Uint64()})
+		}
+		nw := New(n)
+		got, err := RouteAll(nw, units)
+		if err != nil {
+			return false
+		}
+		total := 0
+		for _, l := range got {
+			total += len(l)
+		}
+		return total == len(units)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRouteAllEmpty(t *testing.T) {
+	nw := New(3)
+	got, err := RouteAll(nw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range got {
+		if len(l) != 0 {
+			t.Fatal("phantom delivery")
+		}
+	}
+}

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"fmt"
+
+	"ccolor/internal/fabric"
+	"ccolor/internal/graph"
+)
+
+// collectAndColor implements Algorithm 1's base case for a wave's worth of
+// small instances at once: gather each instance onto a single machine
+// (Lenzen-style routing, O(1) rounds for O(𝔫)-size instances), color it
+// locally by greedy list coloring, scatter colors back, and notify
+// neighbors so palettes stay current.
+func (s *solver) collectAndColor(calls []*call) error {
+	targetOf := make(map[int32]int32, len(calls)) // call id → target node
+	liveOf := make(map[int32][]int32, len(calls))
+	var active []*call
+	for _, c := range calls {
+		var live []int32
+		for _, v := range c.nodes {
+			if s.color[v] == graph.NoColor {
+				live = append(live, v)
+			}
+		}
+		if len(live) == 0 {
+			s.onComplete(c)
+			continue
+		}
+		targetOf[int32(c.id)] = live[0]
+		liveOf[int32(c.id)] = live
+		active = append(active, c)
+		ds := s.trace.depth(c.depth)
+		ds.Collected++
+		if c.role == roleG0 {
+			ds.G0Size += s.instSize(c)
+		}
+	}
+	if len(active) == 0 {
+		return nil
+	}
+
+	// Gather: each member ships [d, neighbors…, p, colors…] to its
+	// instance's target machine. Palettes are truncated to d+1 colors
+	// (§3.6), keeping every gathered instance at O(size) words.
+	s.fab.Ledger().SetPhase("collect:gather")
+	blocks, err := fabric.GatherMany(s.fab, s.pw, func(w int) (int, []uint64) {
+		v := int32(w)
+		cid := s.callOf[v]
+		if cid < 0 || s.color[v] != graph.NoColor {
+			return -1, nil
+		}
+		target, ok := targetOf[cid]
+		if !ok {
+			return -1, nil
+		}
+		var nbrs []int32
+		for _, u := range s.g.Neighbors(v) {
+			if s.callOf[u] == cid && s.color[u] == graph.NoColor {
+				nbrs = append(nbrs, u)
+			}
+		}
+		pal := s.palFirstK(v, len(nbrs)+1)
+		words := make([]uint64, 0, 2+len(nbrs)+len(pal))
+		words = append(words, uint64(len(nbrs)))
+		for _, u := range nbrs {
+			words = append(words, uint64(u))
+		}
+		words = append(words, uint64(len(pal)))
+		for _, c := range pal {
+			words = append(words, uint64(c))
+		}
+		return int(target), words
+	})
+	if err != nil {
+		return fmt.Errorf("gather: %w", err)
+	}
+
+	// Local coloring at each target (the target machine's local step).
+	assigned := make(map[int32]graph.Color)
+	for _, c := range active {
+		target := targetOf[int32(c.id)]
+		got := blocks[int(target)]
+		size := 0
+		for _, b := range got {
+			size += len(b.Words)
+		}
+		if size > s.trace.MaxCollectedSize {
+			s.trace.MaxCollectedSize = size
+		}
+		local, err := decodeGathered(got)
+		if err != nil {
+			return fmt.Errorf("call %d at target %d: %w", c.id, target, err)
+		}
+		if err := greedyListColor(local, assigned); err != nil {
+			return fmt.Errorf("call %d greedy: %w", c.id, err)
+		}
+		s.trace.LocalColoredNodes += len(local)
+	}
+
+	// Scatter: each target sends every member its color (one word/pair).
+	s.fab.Ledger().SetPhase("collect:scatter")
+	if _, err := s.fab.Round(func(w int) []fabric.Msg {
+		v := int32(w)
+		var out []fabric.Msg
+		for _, c := range active {
+			if targetOf[int32(c.id)] != v {
+				continue
+			}
+			for _, u := range liveOf[int32(c.id)] {
+				if u == v {
+					continue
+				}
+				out = append(out, fabric.Msg{To: int(u), Words: []uint64{uint64(assigned[u])}})
+			}
+		}
+		return out
+	}); err != nil {
+		return fmt.Errorf("scatter: %w", err)
+	}
+
+	// Commit colors.
+	var newlyColored []int32
+	for _, c := range active {
+		for _, v := range liveOf[int32(c.id)] {
+			col, ok := assigned[v]
+			if !ok {
+				return fmt.Errorf("call %d: node %d missing assignment", c.id, v)
+			}
+			s.color[v] = col
+			s.callOf[v] = -1
+			s.colored++
+			newlyColored = append(newlyColored, v)
+		}
+	}
+
+	// Notify: every newly colored node announces its color to all its graph
+	// neighbors (one word/pair); uncolored receivers drop the color from
+	// their palettes — Algorithm 1's "update color palettes" steps.
+	s.fab.Ledger().SetPhase("collect:notify")
+	if _, err := s.fab.Round(func(w int) []fabric.Msg {
+		v := int32(w)
+		col, ok := assigned[v]
+		if !ok || s.color[v] == graph.NoColor {
+			return nil
+		}
+		var out []fabric.Msg
+		for _, u := range s.g.Neighbors(v) {
+			out = append(out, fabric.Msg{To: int(u), Words: []uint64{uint64(col)}})
+		}
+		return out
+	}); err != nil {
+		return fmt.Errorf("notify: %w", err)
+	}
+	for _, v := range newlyColored {
+		for _, u := range s.g.Neighbors(v) {
+			if s.color[u] == graph.NoColor {
+				s.palRemove(u, s.color[v])
+			}
+		}
+	}
+
+	for _, c := range active {
+		s.onComplete(c)
+	}
+	return nil
+}
+
+// localNode is one node of a gathered instance.
+type localNode struct {
+	id      int32 // global node ID
+	nbrs    []int32
+	palette []graph.Color
+}
+
+// decodeGathered unpacks sender blocks into local nodes.
+func decodeGathered(blocks []fabric.SenderBlock) ([]localNode, error) {
+	out := make([]localNode, 0, len(blocks))
+	for _, b := range blocks {
+		w := b.Words
+		if len(w) < 2 {
+			return nil, fmt.Errorf("short block from %d", b.From)
+		}
+		d := int(w[0])
+		if len(w) < 1+d+1 {
+			return nil, fmt.Errorf("truncated neighbor list from %d", b.From)
+		}
+		nbrs := make([]int32, d)
+		for i := 0; i < d; i++ {
+			nbrs[i] = int32(w[1+i])
+		}
+		p := int(w[1+d])
+		if len(w) != 2+d+p {
+			return nil, fmt.Errorf("bad block length from %d: %d words for d=%d p=%d", b.From, len(w), d, p)
+		}
+		pal := make([]graph.Color, p)
+		for i := 0; i < p; i++ {
+			pal[i] = graph.Color(w[2+d+i])
+		}
+		out = append(out, localNode{id: int32(b.From), nbrs: nbrs, palette: pal})
+	}
+	return out, nil
+}
+
+// greedyListColor colors a gathered instance in sender order: each node
+// takes the first palette color no already-colored in-instance neighbor
+// holds. With p(v) > d(v) (maintained by the invariant and the runtime
+// demotion net), a free color always exists.
+func greedyListColor(nodes []localNode, assigned map[int32]graph.Color) error {
+	for _, nd := range nodes {
+		taken := make(map[graph.Color]struct{}, len(nd.nbrs))
+		for _, u := range nd.nbrs {
+			if c, ok := assigned[u]; ok {
+				taken[c] = struct{}{}
+			}
+		}
+		picked := false
+		for _, c := range nd.palette {
+			if _, hit := taken[c]; !hit {
+				assigned[nd.id] = c
+				picked = true
+				break
+			}
+		}
+		if !picked {
+			return fmt.Errorf("node %d: no free color among %d palette entries with %d neighbors",
+				nd.id, len(nd.palette), len(nd.nbrs))
+		}
+	}
+	return nil
+}

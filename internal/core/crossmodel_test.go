@@ -1,0 +1,80 @@
+package core
+
+import (
+	"testing"
+
+	"ccolor/internal/cclique"
+	"ccolor/internal/graph"
+)
+
+// TestCliqueAndMPCAgree pins the paper's §1.2 equivalence operationally:
+// ColorReduce's decisions depend only on the instance and parameters, never
+// on which model carries the messages, so the congested clique and the
+// linear-space MPC cluster must produce the identical coloring and the
+// identical recursion trace.
+func TestCliqueAndMPCAgree(t *testing.T) {
+	g, err := graph.GNP(220, 0.1, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := graph.DeltaPlus1Instance(g)
+
+	nw := cclique.New(g.N())
+	colClique, trClique, err := Solve(nw, nw.MsgWords(), inst, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := newLinearCluster(t, inst, 64)
+	colMPC, trMPC, err := Solve(cl, 8, inst, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range colClique {
+		if colClique[v] != colMPC[v] {
+			t.Fatalf("node %d: clique color %d vs MPC color %d", v, colClique[v], colMPC[v])
+		}
+	}
+	if trClique.Waves != trMPC.Waves ||
+		trClique.MaxRecursionDepth() != trMPC.MaxRecursionDepth() ||
+		trClique.TotalBadNodes() != trMPC.TotalBadNodes() {
+		t.Fatalf("traces diverged: waves %d/%d depth %d/%d bad %d/%d",
+			trClique.Waves, trMPC.Waves,
+			trClique.MaxRecursionDepth(), trMPC.MaxRecursionDepth(),
+			trClique.TotalBadNodes(), trMPC.TotalBadNodes())
+	}
+}
+
+func TestSolveTinyGraphs(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		adj  [][]int32
+	}{
+		{"single", [][]int32{{}}},
+		{"pair", [][]int32{{1}, {0}}},
+		{"path3", [][]int32{{1}, {0, 2}, {1}}},
+		{"triangle", [][]int32{{1, 2}, {0, 2}, {0, 1}}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			g, err := graph.NewGraph(tc.adj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			solveClique(t, graph.DeltaPlus1Instance(g), DefaultParams())
+		})
+	}
+}
+
+func TestSolveZeroNodes(t *testing.T) {
+	g, err := graph.NewGraph(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw := cclique.New(0)
+	col, _, err := Solve(nw, nw.MsgWords(), graph.DeltaPlus1Instance(g), DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(col) != 0 {
+		t.Fatal("phantom colors")
+	}
+}

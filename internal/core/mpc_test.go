@@ -1,0 +1,112 @@
+package core
+
+import (
+	"testing"
+
+	"ccolor/internal/graph"
+	"ccolor/internal/mpc"
+	"ccolor/internal/verify"
+)
+
+// newLinearCluster builds the Theorem 1.2 linear-space deployment: one
+// virtual worker per node, machines of Θ(𝔫) words holding each node's
+// edges and palette.
+func newLinearCluster(t *testing.T, inst *graph.Instance, spaceFactor int) *mpc.Cluster {
+	t.Helper()
+	g := inst.G
+	cl, err := mpc.NewLinear(g.N(), func(v int) int64 {
+		return int64(g.Degree(int32(v)) + len(inst.Palettes[v]) + 2)
+	}, spaceFactor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+func TestSolveOnLinearMPC(t *testing.T) {
+	g, err := graph.GNP(300, 0.1, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := graph.DeltaPlus1Instance(g)
+	cl := newLinearCluster(t, inst, 64)
+	col, tr, err := Solve(cl, 8, inst, DefaultParams())
+	if err != nil {
+		t.Fatalf("Solve: %v\ntrace:\n%v", err, tr)
+	}
+	if err := verify.ListColoring(inst, col); err != nil {
+		t.Fatal(err)
+	}
+	if cl.PeakMachineSpace() > cl.Space() {
+		t.Fatalf("peak machine usage %d exceeds space %d (Theorem 1.2 violated)",
+			cl.PeakMachineSpace(), cl.Space())
+	}
+	t.Logf("machines=%d space=%d peak=%d rounds=%d",
+		cl.Machines(), cl.Space(), cl.PeakMachineSpace(), cl.Ledger().Rounds())
+}
+
+func TestSolveCompactPalettes(t *testing.T) {
+	g, err := graph.GNP(250, 0.12, 29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := graph.DeltaPlus1Instance(g)
+	p := DefaultParams()
+	p.CompactPalettes = true
+	col, tr := func() (graph.Coloring, *Trace) {
+		cl := newLinearCluster(t, inst, 64)
+		col, tr, err := Solve(cl, 8, inst, p)
+		if err != nil {
+			t.Fatalf("Solve compact: %v\ntrace:\n%v", err, tr)
+		}
+		return col, tr
+	}()
+	if err := verify.ListColoring(inst, col); err != nil {
+		t.Fatal(err)
+	}
+	_ = tr
+}
+
+func TestCompactMatchesMaterialized(t *testing.T) {
+	// Theorem 1.3's implicit palettes must be behaviorally identical to
+	// materialized ones: same deterministic run, same coloring.
+	g, err := graph.GNP(150, 0.15, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := graph.DeltaPlus1Instance(g)
+
+	run := func(compact bool) graph.Coloring {
+		p := DefaultParams()
+		p.CompactPalettes = compact
+		cl := newLinearCluster(t, inst, 64)
+		col, _, err := Solve(cl, 8, inst, p)
+		if err != nil {
+			t.Fatalf("Solve(compact=%v): %v", compact, err)
+		}
+		return col
+	}
+	a, b := run(false), run(true)
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatalf("node %d: materialized color %d != compact color %d", v, a[v], b[v])
+		}
+	}
+}
+
+func TestCompactRejectsListPalettes(t *testing.T) {
+	g, err := graph.GNP(60, 0.2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := graph.ListInstance(g, 100000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams()
+	p.CompactPalettes = true
+	cl := newLinearCluster(t, inst, 64)
+	if _, _, err := Solve(cl, 8, inst, p); err == nil {
+		t.Fatal("compact mode must reject non-range palettes")
+	}
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"ccolor/internal/graph"
+	"ccolor/internal/hashing"
+)
+
+// Palette state access. The solver reaches palettes only through these
+// methods so that the Theorem 1.3 compact mode (implicit palettes: initial
+// range + hash-restriction chain + per-neighbor used colors, paper §3.6)
+// and the default materialized mode share all algorithm code.
+
+// palState holds one node's palette in one of the two representations.
+type palState struct {
+	// Materialized mode: the current palette, already excluding colors used
+	// by colored neighbors and restricted by all hash applications.
+	mat graph.Palette
+
+	// Compact mode (§3.6): the initial palette is {1..Δ+1}; restrictions
+	// are stored as the chain of (hash, kept bin) pairs applied so far, and
+	// used colors are stored explicitly (≤ one per neighbor ⇒ O(d(v))
+	// words, for O(𝔪) total — the Theorem 1.3 space argument).
+	compact   bool
+	rangeHi   graph.Color // initial palette is {1..rangeHi}
+	chainH    []hashing.Hash
+	chainBin  []int64
+	used      map[graph.Color]struct{}
+	sizeCache int // current palette size; -1 = dirty
+}
+
+func (ps *palState) invalidate() { ps.sizeCache = -1 }
+
+// palSize returns the current palette size p(v).
+func (s *solver) palSize(v int32) int {
+	ps := &s.pal[v]
+	if !ps.compact {
+		return len(ps.mat)
+	}
+	if ps.sizeCache >= 0 {
+		return ps.sizeCache
+	}
+	n := 0
+	s.palForEach(v, func(graph.Color) bool { n++; return true })
+	ps.sizeCache = n
+	return n
+}
+
+// palForEach iterates the current palette of v in ascending color order;
+// fn returning false stops early.
+func (s *solver) palForEach(v int32, fn func(graph.Color) bool) {
+	ps := &s.pal[v]
+	if !ps.compact {
+		for _, c := range ps.mat {
+			if !fn(c) {
+				return
+			}
+		}
+		return
+	}
+	for c := graph.Color(1); c <= ps.rangeHi; c++ {
+		if _, hit := ps.used[c]; hit {
+			continue
+		}
+		ok := true
+		for i, h := range ps.chainH {
+			if h.Eval(c) != ps.chainBin[i] {
+				ok = false
+				break
+			}
+		}
+		if ok && !fn(c) {
+			return
+		}
+	}
+}
+
+// palCountBin returns the number of palette colors h maps to bin — the
+// p′(v) of Definition 3.1 for a candidate hash.
+func (s *solver) palCountBin(v int32, h hashing.Hash, bin int64) int {
+	n := 0
+	s.palForEach(v, func(c graph.Color) bool {
+		if h.Eval(c) == bin {
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+// palRestrict applies a Partition color restriction: keep only colors that
+// h maps to bin.
+func (s *solver) palRestrict(v int32, h hashing.Hash, bin int64) {
+	ps := &s.pal[v]
+	if !ps.compact {
+		ps.mat = ps.mat.Filter(func(c graph.Color) bool { return h.Eval(c) == bin })
+		return
+	}
+	ps.chainH = append(ps.chainH, h)
+	ps.chainBin = append(ps.chainBin, bin)
+	ps.invalidate()
+}
+
+// palRemove deletes one color (used by a newly colored neighbor).
+func (s *solver) palRemove(v int32, c graph.Color) {
+	ps := &s.pal[v]
+	if !ps.compact {
+		ps.mat = ps.mat.Filter(func(x graph.Color) bool { return x != c })
+		return
+	}
+	if ps.used == nil {
+		ps.used = make(map[graph.Color]struct{})
+	}
+	ps.used[c] = struct{}{}
+	ps.invalidate()
+}
+
+// palFirstK returns the first k colors of v's current palette (for the §3.6
+// truncation to d(v)+1 colors before local collection).
+func (s *solver) palFirstK(v int32, k int) []graph.Color {
+	out := make([]graph.Color, 0, k)
+	s.palForEach(v, func(c graph.Color) bool {
+		out = append(out, c)
+		return len(out) < k
+	})
+	return out
+}
+
+// palWords returns the number of words node v's palette state occupies —
+// the quantity the space ledgers charge. Compact mode charges the chain and
+// used set (Theorem 1.3); materialized mode charges the list (Theorem 1.2).
+func (s *solver) palWords(v int32) int64 {
+	ps := &s.pal[v]
+	if !ps.compact {
+		return int64(len(ps.mat))
+	}
+	// Each chain entry is one O(log 𝔫)-bit seed (constant words); count the
+	// hash coefficients explicitly.
+	words := int64(1) // rangeHi
+	for _, h := range ps.chainH {
+		words += int64(h.NumCoefficients()) + 1
+	}
+	words += int64(len(ps.used))
+	return words
+}

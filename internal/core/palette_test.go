@@ -1,0 +1,123 @@
+package core
+
+import (
+	"testing"
+
+	"ccolor/internal/graph"
+	"ccolor/internal/hashing"
+)
+
+// newPalSolver builds a bare solver with one node in each representation
+// for palette-state unit tests.
+func newPalSolver(t *testing.T, compact bool, k graph.Color) *solver {
+	t.Helper()
+	s := &solver{pal: make([]palState, 1)}
+	if compact {
+		s.pal[0] = palState{compact: true, rangeHi: k, sizeCache: -1}
+	} else {
+		s.pal[0] = palState{mat: graph.RangePalette(1, k)}
+	}
+	return s
+}
+
+func testHash(t *testing.T, rng int64) hashing.Hash {
+	t.Helper()
+	fam, err := hashing.NewFamily(4, 1<<20, rng, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fam.Member(3)
+}
+
+func TestPaletteModesAgree(t *testing.T) {
+	const k = 40
+	h := testHash(t, 3)
+	for _, op := range []struct {
+		name  string
+		apply func(s *solver)
+	}{
+		{"fresh", func(s *solver) {}},
+		{"restrict", func(s *solver) { s.palRestrict(0, h, 1) }},
+		{"remove", func(s *solver) { s.palRemove(0, 7); s.palRemove(0, 8) }},
+		{"restrict+remove", func(s *solver) {
+			s.palRestrict(0, h, 0)
+			s.palRemove(0, 5)
+		}},
+	} {
+		t.Run(op.name, func(t *testing.T) {
+			mat := newPalSolver(t, false, k)
+			cmp := newPalSolver(t, true, k)
+			op.apply(mat)
+			op.apply(cmp)
+			if a, b := mat.palSize(0), cmp.palSize(0); a != b {
+				t.Fatalf("sizes differ: materialized %d vs compact %d", a, b)
+			}
+			var av, bv []graph.Color
+			mat.palForEach(0, func(c graph.Color) bool { av = append(av, c); return true })
+			cmp.palForEach(0, func(c graph.Color) bool { bv = append(bv, c); return true })
+			if len(av) != len(bv) {
+				t.Fatalf("iteration lengths differ: %d vs %d", len(av), len(bv))
+			}
+			for i := range av {
+				if av[i] != bv[i] {
+					t.Fatalf("entry %d differs: %d vs %d", i, av[i], bv[i])
+				}
+			}
+			for _, bin := range []int64{0, 1} {
+				if a, b := mat.palCountBin(0, h, bin), cmp.palCountBin(0, h, bin); a != b {
+					t.Fatalf("palCountBin(bin=%d) differs: %d vs %d", bin, a, b)
+				}
+			}
+			if a, b := mat.palFirstK(0, 5), cmp.palFirstK(0, 5); len(a) != len(b) {
+				t.Fatalf("palFirstK lengths differ")
+			}
+		})
+	}
+}
+
+func TestPalFirstKTruncates(t *testing.T) {
+	s := newPalSolver(t, false, 10)
+	got := s.palFirstK(0, 3)
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("palFirstK wrong: %v", got)
+	}
+	if got := s.palFirstK(0, 99); len(got) != 10 {
+		t.Fatalf("palFirstK beyond size wrong: %d", len(got))
+	}
+}
+
+func TestPalWordsAccounting(t *testing.T) {
+	const k = 100
+	mat := newPalSolver(t, false, k)
+	cmp := newPalSolver(t, true, k)
+	if mat.palWords(0) != k {
+		t.Fatalf("materialized words = %d, want %d", mat.palWords(0), k)
+	}
+	// Compact: O(1) before any updates.
+	if w := cmp.palWords(0); w != 1 {
+		t.Fatalf("fresh compact words = %d, want 1", w)
+	}
+	h := testHash(t, 2)
+	cmp.palRestrict(0, h, 0)
+	cmp.palRemove(0, 9)
+	w := cmp.palWords(0)
+	// 1 (range) + (coeffs+1) for one chain entry + 1 used color.
+	if want := int64(1 + 4 + 1 + 1); w != want {
+		t.Fatalf("compact words = %d, want %d", w, want)
+	}
+}
+
+func TestRangeTop(t *testing.T) {
+	if _, err := rangeTop(graph.Palette{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rangeTop(graph.Palette{2, 3}); err == nil {
+		t.Fatal("non-1-based palette accepted")
+	}
+	if _, err := rangeTop(graph.Palette{1, 3}); err == nil {
+		t.Fatal("gapped palette accepted")
+	}
+	if hi, err := rangeTop(nil); err != nil || hi != 0 {
+		t.Fatal("empty palette should be range {1..0}")
+	}
+}

@@ -1,0 +1,138 @@
+// Package core implements the paper's primary contribution: the recursive
+// ColorReduce / Partition procedure (Algorithms 1–2) for deterministic
+// (Δ+1)-list coloring in O(1) CONGESTED CLIQUE rounds (Theorem 1.1) and in
+// linear-space MPC (Theorems 1.2–1.3), plus the low-space MPC variant
+// (Algorithms 3–4, Theorem 1.4).
+package core
+
+import "math"
+
+// Params are the algorithm's knobs. Defaults follow the paper's exponents;
+// the ablation experiments vary them.
+type Params struct {
+	// BinExp is the bin-count exponent: a Partition call on approximation
+	// parameter ℓ uses B = max(2, ⌊ℓ^BinExp⌋) node bins and B−1 color bins.
+	// The paper uses 0.1.
+	BinExp float64
+	// DegSlackExp: a node is degree-good if |d′(v) − d(v)/B| ≤ ℓ^DegSlackExp
+	// (paper: 0.6, with 1/B standing in for the asymptotic ℓ^−0.1).
+	DegSlackExp float64
+	// PalSlackExp: a node in a color-receiving bin is palette-good if
+	// p′(v) ≥ p(v)/B + ℓ^PalSlackExp (paper: 0.7).
+	PalSlackExp float64
+	// EllDecayExp: the child approximation parameter is
+	// ℓ′ = ℓ^EllDecayExp − ℓ^DegSlackExp (paper: 0.9).
+	EllDecayExp float64
+	// BinSizeSlackExp: a bin is good if it holds < 2·n_G/B + 𝔫^BinSizeSlackExp
+	// nodes (paper: 0.6).
+	BinSizeSlackExp float64
+
+	// CollectFactor is the "size O(𝔫)" constant: an instance with
+	// n_G + 2·m_G ≤ CollectFactor·𝔫 is collected onto one machine and
+	// colored locally (Algorithm 1, first line).
+	CollectFactor int
+	// EllFloor implements the paper's remark after Lemma 3.2: once ℓ is a
+	// small constant the instance has total size O(𝔫) and is collected
+	// regardless of CollectFactor.
+	EllFloor float64
+
+	// Independence is the c of the c-wise independent hash families.
+	Independence int
+	// BatchWidth is the number of candidate seeds evaluated per
+	// derandomization batch (the paper's 𝔫^δ chunk).
+	BatchWidth int
+	// MaxBatches bounds the seed search per Partition call.
+	MaxBatches int
+	// StrictTarget, when true, uses exactly ⌊𝔫/ℓ²⌋ as the bad-cost target
+	// (Lemma 3.9); otherwise the target is max(1, ⌊𝔫/ℓ²⌋), which keeps G0
+	// at O(𝔫) size while tolerating sub-constant expectations at small ℓ.
+	StrictTarget bool
+
+	// ForceBins, when > 0, overrides B(ℓ) with a fixed bin count. Setting
+	// ForceBins = 2 with HalveEll yields the Parter'18-style
+	// recursive-halving baseline.
+	ForceBins int
+	// HalveEll, when true, sets the child parameter to ℓ/2 + 2·ℓ^0.6
+	// instead of ℓ^0.9 − ℓ^0.6 — the O(log Δ)-depth halving recursion.
+	HalveEll bool
+
+	// AcceptFirstSeed disables the derandomized search and takes candidate
+	// 0 unconditionally — the "one random seed, no conditional
+	// expectations" ablation (A1). Correctness is preserved by the runtime
+	// demotion net; bad-node counts show what the search buys.
+	AcceptFirstSeed bool
+
+	// MaxDepth is a recursion-guard (the paper proves ≤ 9 levels in the
+	// asymptotic regime; laptop-scale runs stay within ~12).
+	MaxDepth int
+
+	// CompactPalettes enables the Theorem 1.3 mode for (Δ+1)-coloring:
+	// palettes are stored implicitly as (initial range, applied hash chain,
+	// per-neighbor used colors) instead of materialized lists.
+	CompactPalettes bool
+}
+
+// DefaultParams returns the paper-faithful configuration.
+func DefaultParams() Params {
+	return Params{
+		BinExp:          0.1,
+		DegSlackExp:     0.6,
+		PalSlackExp:     0.7,
+		EllDecayExp:     0.9,
+		BinSizeSlackExp: 0.6,
+		CollectFactor:   4,
+		EllFloor:        8,
+		Independence:    8,
+		BatchWidth:      8,
+		MaxBatches:      512,
+		MaxDepth:        64,
+	}
+}
+
+// bins returns B(ℓ) = max(2, ⌊ℓ^BinExp⌋), or ForceBins if set.
+func (p Params) bins(ell float64) int {
+	if p.ForceBins > 0 {
+		return p.ForceBins
+	}
+	b := int(math.Floor(math.Pow(ell, p.BinExp)))
+	if b < 2 {
+		b = 2
+	}
+	return b
+}
+
+// childEll returns ℓ′ = ℓ^0.9 − ℓ^0.6 (with configured exponents), floored
+// at 1; in HalveEll mode it returns ℓ/2 + 2·ℓ^0.6.
+func (p Params) childEll(ell float64) float64 {
+	var e float64
+	if p.HalveEll {
+		e = ell/2 + 2*math.Pow(ell, p.DegSlackExp)
+	} else {
+		e = math.Pow(ell, p.EllDecayExp) - math.Pow(ell, p.DegSlackExp)
+	}
+	if e < 1 {
+		e = 1
+	}
+	return e
+}
+
+// degSlack returns ℓ^0.6.
+func (p Params) degSlack(ell float64) float64 { return math.Pow(ell, p.DegSlackExp) }
+
+// palSlack returns ℓ^0.7.
+func (p Params) palSlack(ell float64) float64 { return math.Pow(ell, p.PalSlackExp) }
+
+// target returns the Lemma 3.9 cost target for a Partition call at
+// parameter ℓ on an input of 𝔫 nodes.
+func (p Params) target(bign int, ell float64) int64 {
+	t := int64(math.Floor(float64(bign) / (ell * ell)))
+	if !p.StrictTarget && t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// shouldCollect implements Algorithm 1's base case plus the EllFloor remark.
+func (p Params) shouldCollect(size, bign int, ell float64) bool {
+	return size <= p.CollectFactor*bign || ell <= p.EllFloor
+}

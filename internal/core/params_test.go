@@ -1,0 +1,90 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBins(t *testing.T) {
+	p := DefaultParams()
+	for _, tc := range []struct {
+		ell  float64
+		want int
+	}{
+		{1, 2},       // floor(1^0.1)=1 → clamped to 2
+		{100, 2},     // 100^0.1 ≈ 1.58
+		{1024, 2},    // 2^10 exactly reaches 2
+		{60000, 3},   // ~3^10
+		{1 << 20, 4}, // 2^20 → 2^2
+	} {
+		if got := p.bins(tc.ell); got != tc.want {
+			t.Errorf("bins(%.0f) = %d, want %d", tc.ell, got, tc.want)
+		}
+	}
+	p.ForceBins = 7
+	if p.bins(1e9) != 7 {
+		t.Error("ForceBins ignored")
+	}
+}
+
+func TestChildEll(t *testing.T) {
+	p := DefaultParams()
+	// ℓ' = ℓ^0.9 − ℓ^0.6, floored at 1.
+	if got, want := p.childEll(1024), math.Pow(1024, 0.9)-math.Pow(1024, 0.6); math.Abs(got-want) > 1e-9 {
+		t.Errorf("childEll(1024) = %v, want %v", got, want)
+	}
+	if p.childEll(1.5) != 1 {
+		t.Error("childEll floor missing")
+	}
+	// Monotone decreasing towards 1 — guarantees termination.
+	prev := math.Inf(1)
+	for ell := 1e6; ell > 2; ell = p.childEll(ell) {
+		if ell >= prev {
+			t.Fatalf("childEll not contracting at %v", ell)
+		}
+		prev = ell
+	}
+	p.HalveEll = true
+	if got, want := p.childEll(64), 32+2*math.Pow(64, 0.6); math.Abs(got-want) > 1e-9 {
+		t.Errorf("halving childEll(64) = %v, want %v", got, want)
+	}
+}
+
+func TestTarget(t *testing.T) {
+	p := DefaultParams()
+	if got := p.target(10000, 10); got != 100 {
+		t.Errorf("target = %d, want 100", got)
+	}
+	// Sub-1 expectations relax to 1 unless strict.
+	if got := p.target(100, 50); got != 1 {
+		t.Errorf("relaxed target = %d, want 1", got)
+	}
+	p.StrictTarget = true
+	if got := p.target(100, 50); got != 0 {
+		t.Errorf("strict target = %d, want 0", got)
+	}
+}
+
+func TestShouldCollect(t *testing.T) {
+	p := DefaultParams()
+	n := 1000
+	if !p.shouldCollect(4*n, n, 100) {
+		t.Error("size ≤ c·n must collect")
+	}
+	if p.shouldCollect(4*n+1, n, 100) {
+		t.Error("size > c·n with large ℓ must not collect")
+	}
+	if !p.shouldCollect(1<<20, n, 8) {
+		t.Error("ℓ ≤ EllFloor must collect regardless of size")
+	}
+}
+
+func TestSlacks(t *testing.T) {
+	p := DefaultParams()
+	if got := p.degSlack(1024); math.Abs(got-math.Pow(1024, 0.6)) > 1e-9 {
+		t.Errorf("degSlack wrong: %v", got)
+	}
+	if got := p.palSlack(1024); math.Abs(got-math.Pow(1024, 0.7)) > 1e-9 {
+		t.Errorf("palSlack wrong: %v", got)
+	}
+}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"testing"
+
+	"ccolor/internal/cclique"
+	"ccolor/internal/graph"
+	"ccolor/internal/verify"
+)
+
+func solveClique(t *testing.T, inst *graph.Instance, p Params) (graph.Coloring, *Trace) {
+	t.Helper()
+	nw := cclique.New(inst.G.N())
+	col, tr, err := Solve(nw, nw.MsgWords(), inst, p)
+	if err != nil {
+		t.Fatalf("Solve: %v\ntrace:\n%v", err, tr)
+	}
+	if err := verify.ListColoring(inst, col); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	return col, tr
+}
+
+func TestSmokeGNP(t *testing.T) {
+	g, err := graph.GNP(200, 0.1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := graph.DeltaPlus1Instance(g)
+	_, tr := solveClique(t, inst, DefaultParams())
+	t.Logf("rounds trace:\n%v", tr)
+}
+
+func TestSmokeListColoring(t *testing.T) {
+	g, err := graph.GNP(150, 0.2, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := graph.ListInstance(g, int64(g.N())*int64(g.N()), 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solveClique(t, inst, DefaultParams())
+}
+
+func TestSmokeDenser(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	g, err := graph.RandomRegular(400, 60, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := graph.DeltaPlus1Instance(g)
+	_, tr := solveClique(t, inst, DefaultParams())
+	t.Logf("depth=%d waves=%d", tr.MaxRecursionDepth(), tr.Waves)
+}

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceDepthGrows(t *testing.T) {
+	tr := &Trace{}
+	tr.depth(3).Calls = 5
+	if len(tr.PerDepth) != 4 {
+		t.Fatalf("PerDepth has %d entries, want 4", len(tr.PerDepth))
+	}
+	for i, d := range tr.PerDepth {
+		if d.Depth != i {
+			t.Fatalf("entry %d has Depth %d", i, d.Depth)
+		}
+	}
+	if tr.MaxRecursionDepth() != 3 {
+		t.Fatalf("max depth %d, want 3", tr.MaxRecursionDepth())
+	}
+}
+
+func TestTraceAggregates(t *testing.T) {
+	tr := &Trace{}
+	tr.depth(0).BadNodes = 2
+	tr.depth(0).Partitions = 1
+	tr.depth(0).SeedCandidates = 3
+	tr.depth(1).BadNodes = 5
+	tr.depth(1).Partitions = 2
+	tr.depth(1).SeedCandidates = 4
+	if tr.TotalBadNodes() != 7 {
+		t.Fatalf("TotalBadNodes = %d", tr.TotalBadNodes())
+	}
+	if tr.TotalPartitions() != 3 {
+		t.Fatalf("TotalPartitions = %d", tr.TotalPartitions())
+	}
+	if tr.TotalSeedCandidates() != 7 {
+		t.Fatalf("TotalSeedCandidates = %d", tr.TotalSeedCandidates())
+	}
+}
+
+func TestTraceString(t *testing.T) {
+	tr := &Trace{InputN: 10, InputDelta: 3}
+	tr.depth(0).Calls = 1
+	s := tr.String()
+	if !strings.Contains(s, "n=10") || !strings.Contains(s, "depth") {
+		t.Fatalf("trace rendering missing fields:\n%s", s)
+	}
+}

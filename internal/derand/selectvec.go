@@ -1,0 +1,97 @@
+package derand
+
+import (
+	"fmt"
+
+	"ccolor/internal/fabric"
+	"ccolor/internal/hashing"
+)
+
+// VecSelector generalizes Selector to vector-valued local contributions:
+// each worker reports perCand values per candidate (e.g. [bad-node
+// indicator, bin-occupancy counts…]); after aggregation a driver-side score
+// function condenses each candidate's totals into the scalar cost 𝔮.
+// This is how Partition's cost (Eq. 1: bad nodes + 𝔫·bad bins) is computed,
+// since bad bins are only visible in the aggregate.
+type VecSelector struct {
+	F1, F2     hashing.Family
+	PerCand    int // aggregated values per candidate
+	BatchWidth int
+	MaxBatches int
+	Salt       uint64
+}
+
+// LocalVec computes worker w's perCand-length contribution for a candidate.
+type LocalVec func(w int, p Pair) []int64
+
+// Score condenses a candidate's aggregated totals into its cost.
+type Score func(totals []int64) int64
+
+// Result is the outcome of a vector selection.
+type Result struct {
+	Pair   Pair
+	Totals []int64 // the winning candidate's aggregated vector
+	Stats  Stats
+}
+
+// Select runs batched candidate evaluation over the fabric and returns the
+// first candidate (in the fixed enumeration order) whose score is ≤ target.
+func (s *VecSelector) Select(f fabric.Fabric, pairWords int, target int64, local LocalVec, score Score) (Result, error) {
+	width := s.BatchWidth
+	if width < 1 {
+		width = 1
+	}
+	maxVec := f.Workers() * pairWords
+	if width*s.PerCand > maxVec {
+		width = maxVec / s.PerCand
+		if width < 1 {
+			return Result{}, fmt.Errorf("derand: perCand %d exceeds fabric vector capacity %d", s.PerCand, maxVec)
+		}
+	}
+	maxBatches := s.MaxBatches
+	if maxBatches == 0 {
+		maxBatches = DefaultMaxBatches
+	}
+	var st Stats
+	for batch := 0; batch < maxBatches; batch++ {
+		cands := make([]Pair, width)
+		for i := range cands {
+			idx := uint64(batch*width+i) + s.Salt
+			cands[i] = Pair{
+				H1:    s.F1.Member(mix(idx, 1)),
+				H2:    s.F2.Member(mix(idx, 2)),
+				Index: idx,
+			}
+		}
+		vlen := width * s.PerCand
+		totals, err := fabric.AggregateVec(f, pairWords, vlen, func(w int) []int64 {
+			vals := make([]int64, 0, vlen)
+			for _, p := range cands {
+				part := local(w, p)
+				if len(part) != s.PerCand {
+					panic(fmt.Sprintf("derand: local vector length %d != perCand %d", len(part), s.PerCand))
+				}
+				vals = append(vals, part...)
+			}
+			return vals
+		})
+		if err != nil {
+			return Result{}, fmt.Errorf("derand: aggregate batch %d: %w", batch, err)
+		}
+		st.Batches++
+		for i := range cands {
+			st.Candidates++
+			candTotals := totals[i*s.PerCand : (i+1)*s.PerCand]
+			if c := score(candTotals); c <= target {
+				st.Cost = c
+				if err := fabric.Broadcast(f, pairWords, 0, []uint64{cands[i].Index}); err != nil {
+					return Result{}, fmt.Errorf("derand: broadcast winner: %w", err)
+				}
+				out := make([]int64, s.PerCand)
+				copy(out, candTotals)
+				return Result{Pair: cands[i], Totals: out, Stats: st}, nil
+			}
+		}
+	}
+	return Result{Stats: st}, fmt.Errorf("%w (target %d after %d candidates)", ErrExhausted, target, st.Candidates)
+}

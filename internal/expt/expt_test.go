@@ -1,0 +1,76 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRenderAndCSV(t *testing.T) {
+	tb := &Table{
+		ID:     "T",
+		Title:  "demo",
+		Header: []string{"a", "b"},
+	}
+	tb.AddRow(1, "x,y")
+	tb.AddRow(2.5, "z")
+	out := tb.Render()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "2.50") {
+		t.Fatalf("render missing content:\n%s", out)
+	}
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"x,y"`) {
+		t.Fatalf("csv escaping broken:\n%s", csv)
+	}
+	if got := strings.Count(csv, "\n"); got != 3 {
+		t.Fatalf("csv has %d lines, want 3", got)
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "A1", "A2", "A3"}
+	reg := Registry()
+	if len(reg) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(reg), len(want))
+	}
+	for i, id := range want {
+		if reg[i].ID != id {
+			t.Fatalf("experiment %d is %s, want %s", i, reg[i].ID, id)
+		}
+		if reg[i].Claim == "" || reg[i].Title == "" || reg[i].Run == nil {
+			t.Fatalf("experiment %s incompletely defined", id)
+		}
+	}
+	if _, ok := Find("E3"); !ok {
+		t.Fatal("Find(E3) failed")
+	}
+	if _, ok := Find("E99"); ok {
+		t.Fatal("Find(E99) succeeded")
+	}
+}
+
+// TestAllExperimentsSmall runs every experiment at reduced scale; every
+// experiment must complete and produce at least one non-empty table.
+func TestAllExperimentsSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := Config{Scale: 0.25, Seed: 7}
+	for _, e := range Registry() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables, err := e.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(tables) == 0 {
+				t.Fatalf("%s produced no tables", e.ID)
+			}
+			for _, tb := range tables {
+				if len(tb.Rows) == 0 {
+					t.Fatalf("%s table %s has no rows", e.ID, tb.ID)
+				}
+				t.Logf("\n%s", tb.Render())
+			}
+		})
+	}
+}

@@ -1,0 +1,132 @@
+// Package fabric defines the synchronous communication substrate shared by
+// ccolor's two execution models: the CONGESTED CLIQUE (internal/cclique) and
+// MPC (internal/mpc). The core coloring algorithm and its communication
+// primitives are written once against this interface, mirroring the paper's
+// §1.2 observation that CONGESTED CLIQUE is the linear-space MPC instance of
+// the same algorithm.
+package fabric
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Msg is one message in a synchronous round: Words is the payload, counted
+// in O(log 𝔫)-bit machine words against the model's bandwidth/space budget.
+type Msg struct {
+	To    int
+	From  int // filled in by the fabric on delivery
+	Words []uint64
+}
+
+// Fabric is a synchronous message-passing substrate with w workers.
+//
+// Round executes one synchronous round: produce is invoked (possibly
+// concurrently) for every worker and returns that worker's outgoing
+// messages; the fabric validates them against the model's limits and
+// returns per-worker inboxes, sorted by sender. Implementations must charge
+// exactly one round per Round call.
+type Fabric interface {
+	// Workers returns the number of computational entities (nodes in the
+	// congested clique, machines in MPC).
+	Workers() int
+	// Round runs one synchronous communication round.
+	Round(produce func(w int) []Msg) ([][]Msg, error)
+	// Ledger returns the round/traffic accounting for this fabric.
+	Ledger() *Ledger
+}
+
+// Ledger tracks rounds and traffic. Labels attribute rounds to algorithm
+// phases for the experiment reports.
+type Ledger struct {
+	rounds      int
+	wordsMoved  int64
+	maxSendLoad int64 // max words sent by one worker in one round
+	maxRecvLoad int64 // max words received by one worker in one round
+	byLabel     map[string]int
+	label       string
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{byLabel: make(map[string]int)}
+}
+
+// SetPhase labels subsequent rounds for attribution in reports.
+func (l *Ledger) SetPhase(label string) { l.label = label }
+
+// Phase returns the current phase label.
+func (l *Ledger) Phase() string { return l.label }
+
+// AddRound records one executed round with the given traffic profile.
+func (l *Ledger) AddRound(words, maxSend, maxRecv int64) {
+	l.rounds++
+	l.wordsMoved += words
+	if maxSend > l.maxSendLoad {
+		l.maxSendLoad = maxSend
+	}
+	if maxRecv > l.maxRecvLoad {
+		l.maxRecvLoad = maxRecv
+	}
+	if l.label != "" {
+		l.byLabel[l.label]++
+	}
+}
+
+// Rounds returns the total number of rounds executed.
+func (l *Ledger) Rounds() int { return l.rounds }
+
+// WordsMoved returns the total words moved across all rounds.
+func (l *Ledger) WordsMoved() int64 { return l.wordsMoved }
+
+// MaxSendLoad returns the maximum words sent by a single worker in any one
+// round (the congested clique requires this to be O(𝔫)).
+func (l *Ledger) MaxSendLoad() int64 { return l.maxSendLoad }
+
+// MaxRecvLoad returns the maximum words received by a single worker in any
+// one round.
+func (l *Ledger) MaxRecvLoad() int64 { return l.maxRecvLoad }
+
+// ByPhase returns a copy of the per-phase round counts.
+func (l *Ledger) ByPhase() map[string]int {
+	out := make(map[string]int, len(l.byLabel))
+	for k, v := range l.byLabel {
+		out[k] = v
+	}
+	return out
+}
+
+// String renders a compact multi-line summary.
+func (l *Ledger) String() string {
+	keys := make([]string, 0, len(l.byLabel))
+	for k := range l.byLabel {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s := fmt.Sprintf("rounds=%d words=%d maxSend/round=%d maxRecv/round=%d",
+		l.rounds, l.wordsMoved, l.maxSendLoad, l.maxRecvLoad)
+	for _, k := range keys {
+		s += fmt.Sprintf("\n  %-24s %d", k, l.byLabel[k])
+	}
+	return s
+}
+
+// SortInbox orders messages by sender then payload for deterministic
+// processing; fabrics call it before delivery.
+func SortInbox(in []Msg) {
+	sort.Slice(in, func(i, j int) bool {
+		if in[i].From != in[j].From {
+			return in[i].From < in[j].From
+		}
+		return lessWords(in[i].Words, in[j].Words)
+	})
+}
+
+func lessWords(a, b []uint64) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}

@@ -1,0 +1,676 @@
+package fabric
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Communication primitives (paper §2.1). Each is implemented with real
+// message traffic over the Fabric and charges exactly the rounds it uses.
+// They assume the congested-clique reading of bandwidth: at most pairWords
+// words between any ordered worker pair per round. MPC fabrics enforce
+// their own (space) limits on top.
+//
+// The multi-target gather below is the restricted routing pattern the
+// coloring algorithm needs (per-sender blocks of ≤ O(𝔫) words, per-target
+// totals of O(𝔫) words). It is the special case of Lenzen's constant-round
+// routing [15] for which a simple rank-based two-phase schedule is exact:
+// word of global per-target rank r relays through intermediate r mod 𝔫, so
+// every (sender, intermediate) and (intermediate, target, sub-round) pair
+// carries at most one record.
+
+// Grouped is an optional Fabric extension: workers sharing a group (an MPC
+// machine) exchange data for free, so collective primitives combine
+// group-locally before crossing machine boundaries — exactly how MapReduce
+// primitives (Lemma 2.1) respect the space bound.
+type Grouped interface {
+	GroupOf(w int) int
+}
+
+// Capacitated is an optional Fabric extension reporting the per-entity
+// space budget in words (MPC's 𝔰); collective primitives on grouped
+// fabrics shape their reduction trees to it, mirroring Lemma 2.1's
+// O(1)-round tree of fan-in 𝔰^Θ(1).
+type Capacitated interface {
+	CapacityWords() int64
+}
+
+// groupReps returns, per worker, whether it is its group's representative
+// (lowest-indexed member), and the list of representatives. For ungrouped
+// fabrics every worker is its own representative.
+func groupReps(f Fabric) (isRep []bool, reps []int) {
+	n := f.Workers()
+	isRep = make([]bool, n)
+	g, ok := f.(Grouped)
+	if !ok {
+		reps = make([]int, n)
+		for w := 0; w < n; w++ {
+			isRep[w] = true
+			reps[w] = w
+		}
+		return isRep, reps
+	}
+	seen := make(map[int]int)
+	for w := 0; w < n; w++ {
+		if _, dup := seen[g.GroupOf(w)]; !dup {
+			seen[g.GroupOf(w)] = w
+			isRep[w] = true
+			reps = append(reps, w)
+		}
+	}
+	return isRep, reps
+}
+
+// Broadcast sends words from worker src to all workers. For payloads of at
+// most pairWords words it takes 1 round; for payloads up to 𝔫·pairWords it
+// takes 2 (distribute chunks, then all-to-all chunk exchange). On grouped
+// fabrics only group representatives are addressed; members share locally.
+func Broadcast(f Fabric, pairWords int, src int, words []uint64) error {
+	n := f.Workers()
+	if _, grouped := f.(Grouped); grouped {
+		return broadcastTree(f, src, words)
+	}
+	if len(words) <= pairWords {
+		_, reps := groupReps(f)
+		_, err := f.Round(func(w int) []Msg {
+			if w != src {
+				return nil
+			}
+			out := make([]Msg, 0, len(reps))
+			for _, t := range reps {
+				if t == src {
+					continue
+				}
+				out = append(out, Msg{To: t, Words: words})
+			}
+			return out
+		})
+		return err
+	}
+	if len(words) > n*pairWords {
+		return fmt.Errorf("fabric: broadcast payload %d exceeds %d*%d", len(words), n, pairWords)
+	}
+	// Round 1: distribute chunk j to worker j.
+	chunks := make([][]uint64, n)
+	for i := 0; i < len(words); i += pairWords {
+		end := i + pairWords
+		if end > len(words) {
+			end = len(words)
+		}
+		chunks[i/pairWords] = words[i:end]
+	}
+	if _, err := f.Round(func(w int) []Msg {
+		if w != src {
+			return nil
+		}
+		var out []Msg
+		for t, ch := range chunks {
+			if len(ch) == 0 || t == src {
+				continue
+			}
+			out = append(out, Msg{To: t, Words: ch})
+		}
+		return out
+	}); err != nil {
+		return err
+	}
+	// Round 2: every chunk holder sends its chunk to everyone.
+	_, err := f.Round(func(w int) []Msg {
+		ch := chunks[w]
+		if len(ch) == 0 {
+			return nil
+		}
+		out := make([]Msg, 0, n-1)
+		for t := 0; t < n; t++ {
+			if t == w {
+				continue
+			}
+			out = append(out, Msg{To: t, Words: ch})
+		}
+		return out
+	})
+	return err
+}
+
+// AggregateVec computes the element-wise sum over all workers of the
+// length-vlen int64 vector local(w), and makes the result known to all
+// workers, in 2 rounds. Element j is owned by the j mod R-th group
+// representative (R = number of groups; every worker on an ungrouped
+// fabric); representatives combine their group's contributions locally
+// before sending — the machine-local combining step that keeps MPC traffic
+// within 𝔰 — then owners sum and broadcast their elements back to the
+// representatives. On ungrouped fabrics this requires
+// vlen ≤ workers·pairWords.
+func AggregateVec(f Fabric, pairWords int, vlen int, local func(w int) []int64) ([]int64, error) {
+	n := f.Workers()
+	isRep, reps := groupReps(f)
+	r := len(reps)
+	perOwner := (vlen + r - 1) / r
+	if _, grouped := f.(Grouped); !grouped && perOwner > pairWords {
+		return nil, fmt.Errorf("fabric: aggregate vector length %d exceeds %d*%d", vlen, n, pairWords)
+	}
+	// Group membership for local combining.
+	memberOfRep := make(map[int][]int, r)
+	if g, ok := f.(Grouped); ok {
+		repOfGroup := make(map[int]int, r)
+		for _, w := range reps {
+			repOfGroup[g.GroupOf(w)] = w
+		}
+		for w := 0; w < n; w++ {
+			rep := repOfGroup[g.GroupOf(w)]
+			memberOfRep[rep] = append(memberOfRep[rep], w)
+		}
+	} else {
+		for w := 0; w < n; w++ {
+			memberOfRep[w] = []int{w}
+		}
+	}
+	if _, grouped := f.(Grouped); grouped {
+		// Space-bounded path: machine-local combine, then a fan-in-bounded
+		// reduction tree over representatives (Lemma 2.1 style).
+		return aggregateVecTree(f, reps, vlen, func(rep int) []int64 {
+			combined := make([]int64, vlen)
+			for _, member := range memberOfRep[rep] {
+				vals := local(member)
+				if len(vals) != vlen {
+					panic(fmt.Sprintf("fabric: local vector length %d != %d", len(vals), vlen))
+				}
+				for j, x := range vals {
+					combined[j] += x
+				}
+			}
+			return combined
+		})
+	}
+	repIdx := make(map[int]int, r)
+	for i, w := range reps {
+		repIdx[w] = i
+	}
+	slots := func(ownerIdx int) int {
+		if ownerIdx >= vlen {
+			return 0
+		}
+		return (vlen-ownerIdx-1)/r + 1
+	}
+
+	// Round 1: each representative sends its group's combined contribution
+	// for each owner's elements (element j owned by rep j mod r).
+	sums := make([][]int64, r)
+	for o := 0; o < r; o++ {
+		sums[o] = make([]int64, slots(o))
+	}
+	in, err := f.Round(func(w int) []Msg {
+		if !isRep[w] {
+			return nil
+		}
+		combined := make([]int64, vlen)
+		for _, member := range memberOfRep[w] {
+			vals := local(member)
+			if len(vals) != vlen {
+				panic(fmt.Sprintf("fabric: local vector length %d != %d", len(vals), vlen))
+			}
+			for j, x := range vals {
+				combined[j] += x
+			}
+		}
+		out := make([]Msg, 0, r)
+		for o := 0; o < r; o++ {
+			k := slots(o)
+			if k == 0 {
+				continue
+			}
+			words := make([]uint64, k)
+			for s := 0; s < k; s++ {
+				words[s] = uint64(combined[o+s*r])
+			}
+			if reps[o] == w {
+				for s := 0; s < k; s++ {
+					sums[o][s] += int64(words[s])
+				}
+				continue
+			}
+			out = append(out, Msg{To: reps[o], Words: words})
+		}
+		return out
+	})
+	if err != nil {
+		return nil, err
+	}
+	for o := 0; o < r; o++ {
+		for _, m := range in[reps[o]] {
+			for s, w := range m.Words {
+				sums[o][s] += int64(w)
+			}
+		}
+	}
+	// Round 2: each owner broadcasts its summed elements to all
+	// representatives.
+	if _, err := f.Round(func(w int) []Msg {
+		oi, ok := repIdx[w]
+		if !ok {
+			return nil
+		}
+		k := slots(oi)
+		if k == 0 {
+			return nil
+		}
+		words := make([]uint64, k)
+		for s := 0; s < k; s++ {
+			words[s] = uint64(sums[oi][s])
+		}
+		out := make([]Msg, 0, r-1)
+		for _, t := range reps {
+			if t == w {
+				continue
+			}
+			out = append(out, Msg{To: t, Words: words})
+		}
+		return out
+	}); err != nil {
+		return nil, err
+	}
+	result := make([]int64, vlen)
+	for o := 0; o < r; o++ {
+		for s := 0; s < slots(o); s++ {
+			result[o+s*r] = sums[o][s]
+		}
+	}
+	return result, nil
+}
+
+// broadcastTree delivers words from src to every group representative via
+// a fan-out-bounded tree (members of each group then share locally, for
+// free). O(1) rounds for constant tree depth.
+func broadcastTree(f Fabric, src int, words []uint64) error {
+	_, reps := groupReps(f)
+	branch := branchFactor(f, len(words))
+	// Round 0: src hands the payload to the representative tree root
+	// (skipped when src is the root).
+	root := reps[0]
+	if src != root {
+		if _, err := f.Round(func(w int) []Msg {
+			if w != src {
+				return nil
+			}
+			return []Msg{{To: root, Words: words}}
+		}); err != nil {
+			return err
+		}
+	}
+	// Down-tree over representatives in index order: level k holds reps
+	// with index < branch^k.
+	have := map[int]bool{root: true}
+	for reach := 1; reach < len(reps); reach *= branch {
+		if _, err := f.Round(func(w int) []Msg {
+			if !have[w] {
+				return nil
+			}
+			var out []Msg
+			for i, t := range reps {
+				if i < reach || have[t] {
+					continue
+				}
+				// rep i is served by rep i/branch at this level.
+				if i/branch < reach && reps[i/branch] == w && i < reach*branch {
+					out = append(out, Msg{To: t, Words: words})
+				}
+			}
+			return out
+		}); err != nil {
+			return err
+		}
+		for i, t := range reps {
+			if i < reach*branch {
+				have[t] = true
+			}
+		}
+	}
+	return nil
+}
+
+// branchFactor picks the reduction-tree fan-in for a grouped fabric so one
+// level's inbound traffic (fan-in · vlen words) stays within half the
+// capacity.
+func branchFactor(f Fabric, vlen int) int {
+	b := 8
+	if c, ok := f.(Capacitated); ok {
+		b = int(c.CapacityWords() / int64(2*vlen))
+	}
+	if b < 2 {
+		b = 2
+	}
+	return b
+}
+
+// aggregateVecTree sums length-vlen vectors across group representatives
+// via a fan-in-bounded reduction tree, then redistributes the result down
+// the same tree — Lemma 2.1's constant-round, space-respecting pattern.
+func aggregateVecTree(f Fabric, reps []int, vlen int, combinedOf func(rep int) []int64) ([]int64, error) {
+	branch := branchFactor(f, vlen)
+	acc := make(map[int][]int64, len(reps))
+	for _, w := range reps {
+		acc[w] = combinedOf(w)
+	}
+	// Reduce up: levels of blocks of `branch` representatives.
+	levels := [][]int{append([]int(nil), reps...)}
+	for len(levels[len(levels)-1]) > 1 {
+		cur := levels[len(levels)-1]
+		var next []int
+		for i := 0; i < len(cur); i += branch {
+			next = append(next, cur[i])
+		}
+		in, err := f.Round(func(w int) []Msg {
+			// Block members (non-leaders) send their accumulator to the
+			// block leader.
+			for i := 0; i < len(cur); i += branch {
+				end := i + branch
+				if end > len(cur) {
+					end = len(cur)
+				}
+				for j := i + 1; j < end; j++ {
+					if cur[j] != w {
+						continue
+					}
+					words := make([]uint64, vlen)
+					for k, x := range acc[w] {
+						words[k] = uint64(x)
+					}
+					return []Msg{{To: cur[i], Words: words}}
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, leader := range next {
+			for _, m := range in[leader] {
+				for k, x := range m.Words {
+					acc[leader][k] += int64(x)
+				}
+			}
+		}
+		levels = append(levels, next)
+	}
+	// Distribute down: leaders push the final vector to their blocks.
+	root := levels[len(levels)-1][0]
+	result := append([]int64(nil), acc[root]...)
+	have := map[int]bool{root: true}
+	for li := len(levels) - 2; li >= 0; li-- {
+		cur := levels[li]
+		if _, err := f.Round(func(w int) []Msg {
+			if !have[w] {
+				return nil
+			}
+			var out []Msg
+			for i := 0; i < len(cur); i += branch {
+				if cur[i] != w {
+					continue
+				}
+				end := i + branch
+				if end > len(cur) {
+					end = len(cur)
+				}
+				words := make([]uint64, vlen)
+				for k, x := range result {
+					words[k] = uint64(x)
+				}
+				for j := i + 1; j < end; j++ {
+					out = append(out, Msg{To: cur[j], Words: words})
+				}
+			}
+			return out
+		}); err != nil {
+			return nil, err
+		}
+		for i := 0; i < len(cur); i += branch {
+			if have[cur[i]] {
+				end := i + branch
+				if end > len(cur) {
+					end = len(cur)
+				}
+				for j := i + 1; j < end; j++ {
+					have[cur[j]] = true
+				}
+			}
+		}
+	}
+	return result, nil
+}
+
+// SenderBlock is one sender's contribution to a gather target, delivered in
+// the sender's original word order.
+type SenderBlock struct {
+	From  int
+	Words []uint64
+}
+
+// GatherMany routes each worker's payload block to its designated target
+// worker. payload(w) returns (target, words); a negative target means
+// worker w contributes nothing. Multiple targets may be gathered to
+// concurrently. The result maps target → blocks sorted by sender.
+//
+// Round cost: 2 (offset computation via worker 0) + ⌈maxBlock/𝔫⌉ (spread) +
+// phase-2 delivery rounds, which is O(1) whenever every block is O(𝔫) words
+// and every target receives O(𝔫) words — the regime Corollary 3.10 and
+// Lemma 3.14 guarantee for the coloring algorithm.
+func GatherMany(f Fabric, pairWords int, payload func(w int) (int, []uint64)) (map[int][]SenderBlock, error) {
+	n := f.Workers()
+	targets := make([]int, n)
+	blocks := make([][]uint64, n)
+	for w := 0; w < n; w++ {
+		targets[w], blocks[w] = payload(w)
+		if targets[w] >= n {
+			return nil, fmt.Errorf("fabric: gather target %d out of range", targets[w])
+		}
+	}
+
+	// Rounds 1-2: worker 0 assigns each sender a rank offset within its
+	// target's gather space. Each sender reports (target, count) — 2 words;
+	// worker 0 replies with the offset — 1 word.
+	if _, err := f.Round(func(w int) []Msg {
+		if targets[w] < 0 || len(blocks[w]) == 0 || w == 0 {
+			return nil
+		}
+		return []Msg{{To: 0, Words: []uint64{uint64(targets[w]), uint64(len(blocks[w]))}}}
+	}); err != nil {
+		return nil, err
+	}
+	offsets := make([]int, n)
+	totals := make(map[int]int)
+	for w := 0; w < n; w++ { // worker 0's local computation over reported counts
+		if targets[w] < 0 || len(blocks[w]) == 0 {
+			continue
+		}
+		offsets[w] = totals[targets[w]]
+		totals[targets[w]] += len(blocks[w])
+	}
+	if _, err := f.Round(func(w int) []Msg {
+		if w != 0 {
+			return nil
+		}
+		var out []Msg
+		for t := 1; t < n; t++ {
+			if targets[t] < 0 || len(blocks[t]) == 0 {
+				continue
+			}
+			out = append(out, Msg{To: t, Words: []uint64{uint64(offsets[t])}})
+		}
+		return out
+	}); err != nil {
+		return nil, err
+	}
+
+	// Phase 1: spread. Word k of sender w has per-target rank
+	// r = offsets[w]+k and relays through intermediate r mod n. Within one
+	// sub-round a sender touches each intermediate at most once (records of
+	// one sub-round have distinct ranks mod n).
+	type rec struct {
+		target int
+		rank   int
+		word   uint64
+	}
+	maxBlock := 0
+	for w := 0; w < n; w++ {
+		if targets[w] >= 0 && len(blocks[w]) > maxBlock {
+			maxBlock = len(blocks[w])
+		}
+	}
+	held := make([][]rec, n) // per intermediate
+	subRounds := (maxBlock + n - 1) / n
+	for s := 0; s < subRounds; s++ {
+		in, err := f.Round(func(w int) []Msg {
+			if targets[w] < 0 {
+				return nil
+			}
+			lo, hi := s*n, (s+1)*n
+			if hi > len(blocks[w]) {
+				hi = len(blocks[w])
+			}
+			if lo >= hi {
+				return nil
+			}
+			out := make([]Msg, 0, hi-lo)
+			for k := lo; k < hi; k++ {
+				r := offsets[w] + k
+				inter := r % n
+				words := []uint64{uint64(targets[w]), uint64(r), blocks[w][k]}
+				if inter == w {
+					held[w] = append(held[w], rec{targets[w], r, blocks[w][k]})
+					continue
+				}
+				out = append(out, Msg{To: inter, Words: words})
+			}
+			return out
+		})
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			for _, m := range in[i] {
+				held[i] = append(held[i], rec{int(m.Words[0]), int(m.Words[1]), m.Words[2]})
+			}
+		}
+	}
+
+	// Phase 2: delivery. Each intermediate holds ≤ ⌈W_target/n⌉ records per
+	// target; it ships per-target chunks of ⌊pairWords/2⌋ (rank, word) pairs
+	// per round until drained.
+	for i := range held {
+		sort.Slice(held[i], func(a, b int) bool {
+			if held[i][a].target != held[i][b].target {
+				return held[i][a].target < held[i][b].target
+			}
+			return held[i][a].rank < held[i][b].rank
+		})
+	}
+	gathered := make(map[int][]uint64, len(totals)) // target → words by rank
+	for t, w := range totals {
+		gathered[t] = make([]uint64, w)
+	}
+	perRound := pairWords / 2
+	if perRound < 1 {
+		return nil, fmt.Errorf("fabric: pairWords %d too small for gather delivery", pairWords)
+	}
+	cursor := make([]int, n)
+	for {
+		anyLeft := false
+		for i := range held {
+			if cursor[i] < len(held[i]) {
+				anyLeft = true
+				break
+			}
+		}
+		if !anyLeft {
+			break
+		}
+		in, err := f.Round(func(w int) []Msg {
+			var out []Msg
+			i := cursor[w]
+			for i < len(held[w]) {
+				t := held[w][i].target
+				j := i
+				words := make([]uint64, 0, 2*perRound)
+				for j < len(held[w]) && held[w][j].target == t && j-i < perRound {
+					words = append(words, uint64(held[w][j].rank), held[w][j].word)
+					j++
+				}
+				if t == w {
+					for k := 0; k < len(words); k += 2 {
+						gathered[t][int(words[k])] = words[k+1]
+					}
+				} else {
+					out = append(out, Msg{To: t, Words: words})
+				}
+				// Stop at the per-target chunk for this round; move to the
+				// next target's queue segment.
+				i = j
+				if j < len(held[w]) && held[w][j].target == t {
+					// Remaining records for t wait for the next round; skip
+					// past them when scanning for other targets this round.
+					for j < len(held[w]) && held[w][j].target == t {
+						j++
+					}
+					i = j
+				}
+			}
+			return out
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Advance cursors: each queue consumed ≤ perRound records per target.
+		for w := 0; w < n; w++ {
+			i := cursor[w]
+			for i < len(held[w]) {
+				t := held[w][i].target
+				cnt := 0
+				j := i
+				for j < len(held[w]) && held[w][j].target == t {
+					j++
+					cnt++
+				}
+				consumed := cnt
+				if consumed > perRound {
+					consumed = perRound
+				}
+				// Compact: remove the consumed prefix of this target's queue.
+				copy(held[w][i:], held[w][i+consumed:])
+				held[w] = held[w][:len(held[w])-consumed]
+				i += cnt - consumed
+			}
+			cursor[w] = 0
+		}
+		for t := 0; t < n; t++ {
+			for _, m := range in[t] {
+				for k := 0; k+1 < len(m.Words); k += 2 {
+					gathered[t][int(m.Words[k])] = m.Words[k+1]
+				}
+			}
+		}
+	}
+
+	// Reassemble per-sender blocks at each target.
+	out := make(map[int][]SenderBlock, len(gathered))
+	type span struct {
+		from, off, ln int
+	}
+	spansByTarget := make(map[int][]span)
+	for w := 0; w < n; w++ {
+		if targets[w] < 0 || len(blocks[w]) == 0 {
+			continue
+		}
+		spansByTarget[targets[w]] = append(spansByTarget[targets[w]],
+			span{from: w, off: offsets[w], ln: len(blocks[w])})
+	}
+	for t, spans := range spansByTarget {
+		sort.Slice(spans, func(a, b int) bool { return spans[a].from < spans[b].from })
+		for _, sp := range spans {
+			out[t] = append(out[t], SenderBlock{
+				From:  sp.from,
+				Words: gathered[t][sp.off : sp.off+sp.ln],
+			})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,201 @@
+package fabric_test
+
+import (
+	"testing"
+
+	"ccolor/internal/cclique"
+	"ccolor/internal/fabric"
+	"ccolor/internal/mpc"
+)
+
+// fabrics under test: an ungrouped congested clique and a grouped MPC
+// cluster; every primitive must behave identically on both.
+func testFabrics(t *testing.T, n int) map[string]fabric.Fabric {
+	t.Helper()
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = i / 4 // 4 workers per machine
+	}
+	cl, err := mpc.New(assign, (n+3)/4, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]fabric.Fabric{
+		"cclique": cclique.New(n),
+		"mpc":     cl,
+	}
+}
+
+func TestBroadcastSmall(t *testing.T) {
+	for name, f := range testFabrics(t, 20) {
+		t.Run(name, func(t *testing.T) {
+			if err := fabric.Broadcast(f, 4, 3, []uint64{7, 8}); err != nil {
+				t.Fatal(err)
+			}
+			if f.Ledger().Rounds() == 0 {
+				t.Fatal("broadcast charged no rounds")
+			}
+		})
+	}
+}
+
+func TestBroadcastLarge(t *testing.T) {
+	nw := cclique.New(16)
+	words := make([]uint64, 40) // needs the 2-round chunked path
+	for i := range words {
+		words[i] = uint64(i)
+	}
+	if err := fabric.Broadcast(nw, 4, 0, words); err != nil {
+		t.Fatal(err)
+	}
+	if got := nw.Ledger().Rounds(); got != 2 {
+		t.Fatalf("large broadcast took %d rounds, want 2", got)
+	}
+	// Payload beyond n·pairWords must be rejected.
+	huge := make([]uint64, 16*4+1)
+	if err := fabric.Broadcast(nw, 4, 0, huge); err == nil {
+		t.Fatal("oversized broadcast accepted")
+	}
+}
+
+func TestAggregateVec(t *testing.T) {
+	for name, f := range testFabrics(t, 24) {
+		t.Run(name, func(t *testing.T) {
+			vlen := 10
+			got, err := fabric.AggregateVec(f, 4, vlen, func(w int) []int64 {
+				v := make([]int64, vlen)
+				for j := range v {
+					v[j] = int64(w + j)
+				}
+				return v
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := int64(f.Workers())
+			base := n * (n - 1) / 2 // Σ w
+			for j, x := range got {
+				want := base + n*int64(j)
+				if x != want {
+					t.Fatalf("element %d = %d, want %d", j, x, want)
+				}
+			}
+		})
+	}
+}
+
+func TestAggregateVecNegative(t *testing.T) {
+	nw := cclique.New(10)
+	got, err := fabric.AggregateVec(nw, 4, 3, func(w int) []int64 {
+		return []int64{-1, 0, int64(-w)}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != -10 || got[1] != 0 || got[2] != -45 {
+		t.Fatalf("negative aggregation wrong: %v", got)
+	}
+}
+
+func TestAggregateVecTooLong(t *testing.T) {
+	nw := cclique.New(4)
+	_, err := fabric.AggregateVec(nw, 2, 100, func(w int) []int64 {
+		return make([]int64, 100)
+	})
+	if err == nil {
+		t.Fatal("oversized vector accepted on per-pair-limited fabric")
+	}
+}
+
+func TestGatherMany(t *testing.T) {
+	for name, f := range testFabrics(t, 20) {
+		t.Run(name, func(t *testing.T) {
+			// Workers 0..9 send blocks to target 2; workers 10..19 to 15.
+			got, err := fabric.GatherMany(f, 4, func(w int) (int, []uint64) {
+				target := 2
+				if w >= 10 {
+					target = 15
+				}
+				words := make([]uint64, w+1)
+				for i := range words {
+					words[i] = uint64(w*100 + i)
+				}
+				return target, words
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != 2 {
+				t.Fatalf("expected 2 targets, got %d", len(got))
+			}
+			for _, target := range []int{2, 15} {
+				blocks := got[target]
+				lo, hi := 0, 10
+				if target == 15 {
+					lo, hi = 10, 20
+				}
+				if len(blocks) != hi-lo {
+					t.Fatalf("target %d got %d blocks", target, len(blocks))
+				}
+				for i, b := range blocks {
+					w := lo + i
+					if b.From != w || len(b.Words) != w+1 {
+						t.Fatalf("target %d block %d: from=%d len=%d", target, i, b.From, len(b.Words))
+					}
+					for j, x := range b.Words {
+						if x != uint64(w*100+j) {
+							t.Fatalf("payload corrupted at %d/%d", w, j)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestGatherManyLargeBlocks(t *testing.T) {
+	// Blocks larger than n force multiple spread sub-rounds.
+	n := 8
+	nw := cclique.New(n)
+	got, err := fabric.GatherMany(nw, 4, func(w int) (int, []uint64) {
+		if w != 3 {
+			return -1, nil
+		}
+		words := make([]uint64, 3*n+1)
+		for i := range words {
+			words[i] = uint64(i * i)
+		}
+		return 0, words
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := got[0]
+	if len(blocks) != 1 || len(blocks[0].Words) != 3*n+1 {
+		t.Fatalf("bad gather: %d blocks", len(blocks))
+	}
+	for i, x := range blocks[0].Words {
+		if x != uint64(i*i) {
+			t.Fatalf("word %d corrupted", i)
+		}
+	}
+}
+
+func TestLedgerPhases(t *testing.T) {
+	nw := cclique.New(5)
+	nw.Ledger().SetPhase("alpha")
+	if err := fabric.Broadcast(nw, 4, 0, []uint64{1}); err != nil {
+		t.Fatal(err)
+	}
+	nw.Ledger().SetPhase("beta")
+	if err := fabric.Broadcast(nw, 4, 1, []uint64{2}); err != nil {
+		t.Fatal(err)
+	}
+	by := nw.Ledger().ByPhase()
+	if by["alpha"] != 1 || by["beta"] != 1 {
+		t.Fatalf("phase attribution wrong: %v", by)
+	}
+	if nw.Ledger().String() == "" {
+		t.Fatal("empty ledger string")
+	}
+}

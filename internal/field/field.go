@@ -1,0 +1,80 @@
+// Package field implements arithmetic in the prime field GF(p) for the
+// Mersenne prime p = 2^61 - 1, the base field of ccolor's c-wise independent
+// hash families (paper §2.3). Mersenne-61 admits fast reduction after a
+// 128-bit multiply, and its 61-bit size comfortably covers the hash domains
+// the paper needs ([𝔫] for nodes, [𝔫²] for colors).
+package field
+
+import "math/bits"
+
+// P is the field modulus, the Mersenne prime 2^61 - 1.
+const P uint64 = (1 << 61) - 1
+
+// Reduce maps an arbitrary uint64 into [0, P).
+func Reduce(x uint64) uint64 {
+	x = (x & P) + (x >> 61)
+	if x >= P {
+		x -= P
+	}
+	return x
+}
+
+// Add returns (a + b) mod P for a, b < P.
+func Add(a, b uint64) uint64 {
+	s := a + b // < 2^62, no overflow
+	if s >= P {
+		s -= P
+	}
+	return s
+}
+
+// Sub returns (a - b) mod P for a, b < P.
+func Sub(a, b uint64) uint64 {
+	if a >= b {
+		return a - b
+	}
+	return a + P - b
+}
+
+// Mul returns (a * b) mod P for a, b < P, using a 128-bit product followed
+// by Mersenne folding.
+func Mul(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	// a*b = hi*2^64 + lo. With p = 2^61-1: 2^61 ≡ 1, so 2^64 ≡ 8.
+	// Split lo into low 61 bits and high 3 bits.
+	res := (lo & P) + (lo >> 61) + hi*8
+	res = (res & P) + (res >> 61)
+	if res >= P {
+		res -= P
+	}
+	return res
+}
+
+// Pow returns a^e mod P.
+func Pow(a uint64, e uint64) uint64 {
+	result := uint64(1)
+	base := a % P
+	for e > 0 {
+		if e&1 == 1 {
+			result = Mul(result, base)
+		}
+		base = Mul(base, base)
+		e >>= 1
+	}
+	return result
+}
+
+// Inv returns the multiplicative inverse of a (a ≠ 0) via Fermat.
+func Inv(a uint64) uint64 {
+	return Pow(a, P-2)
+}
+
+// EvalPoly evaluates the polynomial Σ coeffs[i]·x^i at x by Horner's rule.
+// All coefficients and x must be < P.
+func EvalPoly(coeffs []uint64, x uint64) uint64 {
+	var acc uint64
+	for i := len(coeffs) - 1; i >= 0; i-- {
+		acc = Add(Mul(acc, x), coeffs[i])
+	}
+	return acc
+}

@@ -1,0 +1,260 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+)
+
+// Generators for the workload families used in the experiment suite. All
+// generators are deterministic in (parameters, seed).
+
+// GNP returns an Erdős–Rényi G(n, p) graph.
+func GNP(n int, p float64, seed uint64) (*Graph, error) {
+	if p < 0 || p > 1 {
+		return nil, fmt.Errorf("graph: gnp probability %v out of [0,1]", p)
+	}
+	rng := NewRand(seed)
+	var edges [][2]int32
+	if p >= 0.25 {
+		// Dense: test every pair.
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Float64() < p {
+					edges = append(edges, [2]int32{int32(u), int32(v)})
+				}
+			}
+		}
+	} else if p > 0 {
+		// Sparse: geometric skipping over the pair sequence.
+		total := int64(n) * int64(n-1) / 2
+		logq := math.Log1p(-p)
+		pos := int64(-1)
+		for {
+			skip := int64(math.Floor(math.Log(1-rng.Float64()) / logq))
+			pos += 1 + skip
+			if pos >= total {
+				break
+			}
+			u, v := pairFromIndex(pos, n)
+			edges = append(edges, [2]int32{u, v})
+		}
+	}
+	return FromEdges(n, edges)
+}
+
+// pairFromIndex maps a linear index in [0, n(n-1)/2) to the corresponding
+// unordered pair (u, v) with u < v, in row-major order.
+func pairFromIndex(idx int64, n int) (int32, int32) {
+	u := int64(0)
+	rowLen := int64(n - 1)
+	for idx >= rowLen {
+		idx -= rowLen
+		u++
+		rowLen--
+	}
+	return int32(u), int32(u + 1 + idx)
+}
+
+// RandomRegular returns a d-regular graph on n nodes via the configuration
+// model with restarts (n*d must be even, d < n). For the parameter ranges in
+// the experiment suite a valid matching is found in a handful of restarts.
+func RandomRegular(n, d int, seed uint64) (*Graph, error) {
+	if d >= n {
+		return nil, fmt.Errorf("graph: regular degree %d ≥ n %d", d, n)
+	}
+	if n*d%2 != 0 {
+		return nil, fmt.Errorf("graph: n*d = %d*%d is odd", n, d)
+	}
+	if d == 0 {
+		return FromEdges(n, nil)
+	}
+	rng := NewRand(seed)
+	// Configuration model: pair stubs, then repair self-loops and duplicate
+	// edges with double-edge swaps (the standard rewiring fix, which
+	// converges quickly even in the dense regime).
+	stubs := make([]int32, n*d)
+	for v := 0; v < n; v++ {
+		for k := 0; k < d; k++ {
+			stubs[v*d+k] = int32(v)
+		}
+	}
+	for i := len(stubs) - 1; i > 0; i-- {
+		j := rng.Intn(int64(i + 1))
+		stubs[i], stubs[j] = stubs[j], stubs[i]
+	}
+	edges := make([][2]int32, n*d/2)
+	edgeKey := func(u, v int32) uint64 {
+		if u > v {
+			u, v = v, u
+		}
+		return uint64(u)<<32 | uint64(uint32(v))
+	}
+	seen := make(map[uint64]int, n*d/2) // key → multiplicity
+	for i := range edges {
+		u, v := stubs[2*i], stubs[2*i+1]
+		edges[i] = [2]int32{u, v}
+		if u != v {
+			seen[edgeKey(u, v)]++
+		}
+	}
+	isBad := func(e [2]int32) bool {
+		return e[0] == e[1] || seen[edgeKey(e[0], e[1])] > 1
+	}
+	// An edge can only become good through a swap, never bad, so one
+	// forward pass with bounded retries per position suffices.
+	const maxTriesPerEdge = 100000
+	for i := 0; i < len(edges); i++ {
+		tries := 0
+		for isBad(edges[i]) {
+			tries++
+			if tries > maxTriesPerEdge {
+				return nil, fmt.Errorf("graph: regular-graph rewiring did not converge (n=%d d=%d)", n, d)
+			}
+			j := int(rng.Intn(int64(len(edges))))
+			if j == i {
+				continue
+			}
+			a, b := edges[i], edges[j]
+			// Propose swap: (a0,a1),(b0,b1) → (a0,b1),(b0,a1).
+			n1, n2 := [2]int32{a[0], b[1]}, [2]int32{b[0], a[1]}
+			if n1[0] == n1[1] || n2[0] == n2[1] {
+				continue
+			}
+			k1, k2 := edgeKey(n1[0], n1[1]), edgeKey(n2[0], n2[1])
+			if seen[k1] > 0 || seen[k2] > 0 || k1 == k2 {
+				continue
+			}
+			if a[0] != a[1] {
+				seen[edgeKey(a[0], a[1])]--
+			}
+			if b[0] != b[1] {
+				seen[edgeKey(b[0], b[1])]--
+			}
+			seen[k1]++
+			seen[k2]++
+			edges[i], edges[j] = n1, n2
+		}
+	}
+	return FromEdges(n, edges)
+}
+
+// Cycle returns the n-cycle (n ≥ 3).
+func Cycle(n int) (*Graph, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("graph: cycle needs n ≥ 3, got %d", n)
+	}
+	edges := make([][2]int32, n)
+	for i := 0; i < n; i++ {
+		edges[i] = [2]int32{int32(i), int32((i + 1) % n)}
+	}
+	return FromEdges(n, edges)
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) (*Graph, error) {
+	var edges [][2]int32
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			edges = append(edges, [2]int32{int32(u), int32(v)})
+		}
+	}
+	return FromEdges(n, edges)
+}
+
+// CompleteBipartite returns K_{a,b}: nodes 0..a-1 on one side, a..a+b-1 on
+// the other.
+func CompleteBipartite(a, b int) (*Graph, error) {
+	var edges [][2]int32
+	for u := 0; u < a; u++ {
+		for v := 0; v < b; v++ {
+			edges = append(edges, [2]int32{int32(u), int32(a + v)})
+		}
+	}
+	return FromEdges(a+b, edges)
+}
+
+// Star returns the star K_{1,n-1} with center 0.
+func Star(n int) (*Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("graph: star needs n ≥ 1, got %d", n)
+	}
+	edges := make([][2]int32, 0, n-1)
+	for v := 1; v < n; v++ {
+		edges = append(edges, [2]int32{0, int32(v)})
+	}
+	return FromEdges(n, edges)
+}
+
+// Grid returns the rows×cols grid graph.
+func Grid(rows, cols int) (*Graph, error) {
+	id := func(r, c int) int32 { return int32(r*cols + c) }
+	var edges [][2]int32
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				edges = append(edges, [2]int32{id(r, c), id(r, c+1)})
+			}
+			if r+1 < rows {
+				edges = append(edges, [2]int32{id(r, c), id(r+1, c)})
+			}
+		}
+	}
+	return FromEdges(rows*cols, edges)
+}
+
+// PowerLaw returns a Barabási–Albert style preferential-attachment graph:
+// each new node attaches to mAttach distinct existing nodes chosen
+// proportionally to degree (plus one).
+func PowerLaw(n, mAttach int, seed uint64) (*Graph, error) {
+	if mAttach < 1 || mAttach >= n {
+		return nil, fmt.Errorf("graph: power-law attach %d out of range for n=%d", mAttach, n)
+	}
+	rng := NewRand(seed)
+	// Repeated-node list: node v appears deg(v)+1 times.
+	targets := make([]int32, 0, 2*n*mAttach)
+	for v := 0; v <= mAttach; v++ {
+		targets = append(targets, int32(v))
+	}
+	var edges [][2]int32
+	// Seed clique on the first mAttach+1 nodes.
+	for u := 0; u <= mAttach; u++ {
+		for v := u + 1; v <= mAttach; v++ {
+			edges = append(edges, [2]int32{int32(u), int32(v)})
+			targets = append(targets, int32(u), int32(v))
+		}
+	}
+	for v := mAttach + 1; v < n; v++ {
+		chosen := make(map[int32]struct{}, mAttach)
+		for len(chosen) < mAttach {
+			t := targets[rng.Intn(int64(len(targets)))]
+			chosen[t] = struct{}{}
+		}
+		for t := range chosen {
+			edges = append(edges, [2]int32{int32(v), t})
+			targets = append(targets, int32(v), t)
+		}
+		targets = append(targets, int32(v))
+	}
+	return FromEdges(n, edges)
+}
+
+// Caterpillar returns a path of length spine where every spine node carries
+// legs pendant leaves — a tree family with skewed degrees.
+func Caterpillar(spine, legs int) (*Graph, error) {
+	if spine < 1 {
+		return nil, fmt.Errorf("graph: caterpillar needs spine ≥ 1, got %d", spine)
+	}
+	n := spine + spine*legs
+	var edges [][2]int32
+	for i := 0; i+1 < spine; i++ {
+		edges = append(edges, [2]int32{int32(i), int32(i + 1)})
+	}
+	next := spine
+	for i := 0; i < spine; i++ {
+		for l := 0; l < legs; l++ {
+			edges = append(edges, [2]int32{int32(i), int32(next)})
+			next++
+		}
+	}
+	return FromEdges(n, edges)
+}

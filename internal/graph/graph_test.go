@@ -1,0 +1,294 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewGraphValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		adj     [][]int32
+		wantErr bool
+	}{
+		{"empty", [][]int32{}, false},
+		{"single", [][]int32{{}}, false},
+		{"edge", [][]int32{{1}, {0}}, false},
+		{"self-loop", [][]int32{{0}}, true},
+		{"duplicate", [][]int32{{1, 1}, {0, 0}}, true},
+		{"asymmetric", [][]int32{{1}, {}}, true},
+		{"out-of-range", [][]int32{{5}, {0}}, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewGraph(tc.adj)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("err = %v, wantErr %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestFromEdges(t *testing.T) {
+	g, err := FromEdges(4, [][2]int32{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 4 || g.M() != 4 || g.MaxDegree() != 2 {
+		t.Fatalf("got n=%d m=%d Δ=%d", g.N(), g.M(), g.MaxDegree())
+	}
+	if !g.HasEdge(0, 1) || g.HasEdge(0, 2) {
+		t.Fatal("HasEdge wrong")
+	}
+	if _, err := FromEdges(2, [][2]int32{{0, 5}}); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+}
+
+func TestHasEdgeSymmetric(t *testing.T) {
+	g, err := GNP(80, 0.1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b uint8) bool {
+		u, v := int32(a)%int32(g.N()), int32(b)%int32(g.N())
+		return g.HasEdge(u, v) == g.HasEdge(v, u)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g, err := Complete(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, back, err := g.InducedSubgraph([]int32{1, 3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.N() != 3 || sub.M() != 3 {
+		t.Fatalf("induced K3 expected, got n=%d m=%d", sub.N(), sub.M())
+	}
+	if back[0] != 1 || back[1] != 3 || back[2] != 5 {
+		t.Fatalf("bad back-mapping %v", back)
+	}
+	if _, _, err := g.InducedSubgraph([]int32{1, 1}); err == nil {
+		t.Fatal("duplicate node accepted")
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	t.Run("cycle", func(t *testing.T) {
+		g, err := Cycle(10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.N() != 10 || g.M() != 10 || g.MaxDegree() != 2 {
+			t.Fatal("bad cycle")
+		}
+	})
+	t.Run("complete", func(t *testing.T) {
+		g, err := Complete(7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.M() != 21 || g.MaxDegree() != 6 {
+			t.Fatal("bad K7")
+		}
+	})
+	t.Run("bipartite", func(t *testing.T) {
+		g, err := CompleteBipartite(3, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.N() != 7 || g.M() != 12 {
+			t.Fatal("bad K3,4")
+		}
+	})
+	t.Run("star", func(t *testing.T) {
+		g, err := Star(9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Degree(0) != 8 || g.M() != 8 {
+			t.Fatal("bad star")
+		}
+	})
+	t.Run("grid", func(t *testing.T) {
+		g, err := Grid(4, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.N() != 20 || g.M() != 4*4+5*3 {
+			t.Fatalf("bad grid: n=%d m=%d", g.N(), g.M())
+		}
+	})
+	t.Run("regular", func(t *testing.T) {
+		for _, d := range []int{2, 5, 16, 40} {
+			g, err := RandomRegular(100, d, uint64(d))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := 0; v < g.N(); v++ {
+				if g.Degree(int32(v)) != d {
+					t.Fatalf("node %d degree %d, want %d", v, g.Degree(int32(v)), d)
+				}
+			}
+		}
+		if _, err := RandomRegular(5, 5, 1); err == nil {
+			t.Fatal("d ≥ n accepted")
+		}
+		if _, err := RandomRegular(5, 3, 1); err == nil {
+			t.Fatal("odd n·d accepted")
+		}
+	})
+	t.Run("powerlaw", func(t *testing.T) {
+		g, err := PowerLaw(200, 3, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.N() != 200 {
+			t.Fatal("bad power-law size")
+		}
+		if g.MaxDegree() < 6 {
+			t.Fatalf("power-law hub degree suspiciously low: %d", g.MaxDegree())
+		}
+	})
+	t.Run("caterpillar", func(t *testing.T) {
+		g, err := Caterpillar(10, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.N() != 40 || g.M() != 39 {
+			t.Fatalf("caterpillar should be a tree: n=%d m=%d", g.N(), g.M())
+		}
+	})
+	t.Run("gnp-determinism", func(t *testing.T) {
+		a, err := GNP(100, 0.05, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := GNP(100, 0.05, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.M() != b.M() {
+			t.Fatal("same seed produced different graphs")
+		}
+		c, err := GNP(100, 0.05, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.M() == c.M() && a.Size() == c.Size() {
+			t.Log("different seeds produced same edge count (possible, unlikely)")
+		}
+	})
+	t.Run("gnp-extremes", func(t *testing.T) {
+		g0, err := GNP(50, 0, 1)
+		if err != nil || g0.M() != 0 {
+			t.Fatalf("GNP(p=0): %v m=%d", err, g0.M())
+		}
+		g1, err := GNP(20, 1, 1)
+		if err != nil || g1.M() != 190 {
+			t.Fatalf("GNP(p=1): %v m=%d", err, g1.M())
+		}
+		if _, err := GNP(10, 1.5, 1); err == nil {
+			t.Fatal("p > 1 accepted")
+		}
+	})
+}
+
+func TestPairFromIndex(t *testing.T) {
+	n := 6
+	seen := make(map[[2]int32]bool)
+	total := int64(n * (n - 1) / 2)
+	for i := int64(0); i < total; i++ {
+		u, v := pairFromIndex(i, n)
+		if u >= v || v >= int32(n) {
+			t.Fatalf("bad pair (%d,%d) at index %d", u, v, i)
+		}
+		key := [2]int32{u, v}
+		if seen[key] {
+			t.Fatalf("pair %v repeated", key)
+		}
+		seen[key] = true
+	}
+}
+
+func TestPalette(t *testing.T) {
+	p, err := NewPalette([]Color{5, 1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Contains(3) || p.Contains(2) {
+		t.Fatal("Contains wrong")
+	}
+	if _, err := NewPalette([]Color{1, 1}); err == nil {
+		t.Fatal("duplicate color accepted")
+	}
+	q := p.Without(map[Color]struct{}{3: {}})
+	if len(q) != 2 || q.Contains(3) {
+		t.Fatal("Without wrong")
+	}
+	r := p.Filter(func(c Color) bool { return c > 2 })
+	if len(r) != 2 || r.Contains(1) {
+		t.Fatal("Filter wrong")
+	}
+	if got := RangePalette(2, 5); len(got) != 4 || got[0] != 2 || got[3] != 5 {
+		t.Fatalf("RangePalette wrong: %v", got)
+	}
+}
+
+func TestInstances(t *testing.T) {
+	g, err := GNP(60, 0.1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := DeltaPlus1Instance(g)
+	for v := 0; v < g.N(); v++ {
+		if len(inst.Palettes[v]) != g.MaxDegree()+1 {
+			t.Fatal("Δ+1 palette size wrong")
+		}
+	}
+	li, err := ListInstance(g, 10000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.N(); v++ {
+		if len(li.Palettes[v]) != g.MaxDegree()+1 {
+			t.Fatal("list palette size wrong")
+		}
+	}
+	di, err := DegPlus1Instance(g, 10000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.N(); v++ {
+		if len(di.Palettes[v]) != g.Degree(int32(v))+1 {
+			t.Fatal("deg+1 palette size wrong")
+		}
+	}
+	if _, err := ListInstance(g, 2, 1); err == nil {
+		t.Fatal("tiny universe accepted")
+	}
+	// p(v) ≤ d(v) must be rejected.
+	gg, err := FromEdges(2, [][2]int32{{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewInstance(gg, []Palette{{1}, {1}}); err == nil {
+		t.Fatal("palette ≤ degree accepted")
+	}
+}
+
+func TestColoring(t *testing.T) {
+	c := NewColoring(3)
+	if c.Complete() {
+		t.Fatal("fresh coloring complete")
+	}
+	c[0], c[1], c[2] = 1, 2, 1
+	if !c.Complete() {
+		t.Fatal("filled coloring incomplete")
+	}
+}

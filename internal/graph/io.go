@@ -1,0 +1,234 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Edge-list and DOT I/O, so workloads can come from files and runs can be
+// visualized.
+
+// WriteEdgeList writes the graph as "n" on the first line followed by one
+// "u v" pair per undirected edge (u < v).
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d\n", g.N()); err != nil {
+		return err
+	}
+	for v := 0; v < g.N(); v++ {
+		for _, u := range g.Neighbors(int32(v)) {
+			if int32(v) < u {
+				if _, err := fmt.Fprintf(bw, "%d %d\n", v, u); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the WriteEdgeList format. Blank lines and lines
+// starting with '#' are ignored.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	n := -1
+	var edges [][2]int32
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if n < 0 {
+			if len(fields) != 1 {
+				return nil, fmt.Errorf("graph: line %d: expected node count, got %q", line, text)
+			}
+			v, err := strconv.Atoi(fields[0])
+			if err != nil || v < 0 {
+				return nil, fmt.Errorf("graph: line %d: bad node count %q", line, fields[0])
+			}
+			n = v
+			continue
+		}
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("graph: line %d: expected 'u v', got %q", line, text)
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", line, err)
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", line, err)
+		}
+		edges = append(edges, [2]int32{int32(u), int32(v)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("graph: empty input")
+	}
+	return FromEdges(n, edges)
+}
+
+// WriteDOT writes the graph (optionally with a coloring as fill colors) in
+// Graphviz DOT format for visualization.
+func WriteDOT(w io.Writer, g *Graph, c Coloring) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "graph ccolor {"); err != nil {
+		return err
+	}
+	if c != nil {
+		// Stable palette→hue mapping.
+		seen := make(map[Color]int)
+		var order []Color
+		for _, x := range c {
+			if x == NoColor {
+				continue
+			}
+			if _, ok := seen[x]; !ok {
+				seen[x] = 0
+				order = append(order, x)
+			}
+		}
+		sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+		for i, x := range order {
+			seen[x] = i
+		}
+		k := len(order)
+		if k == 0 {
+			k = 1
+		}
+		for v := 0; v < g.N(); v++ {
+			hue := 0.0
+			if c[v] != NoColor {
+				hue = float64(seen[c[v]]) / float64(k)
+			}
+			if _, err := fmt.Fprintf(bw,
+				"  %d [style=filled fillcolor=\"%.3f 0.6 0.9\" label=\"%d:%d\"];\n",
+				v, hue, v, c[v]); err != nil {
+				return err
+			}
+		}
+	}
+	for v := 0; v < g.N(); v++ {
+		for _, u := range g.Neighbors(int32(v)) {
+			if int32(v) < u {
+				if _, err := fmt.Fprintf(bw, "  %d -- %d;\n", v, u); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if _, err := fmt.Fprintln(bw, "}"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteInstance serializes a list-coloring instance: the edge list followed
+// by one "palette v c1 c2 …" line per node.
+func WriteInstance(w io.Writer, inst *Instance) error {
+	if err := WriteEdgeList(w, inst.G); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	for v, pal := range inst.Palettes {
+		if _, err := fmt.Fprintf(bw, "palette %d", v); err != nil {
+			return err
+		}
+		for _, c := range pal {
+			if _, err := fmt.Fprintf(bw, " %d", c); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadInstance parses the WriteInstance format.
+func ReadInstance(r io.Reader) (*Instance, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	n := -1
+	var edges [][2]int32
+	var palLines [][]string
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch {
+		case n < 0:
+			v, err := strconv.Atoi(fields[0])
+			if err != nil || v < 0 || len(fields) != 1 {
+				return nil, fmt.Errorf("graph: line %d: bad node count", line)
+			}
+			n = v
+		case fields[0] == "palette":
+			palLines = append(palLines, fields[1:])
+		case len(fields) == 2:
+			u, err1 := strconv.ParseInt(fields[0], 10, 32)
+			v, err2 := strconv.ParseInt(fields[1], 10, 32)
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("graph: line %d: bad edge", line)
+			}
+			edges = append(edges, [2]int32{int32(u), int32(v)})
+		default:
+			return nil, fmt.Errorf("graph: line %d: unrecognized %q", line, text)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("graph: empty input")
+	}
+	g, err := FromEdges(n, edges)
+	if err != nil {
+		return nil, err
+	}
+	pals := make([]Palette, n)
+	for _, fields := range palLines {
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: palette line needs a node and ≥1 color")
+		}
+		v, err := strconv.Atoi(fields[0])
+		if err != nil || v < 0 || v >= n {
+			return nil, fmt.Errorf("graph: bad palette node %q", fields[0])
+		}
+		colors := make([]Color, 0, len(fields)-1)
+		for _, f := range fields[1:] {
+			c, err := strconv.ParseInt(f, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph: bad color %q", f)
+			}
+			colors = append(colors, c)
+		}
+		p, err := NewPalette(colors)
+		if err != nil {
+			return nil, err
+		}
+		pals[v] = p
+	}
+	for v := range pals {
+		if pals[v] == nil {
+			return nil, fmt.Errorf("graph: node %d has no palette line", v)
+		}
+	}
+	return NewInstance(g, pals)
+}

@@ -1,0 +1,62 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(7), NewRand(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	f := func(seed uint64, bound uint16) bool {
+		n := int64(bound%1000) + 1
+		r := NewRand(seed)
+		for i := 0; i < 20; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRand(1).Intn(0)
+}
+
+func TestPerm(t *testing.T) {
+	p := NewRand(5).Perm(50)
+	seen := make([]bool, 50)
+	for _, x := range p {
+		if x < 0 || int(x) >= 50 || seen[x] {
+			t.Fatalf("bad permutation: %v", p)
+		}
+		seen[x] = true
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRand(9)
+	for i := 0; i < 1000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}

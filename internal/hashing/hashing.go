@@ -1,0 +1,124 @@
+// Package hashing implements families of c-wise independent hash functions
+// (paper Definition 2.3, Lemma 2.4) with O(log 𝔫)-bit seeds, together with
+// the paper's §2.3 range mapping: hash into a power-of-two range of at least
+// r·𝔫³ values, then map intervals of near-equal size onto [r], incurring a
+// negligible O(𝔫⁻³) bias while preserving exact c-wise independence.
+//
+// The construction is the classic degree-(c−1) polynomial over the prime
+// field GF(2⁶¹−1): a uniformly random member has c uniform coefficients,
+// and its values on any c distinct points are independent and uniform.
+package hashing
+
+import (
+	"fmt"
+
+	"ccolor/internal/field"
+)
+
+// Family describes a family of c-wise independent hash functions
+// h : [Domain] → [Range].
+type Family struct {
+	C      int   // independence parameter c ≥ 1
+	Domain int64 // domain size (must be ≤ field.P)
+	Range  int64 // range size r ≥ 1
+
+	rangeBits uint // power-of-two intermediate range, per §2.3
+}
+
+// NewFamily builds a family. extraBits controls the intermediate
+// power-of-two range (r·2^extraBits values); the paper uses
+// ⌈log(r·𝔫³)⌉ bits, i.e. extraBits ≈ 3·log 𝔫. Values are clamped so the
+// intermediate range fits in the 61-bit field.
+func NewFamily(c int, domain, rng int64, extraBits uint) (Family, error) {
+	if c < 1 {
+		return Family{}, fmt.Errorf("hashing: independence c=%d < 1", c)
+	}
+	if domain < 1 || uint64(domain) > field.P {
+		return Family{}, fmt.Errorf("hashing: domain %d out of range", domain)
+	}
+	if rng < 1 {
+		return Family{}, fmt.Errorf("hashing: range %d < 1", rng)
+	}
+	bits := uint(0)
+	for int64(1)<<bits < rng {
+		bits++
+	}
+	bits += extraBits
+	if bits > 57 {
+		bits = 57 // keep (val * range) within uint64·shift headroom
+	}
+	return Family{C: c, Domain: domain, Range: rng, rangeBits: bits}, nil
+}
+
+// SeedBits returns the number of random bits needed to specify a member
+// (c coefficients of 61 bits each; Lemma 2.4's c·max(a,b)).
+func (f Family) SeedBits() int { return f.C * 61 }
+
+// Hash is one member of a family.
+type Hash struct {
+	fam    Family
+	coeffs []uint64 // len C, each < field.P
+}
+
+// Member returns the family member whose coefficients are derived from the
+// 64-bit index by a fixed splitmix64 expansion. Enumerating index = 0, 1,
+// 2, … walks the family in a fixed pseudo-scrambled order; this is the
+// candidate order the derandomization engine (internal/derand) searches.
+func (f Family) Member(index uint64) Hash {
+	coeffs := make([]uint64, f.C)
+	state := index
+	for i := range coeffs {
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		coeffs[i] = field.Reduce(z)
+	}
+	return Hash{fam: f, coeffs: coeffs}
+}
+
+// FromCoefficients returns the member with explicit coefficients (each
+// reduced mod the field prime). Primarily for tests that need to enumerate
+// the family exactly.
+func (f Family) FromCoefficients(coeffs []uint64) (Hash, error) {
+	if len(coeffs) != f.C {
+		return Hash{}, fmt.Errorf("hashing: got %d coefficients, want %d", len(coeffs), f.C)
+	}
+	cc := make([]uint64, f.C)
+	for i, c := range coeffs {
+		cc[i] = field.Reduce(c)
+	}
+	return Hash{fam: f, coeffs: cc}, nil
+}
+
+// Family returns the family this hash belongs to.
+func (h Hash) Family() Family { return h.fam }
+
+// NumCoefficients returns the seed length in field elements.
+func (h Hash) NumCoefficients() int { return len(h.coeffs) }
+
+// Coefficients returns a copy of the polynomial coefficients (the seed).
+func (h Hash) Coefficients() []uint64 {
+	out := make([]uint64, len(h.coeffs))
+	copy(out, h.coeffs)
+	return out
+}
+
+// Eval maps x ∈ [Domain] to a bin in [0, Range).
+func (h Hash) Eval(x int64) int64 {
+	v := field.EvalPoly(h.coeffs, field.Reduce(uint64(x)))
+	// Intermediate power-of-two value (§2.3): low rangeBits of the field
+	// value. The deviation from exact uniformity is ≤ 2^rangeBits / 2^61,
+	// matching the paper's negligible-bias argument.
+	val := v & ((1 << h.fam.rangeBits) - 1)
+	// Interval mapping onto [Range): sizes differ by at most 1.
+	return int64((val * uint64(h.fam.Range)) >> h.fam.rangeBits)
+}
+
+// Eval64 is Eval for callers holding uint64 keys.
+func (h Hash) Eval64(x uint64) int64 {
+	v := field.EvalPoly(h.coeffs, field.Reduce(x))
+	val := v & ((1 << h.fam.rangeBits) - 1)
+	return int64((val * uint64(h.fam.Range)) >> h.fam.rangeBits)
+}

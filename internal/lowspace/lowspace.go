@@ -1,0 +1,299 @@
+// Package lowspace implements the paper's §4: deterministic (deg+1)-list
+// coloring in low-space MPC (Theorem 1.4) via LowSpaceColorReduce /
+// LowSpacePartition (Algorithms 3–4) and the MIS reduction of §4.1.
+//
+// Machines have 𝔰 = 𝔫^ε words. A node's neighbor list and palette are too
+// large for one machine, so they are split into chunks of τ = 𝔫^{7δ} … 2τ
+// entries hosted across machines (the paper's M_v^N / M_v^C machine sets);
+// goodness is defined per chunk machine (Definition 4.1) and the hash pair
+// is selected by the same derandomization engine, with the cost = number of
+// bad machines (Lemma 4.4 bounds its expectation below 1).
+//
+// Recursion structure (Algorithm 3): low-degree nodes (d ≤ τ) peel off into
+// the call's G0 pool; high-degree nodes partition into 𝔫^δ bins; bins
+// 1..B−1 recurse in parallel, bin B after them; finally the pool is colored
+// through the Luby reduction to MIS (internal/mis), the stage that
+// dominates the O(log Δ + log log 𝔫) round bound.
+package lowspace
+
+import (
+	"fmt"
+	"math"
+
+	"ccolor/internal/graph"
+	"ccolor/internal/mis"
+	"ccolor/internal/mpc"
+)
+
+// Params configures the low-space run.
+type Params struct {
+	// Epsilon sets machine space 𝔰 = max(𝔫^Epsilon, spaceFloor) words.
+	Epsilon float64
+	// Delta is the bin exponent δ: B = max(2, ⌊𝔫^δ⌋) bins per level. The
+	// paper sets δ = ε/22.
+	Delta float64
+	// TauExp sets the low-degree threshold τ = 𝔫^{TauExp·δ} (paper: 7).
+	TauExp float64
+
+	Independence int
+	BatchWidth   int
+	MaxBatches   int
+
+	// DegSlackExp / PalSlackExp are Definition 4.1's chunk exponents
+	// (paper: 0.6 and 0.7).
+	DegSlackExp float64
+	PalSlackExp float64
+
+	MIS mis.Params
+}
+
+// DefaultParams returns the paper-faithful configuration for input size n.
+func DefaultParams() Params {
+	return Params{
+		Epsilon:      0.5,
+		Delta:        0.07, // τ = 𝔫^{7δ} ≈ 𝔫^{0.49} stays within 𝔰 = 𝔫^{0.5}
+		TauExp:       7,
+		Independence: 8,
+		BatchWidth:   8,
+		MaxBatches:   512,
+		DegSlackExp:  0.6,
+		PalSlackExp:  0.7,
+		MIS:          mis.DefaultParams(),
+	}
+}
+
+// Trace reports a low-space run, the raw material for experiment E7.
+type Trace struct {
+	N                int
+	Delta            int
+	Machines         int
+	SpaceWords       int64
+	Tau              int
+	Bins             int
+	Levels           int   // deepest recursion level reached
+	PartitionRounds  int   // rounds spent in partition phases (executed)
+	MISRounds        int   // rounds spent in MIS stages (executed)
+	MISPhases        int   // total MIS phases
+	CriticalRounds   int   // parallel-composition critical path
+	PoolNodes        int   // nodes colored through MIS pools
+	BadNodes         int   // nodes demoted by bad chunk machines
+	PeakMachineWords int64 // max resident+inbound on any machine
+	SeedCandidates   int
+}
+
+// solver holds run state.
+type solver struct {
+	p       Params
+	g       *graph.Graph
+	n       int
+	tau     int
+	bins    int
+	cluster *mpc.Cluster
+
+	// Per-node state. adjacency is progressively filtered to same-bin live
+	// neighbors; palettes are restricted by h2 chains and pruned of used
+	// colors.
+	adj     [][]int32
+	pal     []graph.Palette
+	color   []graph.Color
+	machine []int // home machine per node (chunk-0 machine)
+
+	colorDomain int64
+	trace       *Trace
+}
+
+// Solve colors the instance in the low-space MPC model and returns the
+// coloring plus telemetry.
+func Solve(inst *graph.Instance, p Params) (graph.Coloring, *Trace, error) {
+	n := inst.G.N()
+	if n == 0 {
+		return graph.Coloring{}, &Trace{}, nil
+	}
+	if p.Independence == 0 {
+		p = DefaultParams()
+	}
+	delta := p.Delta
+	if delta <= 0 {
+		delta = p.Epsilon / 22 * 3 // keep τ = 𝔫^{7δ} ≈ 𝔫^{0.95ε} under 𝔰
+	}
+	tau := int(math.Ceil(math.Pow(float64(n), p.TauExp*delta)))
+	if tau < 2 {
+		tau = 2
+	}
+	bins := int(math.Floor(math.Pow(float64(n), delta)))
+	if bins < 2 {
+		bins = 2
+	}
+	space := int64(math.Ceil(math.Pow(float64(n), p.Epsilon)))
+	if floor := int64(4*tau + 64); space < floor {
+		space = floor // chunks of ≤ 2τ entries must fit with headroom
+	}
+
+	// Place node data chunk-by-chunk onto machines: a node's neighbor list
+	// and palette split into pieces of ≤ 2τ words (the paper's M_v^N /
+	// M_v^C machine sets), packed first-fit. The node's home machine — its
+	// virtual worker's location for traffic accounting — is where its first
+	// chunk lands.
+	machineOf := make([]int, n)
+	m := 0
+	perMachine := []int64{0}
+	for v := 0; v < n; v++ {
+		w := int64(inst.G.Degree(int32(v)) + len(inst.Palettes[v]) + 4)
+		first := true
+		for rem := w; rem > 0; {
+			chunk := int64(2 * tau)
+			if chunk > rem {
+				chunk = rem
+			}
+			if perMachine[m]+chunk > space {
+				m++
+				perMachine = append(perMachine, 0)
+			}
+			if first {
+				machineOf[v] = m
+				first = false
+			}
+			perMachine[m] += chunk
+			rem -= chunk
+		}
+	}
+	machines := m + 1
+	cluster, err := mpc.New(machineOf, machines, space)
+	if err != nil {
+		return nil, nil, fmt.Errorf("lowspace: cluster: %w", err)
+	}
+	for mm := 0; mm < machines; mm++ {
+		if err := cluster.AdjustResidentMachine(mm, perMachine[mm]); err != nil {
+			return nil, nil, fmt.Errorf("lowspace: resident: %w", err)
+		}
+	}
+
+	s := &solver{
+		p:       p,
+		g:       inst.G,
+		n:       n,
+		tau:     tau,
+		bins:    bins,
+		cluster: cluster,
+		adj:     make([][]int32, n),
+		pal:     make([]graph.Palette, n),
+		color:   graph.NewColoring(n),
+		machine: machineOf,
+		trace: &Trace{
+			N: n, Delta: inst.G.MaxDegree(), Machines: machines,
+			SpaceWords: space, Tau: tau, Bins: bins,
+		},
+	}
+	maxColor := graph.Color(0)
+	for v := 0; v < n; v++ {
+		s.adj[v] = append([]int32(nil), inst.G.Neighbors(int32(v))...)
+		s.pal[v] = append(graph.Palette(nil), inst.Palettes[v]...)
+		if k := len(s.pal[v]); k > 0 && s.pal[v][k-1] > maxColor {
+			maxColor = s.pal[v][k-1]
+		}
+	}
+	s.colorDomain = maxColor + 1
+
+	all := make([]int32, n)
+	for i := range all {
+		all[i] = int32(i)
+	}
+	crit, err := s.colorReduce(all, 0)
+	if err != nil {
+		return nil, s.trace, err
+	}
+	s.trace.CriticalRounds = crit
+	s.trace.PeakMachineWords = cluster.PeakMachineSpace()
+	return s.color, s.trace, nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// colorReduce is Algorithm 3 for one call; nodes is the call's live node
+// set. It returns the call's critical-path round count (parallel siblings
+// contribute their max).
+func (s *solver) colorReduce(nodes []int32, depth int) (int, error) {
+	if depth > s.trace.Levels {
+		s.trace.Levels = depth
+	}
+	if depth > 64 {
+		return 0, fmt.Errorf("lowspace: recursion depth %d", depth)
+	}
+	live := nodes[:0:0]
+	for _, v := range nodes {
+		if s.color[v] == graph.NoColor {
+			live = append(live, v)
+		}
+	}
+	if len(live) == 0 {
+		return 0, nil
+	}
+
+	// Split into the low-degree pool G0 and the high-degree remainder.
+	inCall := make(map[int32]struct{}, len(live))
+	for _, v := range live {
+		inCall[v] = struct{}{}
+	}
+	degIn := func(v int32) int {
+		d := 0
+		for _, u := range s.adj[v] {
+			if _, in := inCall[u]; in && s.color[u] == graph.NoColor {
+				d++
+			}
+		}
+		return d
+	}
+	var pool, high []int32
+	for _, v := range live {
+		if degIn(v) <= s.tau {
+			pool = append(pool, v)
+		} else {
+			high = append(high, v)
+		}
+	}
+
+	critical := 0
+	if len(high) > 0 {
+		binsOf, badNodes, rounds, err := s.partition(high, depth)
+		if err != nil {
+			return 0, err
+		}
+		critical += rounds
+		s.trace.PartitionRounds += rounds
+		pool = append(pool, badNodes...)
+		s.trace.BadNodes += len(badNodes)
+
+		// Phase 1: bins 1..B−1 recurse in parallel (critical = max).
+		maxChild := 0
+		for b := 0; b < s.bins-1; b++ {
+			c, err := s.colorReduce(binsOf[b], depth+1)
+			if err != nil {
+				return 0, err
+			}
+			if c > maxChild {
+				maxChild = c
+			}
+		}
+		critical += maxChild
+		// Bin B recurses after phase 1 (palettes were pruned as phase-1
+		// nodes got colored).
+		c, err := s.colorReduce(binsOf[s.bins-1], depth+1)
+		if err != nil {
+			return 0, err
+		}
+		critical += c
+	}
+
+	// Color the pool through the MIS reduction (§4.1).
+	c, err := s.colorPool(pool)
+	if err != nil {
+		return 0, err
+	}
+	critical += c
+	return critical, nil
+}

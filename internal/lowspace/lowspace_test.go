@@ -1,0 +1,64 @@
+package lowspace
+
+import (
+	"testing"
+
+	"ccolor/internal/graph"
+	"ccolor/internal/verify"
+)
+
+func runLowSpace(t *testing.T, inst *graph.Instance, p Params) *Trace {
+	t.Helper()
+	col, tr, err := Solve(inst, p)
+	if err != nil {
+		t.Fatalf("Solve: %v (trace %+v)", err, tr)
+	}
+	if err := verify.ListColoring(inst, col); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	return tr
+}
+
+func TestLowSpaceDegPlus1(t *testing.T) {
+	g, err := graph.GNP(200, 0.08, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := graph.DegPlus1Instance(g, 4096, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := runLowSpace(t, inst, DefaultParams())
+	t.Logf("machines=%d space=%d tau=%d levels=%d partRounds=%d misRounds=%d pool=%d bad=%d",
+		tr.Machines, tr.SpaceWords, tr.Tau, tr.Levels, tr.PartitionRounds, tr.MISRounds, tr.PoolNodes, tr.BadNodes)
+	if tr.PoolNodes != g.N() {
+		t.Fatalf("all nodes should flow through MIS pools, got %d of %d", tr.PoolNodes, g.N())
+	}
+}
+
+func TestLowSpaceDenser(t *testing.T) {
+	g, err := graph.RandomRegular(150, 40, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := graph.DeltaPlus1Instance(g)
+	tr := runLowSpace(t, inst, DefaultParams())
+	if tr.Levels < 1 {
+		t.Fatalf("expected at least one partition level for Δ=40, tau=%d", tr.Tau)
+	}
+	if tr.PeakMachineWords > tr.SpaceWords {
+		t.Fatalf("peak machine usage %d exceeds space %d", tr.PeakMachineWords, tr.SpaceWords)
+	}
+}
+
+func TestLowSpaceSparse(t *testing.T) {
+	g, err := graph.Cycle(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := graph.DeltaPlus1Instance(g)
+	tr := runLowSpace(t, inst, DefaultParams())
+	if tr.PartitionRounds != 0 {
+		t.Fatalf("cycle should go straight to the pool, got %d partition rounds", tr.PartitionRounds)
+	}
+}

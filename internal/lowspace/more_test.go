@@ -1,0 +1,109 @@
+package lowspace
+
+import (
+	"testing"
+
+	"ccolor/internal/graph"
+)
+
+func TestLowSpaceDeterminism(t *testing.T) {
+	g, err := graph.RandomRegular(180, 36, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := graph.DegPlus1Instance(g, 1<<18, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() (graph.Coloring, int) {
+		col, tr, err := Solve(inst, DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return col, tr.CriticalRounds
+	}
+	c1, r1 := run()
+	c2, r2 := run()
+	if r1 != r2 {
+		t.Fatalf("critical rounds differ: %d vs %d", r1, r2)
+	}
+	for v := range c1 {
+		if c1[v] != c2[v] {
+			t.Fatalf("node %d colored %d then %d", v, c1[v], c2[v])
+		}
+	}
+}
+
+func TestLowSpaceFamilies(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   func() (*graph.Graph, error)
+	}{
+		{"powerlaw", func() (*graph.Graph, error) { return graph.PowerLaw(250, 5, 3) }},
+		{"star", func() (*graph.Graph, error) { return graph.Star(150) }},
+		{"bipartite", func() (*graph.Graph, error) { return graph.CompleteBipartite(25, 60) }},
+		{"grid", func() (*graph.Graph, error) { return graph.Grid(12, 12) }},
+		{"gnp", func() (*graph.Graph, error) { return graph.GNP(220, 0.12, 8) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			g, err := tc.mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			inst, err := graph.DegPlus1Instance(g, int64(g.N())*int64(g.N()), 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr := runLowSpace(t, inst, DefaultParams())
+			if tr.PeakMachineWords > tr.SpaceWords {
+				t.Fatalf("space violated: %d > %d", tr.PeakMachineWords, tr.SpaceWords)
+			}
+		})
+	}
+}
+
+func TestLowSpaceDeltaPlus1AlsoWorks(t *testing.T) {
+	// (Δ+1)-coloring is a special case of (deg+1)-list coloring, so the
+	// low-space algorithm must handle it.
+	g, err := graph.RandomRegular(160, 20, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := graph.DeltaPlus1Instance(g)
+	runLowSpace(t, inst, DefaultParams())
+}
+
+func TestLowSpaceEpsilonSweep(t *testing.T) {
+	g, err := graph.RandomRegular(200, 28, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := graph.DegPlus1Instance(g, 1<<18, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevMachines := 1 << 30
+	for _, eps := range []float64{0.4, 0.5, 0.7} {
+		p := DefaultParams()
+		p.Epsilon = eps
+		p.Delta = eps / 7 * 0.95 // keep τ = 𝔫^{7δ} within 𝔰
+		tr := runLowSpace(t, inst, p)
+		// Larger machines → no more machines than before.
+		if tr.Machines > prevMachines {
+			t.Fatalf("ε=%.1f uses %d machines, more than smaller ε's %d", eps, tr.Machines, prevMachines)
+		}
+		prevMachines = tr.Machines
+	}
+}
+
+func TestLowSpaceEmptyGraph(t *testing.T) {
+	g, err := graph.FromEdges(40, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := graph.DeltaPlus1Instance(g)
+	tr := runLowSpace(t, inst, DefaultParams())
+	if tr.PartitionRounds != 0 {
+		t.Fatal("empty graph should not partition")
+	}
+}

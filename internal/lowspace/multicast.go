@@ -1,0 +1,77 @@
+package lowspace
+
+import (
+	"fmt"
+
+	"ccolor/internal/fabric"
+)
+
+// msgPair is one single-word point-to-point delivery.
+type msgPair struct {
+	from, to int32
+	word     uint64
+}
+
+// spacedMulticast delivers the pairs over as few rounds as per-machine
+// space admits: a greedy schedule packs each pair into the earliest
+// sub-round where both its source machine's send load and its target
+// machine's receive load stay within half of 𝔰. A node whose fan-out
+// exceeds 𝔰 (e.g. a star center) therefore takes ⌈deg/(𝔰/2)⌉ sub-rounds —
+// the serialized rendering of what the paper's M_v^N chunk machines do in
+// parallel from different machines.
+func (s *solver) spacedMulticast(phase string, pairs []msgPair) error {
+	if len(pairs) == 0 {
+		return nil
+	}
+	budget := s.trace.SpaceWords / 2
+	if budget < 1 {
+		budget = 1
+	}
+	type load struct{ snd, rcv map[int]int64 }
+	var rounds []load
+	roundOf := make([]int, len(pairs))
+	for i, p := range pairs {
+		fm, tm := s.cluster.MachineOf(int(p.from)), s.cluster.MachineOf(int(p.to))
+		placed := false
+		for r := range rounds {
+			if fm == tm {
+				// Intra-machine traffic is free; round 0 always fits.
+				roundOf[i] = 0
+				placed = true
+				break
+			}
+			if rounds[r].snd[fm] < budget && rounds[r].rcv[tm] < budget {
+				rounds[r].snd[fm]++
+				rounds[r].rcv[tm]++
+				roundOf[i] = r
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			l := load{snd: map[int]int64{}, rcv: map[int]int64{}}
+			if fm != tm {
+				l.snd[fm]++
+				l.rcv[tm]++
+			}
+			rounds = append(rounds, l)
+			roundOf[i] = len(rounds) - 1
+		}
+	}
+	s.cluster.Ledger().SetPhase(phase)
+	for r := range rounds {
+		if _, err := s.cluster.Round(func(w int) []fabric.Msg {
+			var out []fabric.Msg
+			for i, p := range pairs {
+				if roundOf[i] != r || int(p.from) != w {
+					continue
+				}
+				out = append(out, fabric.Msg{To: int(p.to), Words: []uint64{p.word}})
+			}
+			return out
+		}); err != nil {
+			return fmt.Errorf("lowspace: %s sub-round %d: %w", phase, r, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,184 @@
+package lowspace
+
+import (
+	"fmt"
+	"math"
+
+	"ccolor/internal/derand"
+	"ccolor/internal/graph"
+	"ccolor/internal/hashing"
+)
+
+// partition implements LowSpacePartition (Algorithm 4) for the high-degree
+// nodes of one call: chunk the neighbor lists and palettes (the M_v^N /
+// M_v^C machine sets), select (h₁, h₂) with zero — or, failing that at
+// finite scale, minimal — bad chunk machines (Definition 4.1, Lemma 4.5),
+// classify, and restrict palettes of bins 1..B−1.
+//
+// Returns the node sets of bins 1..B (index B−1 is the gated bin B) and the
+// demoted (bad) nodes, plus the rounds this phase cost.
+func (s *solver) partition(high []int32, depth int) ([][]int32, []int32, int, error) {
+	b := s.bins
+	inHigh := make(map[int32]struct{}, len(high))
+	for _, v := range high {
+		inHigh[v] = struct{}{}
+	}
+	// Live in-call neighbor lists and their chunk boundaries.
+	filt := make(map[int32][]int32, len(high))
+	for _, v := range high {
+		var l []int32
+		for _, u := range s.adj[v] {
+			if _, in := inHigh[u]; in {
+				l = append(l, u)
+			}
+		}
+		filt[v] = l
+	}
+	chunksOf := func(total int) [][2]int {
+		// Split [0,total) into pieces of size in [τ, 2τ] (possible since
+		// total > τ); a final short remainder merges into its predecessor.
+		var spans [][2]int
+		for lo := 0; lo < total; {
+			hi := lo + s.tau
+			if hi > total {
+				hi = total
+			}
+			if total-hi < s.tau && total-hi > 0 {
+				hi = total
+			}
+			spans = append(spans, [2]int{lo, hi})
+			lo = hi
+		}
+		return spans
+	}
+
+	f1, err := hashing.NewFamily(s.p.Independence, int64(s.n), int64(b), 24)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	f2, err := hashing.NewFamily(s.p.Independence, s.colorDomain, int64(b-1), 24)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+
+	// badChunks counts Definition 4.1 violations across one node's chunk
+	// machines for a candidate pair.
+	badChunks := func(v int32, h1, h2 hashing.Hash) int64 {
+		myBin := h1.Eval(int64(v))
+		var bad int64
+		nl := filt[v]
+		for _, sp := range chunksOf(len(nl)) {
+			dx := float64(sp[1] - sp[0])
+			dPrime := 0
+			for _, u := range nl[sp[0]:sp[1]] {
+				if h1.Eval(int64(u)) == myBin {
+					dPrime++
+				}
+			}
+			if math.Abs(float64(dPrime)-dx/float64(b)) > math.Pow(dx, s.p.DegSlackExp) {
+				bad++
+			}
+		}
+		if myBin < int64(b-1) {
+			pal := s.pal[v]
+			for _, sp := range chunksOf(len(pal)) {
+				px := float64(sp[1] - sp[0])
+				pPrime := 0
+				for _, c := range pal[sp[0]:sp[1]] {
+					if h2.Eval(int64(c)) == myBin {
+						pPrime++
+					}
+				}
+				if float64(pPrime) <= px/float64(b)+math.Pow(px, s.p.PalSlackExp) {
+					bad++
+				}
+			}
+		}
+		return bad
+	}
+
+	sel := &derand.Selector{
+		F1:         f1,
+		F2:         f2,
+		BatchWidth: s.p.BatchWidth,
+		MaxBatches: s.p.MaxBatches,
+		Salt:       uint64(depth)*0x9e3779b9 + uint64(len(high)),
+	}
+	before := s.cluster.Ledger().Rounds()
+	s.cluster.Ledger().SetPhase("lowspace:select")
+	// Lemma 4.4: E[bad machines] < 1, so a bad-machine-free candidate
+	// exists in expectation. At finite scale chunk concentration is loose,
+	// so we take the deterministic argmin over a fixed candidate budget and
+	// demote nodes whose chunks still misbehave (measured as BadNodes).
+	pair, st, err := sel.SelectBest(s.cluster, pairWords, 2, func(w int, pr derand.Pair) int64 {
+		v := int32(w)
+		if _, in := inHigh[v]; !in {
+			return 0
+		}
+		return badChunks(v, pr.H1, pr.H2)
+	})
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("lowspace: seed selection at depth %d: %w", depth, err)
+	}
+	s.trace.SeedCandidates += st.Candidates
+
+	// Classify: any bad chunk machine, or a restricted palette that would
+	// not strictly exceed the in-bin degree, demotes the node to the pool.
+	h1, h2 := pair.H1, pair.H2
+	binsOf := make([][]int32, b)
+	var bad []int32
+	for _, v := range high {
+		myBin := h1.Eval(int64(v))
+		if badChunks(v, h1, h2) > 0 {
+			bad = append(bad, v)
+			continue
+		}
+		dPrime := 0
+		for _, u := range filt[v] {
+			if h1.Eval(int64(u)) == myBin {
+				dPrime++
+			}
+		}
+		if myBin < int64(b-1) {
+			pPrime := 0
+			for _, c := range s.pal[v] {
+				if h2.Eval(int64(c)) == myBin {
+					pPrime++
+				}
+			}
+			if pPrime <= dPrime {
+				bad = append(bad, v)
+				continue
+			}
+		}
+		binsOf[myBin] = append(binsOf[myBin], v)
+	}
+
+	// Announce bins (space-bounded multicast): nodes tell live in-call
+	// neighbors their destination so chunk machines can filter.
+	var announce []msgPair
+	for _, v := range high {
+		word := uint64(h1.Eval(int64(v)) + 1)
+		for _, u := range filt[v] {
+			announce = append(announce, msgPair{from: v, to: u, word: word})
+		}
+	}
+	if err := s.spacedMulticast("lowspace:announce", announce); err != nil {
+		return nil, nil, 0, err
+	}
+
+	// Restrict palettes of color-receiving bins (machine-local).
+	for bin := 0; bin < b-1; bin++ {
+		for _, v := range binsOf[bin] {
+			s.pal[v] = s.pal[v].Filter(func(c graph.Color) bool {
+				return h2.Eval(int64(c)) == int64(bin)
+			})
+		}
+	}
+	return binsOf, bad, s.cluster.Ledger().Rounds() - before, nil
+}
+
+// pairWords is the control-message width used on the MPC fabric; MPC does
+// not bound per-pair traffic, only per-machine space, so this only shapes
+// the aggregation vector layout.
+const pairWords = 8

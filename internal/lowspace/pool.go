@@ -1,0 +1,124 @@
+package lowspace
+
+import (
+	"fmt"
+
+	"ccolor/internal/graph"
+	"ccolor/internal/mis"
+	"ccolor/internal/mpc"
+)
+
+// colorPool colors a call's G0 pool — its low-degree and demoted nodes —
+// through the §4.1 Luby reduction to MIS, run on a dedicated low-space
+// cluster (reduction-graph nodes hosted on 𝔰-word machines). Palettes are
+// first truncated to d+1 colors so reduction degrees stay ≤ 2τ-scale.
+// Returns the rounds charged (MIS cluster rounds + one notify round).
+func (s *solver) colorPool(pool []int32) (int, error) {
+	var live []int32
+	for _, v := range pool {
+		if s.color[v] == graph.NoColor {
+			live = append(live, v)
+		}
+	}
+	if len(live) == 0 {
+		return 0, nil
+	}
+	s.trace.PoolNodes += len(live)
+
+	// Build the pool-induced instance with truncated palettes.
+	idx := make(map[int32]int32, len(live))
+	for i, v := range live {
+		idx[v] = int32(i)
+	}
+	adj := make([][]int32, len(live))
+	pals := make([]graph.Palette, len(live))
+	for i, v := range live {
+		for _, u := range s.adj[v] {
+			if j, in := idx[u]; in {
+				adj[i] = append(adj[i], j)
+			}
+		}
+		need := len(adj[i]) + 1
+		if len(s.pal[v]) < need {
+			return 0, fmt.Errorf("lowspace: pool node %d has %d colors for degree %d",
+				v, len(s.pal[v]), len(adj[i]))
+		}
+		pals[i] = append(graph.Palette(nil), s.pal[v][:need]...)
+	}
+	pg, err := graph.NewGraph(adj)
+	if err != nil {
+		return 0, fmt.Errorf("lowspace: pool graph: %w", err)
+	}
+	inst, err := graph.NewInstance(pg, pals)
+	if err != nil {
+		return 0, fmt.Errorf("lowspace: pool instance: %w", err)
+	}
+	red, err := mis.BuildReduction(inst)
+	if err != nil {
+		return 0, err
+	}
+
+	// Host the reduction graph on a low-space cluster: reduction node x
+	// weighs deg(x)+2 words; machines have 𝔰 words.
+	rn := red.G.N()
+	assign := make([]int, rn)
+	m := 0
+	var used int64
+	for x := 0; x < rn; x++ {
+		w := int64(red.G.Degree(int32(x)) + 2)
+		if used+w > s.trace.SpaceWords {
+			m++
+			used = 0
+		}
+		assign[x] = m
+		used += w
+	}
+	misCluster, err := mpc.New(assign, m+1, s.trace.SpaceWords)
+	if err != nil {
+		return 0, fmt.Errorf("lowspace: MIS cluster: %w", err)
+	}
+	for x := 0; x < rn; x++ {
+		if err := misCluster.AdjustResident(x, int64(red.G.Degree(int32(x))+2)); err != nil {
+			return 0, fmt.Errorf("lowspace: MIS resident: %w", err)
+		}
+	}
+	mp := s.p.MIS
+	mp.Salt = uint64(len(live))*0x9e3779b97f4a7c15 + uint64(s.trace.PoolNodes)
+	in, st, err := mis.SolveDet(misCluster, pairWords, red.G, mp)
+	if err != nil {
+		return 0, fmt.Errorf("lowspace: MIS: %w", err)
+	}
+	col, err := red.ExtractColoring(in, len(live))
+	if err != nil {
+		return 0, err
+	}
+	s.trace.MISPhases += st.Phases
+	s.trace.MISRounds += misCluster.Ledger().Rounds()
+	if pk := misCluster.PeakMachineSpace(); pk > s.trace.PeakMachineWords {
+		s.trace.PeakMachineWords = pk
+	}
+
+	// Commit and notify: colored pool nodes announce to all neighbors
+	// (space-bounded multicast), which prune their palettes.
+	for i, v := range live {
+		s.color[v] = col[i]
+	}
+	var notify []msgPair
+	for _, v := range live {
+		for _, u := range s.adj[v] {
+			notify = append(notify, msgPair{from: v, to: u, word: uint64(s.color[v])})
+		}
+	}
+	if err := s.spacedMulticast("lowspace:notify", notify); err != nil {
+		return 0, err
+	}
+	for _, v := range live {
+		for _, u := range s.adj[v] {
+			if s.color[u] == graph.NoColor {
+				c := s.color[v]
+				s.pal[u] = s.pal[u].Filter(func(x graph.Color) bool { return x != c })
+			}
+		}
+	}
+	return misCluster.Ledger().Rounds() + 1, nil
+}

@@ -1,0 +1,109 @@
+package mis
+
+import (
+	"fmt"
+
+	"ccolor/internal/graph"
+)
+
+// Reduction is the Luby reduction (§4.1) from (deg+1)-list coloring to MIS:
+// each node v of the original graph becomes a clique on p(v) "color nodes"
+// (one per palette color); color nodes (u,γ) and (v,γ) of adjacent original
+// nodes sharing color γ are joined by a conflict edge. Exactly one color
+// node per clique joins any MIS, and the induced assignment is a proper
+// list coloring (the paper's §4.1 argument: with p(v) > d(v), pigeonhole
+// guarantees a free color, so maximality forces a clique member in).
+type Reduction struct {
+	G *graph.Graph // the reduction graph
+
+	// owner[x] is the original node of reduction node x; colorOf[x] its
+	// palette color.
+	owner   []int32
+	colorOf []graph.Color
+	first   []int32 // first reduction node of each original node
+}
+
+// BuildReduction constructs the reduction graph for an instance. The
+// reduction graph has Σ p(v) nodes and maximum degree < max p(v) + Δ·λ,
+// where λ bounds per-color palette overlap with neighbors (paper: original
+// degree 𝔫^{7δ} ⇒ reduction degree ≤ 𝔫^{14δ}).
+func BuildReduction(inst *graph.Instance) (*Reduction, error) {
+	g := inst.G
+	n := g.N()
+	total := 0
+	first := make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		first[v] = int32(total)
+		total += len(inst.Palettes[v])
+	}
+	first[n] = int32(total)
+
+	owner := make([]int32, total)
+	colorOf := make([]graph.Color, total)
+	colorIdx := make([]map[graph.Color]int32, n) // color → reduction node
+	for v := 0; v < n; v++ {
+		colorIdx[v] = make(map[graph.Color]int32, len(inst.Palettes[v]))
+		for i, c := range inst.Palettes[v] {
+			x := first[v] + int32(i)
+			owner[x] = int32(v)
+			colorOf[x] = c
+			colorIdx[v][c] = x
+		}
+	}
+
+	adj := make([][]int32, total)
+	for v := 0; v < n; v++ {
+		// Clique edges among v's color nodes.
+		k := int(first[v+1] - first[v])
+		for i := 0; i < k; i++ {
+			x := first[v] + int32(i)
+			for j := 0; j < k; j++ {
+				if i != j {
+					adj[x] = append(adj[x], first[v]+int32(j))
+				}
+			}
+		}
+		// Conflict edges to neighbors sharing a color.
+		for _, u := range g.Neighbors(int32(v)) {
+			if u < int32(v) {
+				continue // handle each undirected pair once
+			}
+			for i := 0; i < k; i++ {
+				x := first[v] + int32(i)
+				if y, ok := colorIdx[u][colorOf[x]]; ok {
+					adj[x] = append(adj[x], y)
+					adj[y] = append(adj[y], x)
+				}
+			}
+		}
+	}
+	rg, err := graph.NewGraph(adj)
+	if err != nil {
+		return nil, fmt.Errorf("mis: reduction graph: %w", err)
+	}
+	return &Reduction{G: rg, owner: owner, colorOf: colorOf, first: first}, nil
+}
+
+// ExtractColoring reads the coloring off an MIS of the reduction graph.
+func (r *Reduction) ExtractColoring(in []bool, n int) (graph.Coloring, error) {
+	if len(in) != r.G.N() {
+		return nil, fmt.Errorf("mis: MIS has %d entries for %d reduction nodes", len(in), r.G.N())
+	}
+	col := graph.NewColoring(n)
+	for x, chosen := range in {
+		if !chosen {
+			continue
+		}
+		v := r.owner[x]
+		if col[v] != graph.NoColor {
+			return nil, fmt.Errorf("mis: original node %d received two colors", v)
+		}
+		col[v] = r.colorOf[x]
+	}
+	for v := 0; v < n; v++ {
+		if col[v] == graph.NoColor {
+			return nil, fmt.Errorf("mis: original node %d received no color", v)
+		}
+	}
+	return col, nil
+}

@@ -1,0 +1,274 @@
+// Package mpc simulates the Massively Parallel Computation model (paper
+// §1.1): 𝔐 machines with 𝔰 words of local space each; per round, the total
+// information sent and received by a machine must fit in its space. The
+// simulator enforces these limits and records peak usage, which is what
+// Theorems 1.2–1.4's space claims are checked against.
+//
+// For the linear-space regime the cluster exposes *virtual workers* (one
+// per input-graph node) hosted on machines, so the same node-centric
+// algorithm code drives both the congested clique and linear-space MPC
+// (paper §1.2). Messages between co-hosted workers are free; machine
+// boundaries are where space is charged.
+package mpc
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"ccolor/internal/fabric"
+)
+
+// Cluster is an MPC instance implementing fabric.Fabric over virtual
+// workers.
+type Cluster struct {
+	virtual  int
+	machines int
+	space    int64
+	assign   []int   // virtual worker -> machine
+	resident []int64 // words of persistent data per machine
+	ledger   *fabric.Ledger
+	pool     int
+
+	peakSpace   int64 // max over machines and rounds of resident + inbound
+	totalBudget int64 // 0 = unchecked
+}
+
+var _ fabric.Fabric = (*Cluster)(nil)
+
+// Option configures a Cluster.
+type Option func(*Cluster)
+
+// WithTotalSpaceBudget enables enforcement of a global space bound
+// (Σ resident + per-round traffic ≤ budget), in words.
+func WithTotalSpaceBudget(words int64) Option {
+	return func(c *Cluster) { c.totalBudget = words }
+}
+
+// WithParallelism caps goroutines used per round.
+func WithParallelism(p int) Option {
+	return func(c *Cluster) { c.pool = p }
+}
+
+// New builds a cluster with the given virtual-worker → machine assignment
+// and per-machine space (in words). len(assign) is the number of virtual
+// workers; machine IDs must be in [0, machines).
+func New(assign []int, machines int, space int64, opts ...Option) (*Cluster, error) {
+	for w, m := range assign {
+		if m < 0 || m >= machines {
+			return nil, fmt.Errorf("mpc: worker %d assigned to invalid machine %d", w, m)
+		}
+	}
+	c := &Cluster{
+		virtual:  len(assign),
+		machines: machines,
+		space:    space,
+		assign:   append([]int(nil), assign...),
+		resident: make([]int64, machines),
+		ledger:   fabric.NewLedger(),
+		pool:     runtime.GOMAXPROCS(0),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	if c.pool < 1 {
+		c.pool = 1
+	}
+	return c, nil
+}
+
+// NewLinear builds a linear-space cluster for an n-node input: machines of
+// space = spaceFactor·n words, with nodes packed onto machines so that the
+// given per-node weight (e.g. deg(v) + p(v)) fits. It returns the cluster
+// with one virtual worker per node.
+func NewLinear(n int, nodeWeight func(v int) int64, spaceFactor int, opts ...Option) (*Cluster, error) {
+	if spaceFactor < 1 {
+		return nil, fmt.Errorf("mpc: space factor %d < 1", spaceFactor)
+	}
+	space := int64(spaceFactor) * int64(n)
+	assign := make([]int, n)
+	resident := []int64{0}
+	m := 0
+	for v := 0; v < n; v++ {
+		w := nodeWeight(v)
+		if w > space {
+			return nil, fmt.Errorf("mpc: node %d weight %d exceeds machine space %d", v, w, space)
+		}
+		if resident[m]+w > space {
+			m++
+			resident = append(resident, 0)
+		}
+		assign[v] = m
+		resident[m] += w
+	}
+	c, err := New(assign, m+1, space, opts...)
+	if err != nil {
+		return nil, err
+	}
+	copy(c.resident, resident)
+	c.observeSpace(0)
+	return c, nil
+}
+
+// Workers returns the number of virtual workers.
+func (c *Cluster) Workers() int { return c.virtual }
+
+// Machines returns 𝔐.
+func (c *Cluster) Machines() int { return c.machines }
+
+// Space returns 𝔰, the per-machine space in words.
+func (c *Cluster) Space() int64 { return c.space }
+
+// Ledger returns round/traffic accounting.
+func (c *Cluster) Ledger() *fabric.Ledger { return c.ledger }
+
+// PeakMachineSpace returns the maximum words any machine ever needed at
+// once — the larger of its resident data and its per-round sent/received
+// traffic, each of which the model requires to fit in 𝔰.
+func (c *Cluster) PeakMachineSpace() int64 { return c.peakSpace }
+
+// TotalResident returns the current total resident words across machines.
+func (c *Cluster) TotalResident() int64 {
+	var t int64
+	for _, r := range c.resident {
+		t += r
+	}
+	return t
+}
+
+// AdjustResident records dw words of persistent data added to (or, if
+// negative, removed from) the machine hosting virtual worker w.
+func (c *Cluster) AdjustResident(w int, dw int64) error {
+	return c.AdjustResidentMachine(c.assign[w], dw)
+}
+
+// AdjustResidentMachine records dw words of persistent data on machine m
+// directly (used when data placement is chunk-granular rather than
+// per-worker).
+func (c *Cluster) AdjustResidentMachine(m int, dw int64) error {
+	c.resident[m] += dw
+	if c.resident[m] < 0 {
+		return fmt.Errorf("mpc: machine %d resident went negative", m)
+	}
+	if c.resident[m] > c.space {
+		return &SpaceError{Machine: m, Used: c.resident[m], Space: c.space, Kind: "resident"}
+	}
+	c.observeSpace(0)
+	return nil
+}
+
+// MachineOf returns the machine hosting virtual worker w.
+func (c *Cluster) MachineOf(w int) int { return c.assign[w] }
+
+// GroupOf implements fabric.Grouped: co-hosted workers exchange data for
+// free, so collective primitives combine machine-locally.
+func (c *Cluster) GroupOf(w int) int { return c.assign[w] }
+
+// CapacityWords implements fabric.Capacitated.
+func (c *Cluster) CapacityWords() int64 { return c.space }
+
+// SpaceError reports a violated MPC space constraint.
+type SpaceError struct {
+	Machine int
+	Used    int64
+	Space   int64
+	Kind    string // "resident", "send", "recv", "total"
+}
+
+func (e *SpaceError) Error() string {
+	return fmt.Sprintf("mpc: machine %d %s usage %d exceeds space %d", e.Machine, e.Kind, e.Used, e.Space)
+}
+
+// Round executes one synchronous round across the virtual workers, charging
+// traffic at machine granularity. Cross-machine sends and receives per
+// machine must each fit in 𝔰.
+func (c *Cluster) Round(produce func(w int) []fabric.Msg) ([][]fabric.Msg, error) {
+	out := make([][]fabric.Msg, c.virtual)
+	c.runParallel(func(v int) { out[v] = produce(v) })
+
+	inboxes := make([][]fabric.Msg, c.virtual)
+	sendLoad := make([]int64, c.machines)
+	recvLoad := make([]int64, c.machines)
+	var totalWords, maxSend, maxRecv int64
+	for from, msgs := range out {
+		fm := c.assign[from]
+		for _, m := range msgs {
+			if m.To < 0 || m.To >= c.virtual {
+				return nil, fmt.Errorf("mpc: worker %d sent to out-of-range worker %d", from, m.To)
+			}
+			tm := c.assign[m.To]
+			m.From = from
+			inboxes[m.To] = append(inboxes[m.To], m)
+			if tm != fm {
+				w := int64(len(m.Words))
+				sendLoad[fm] += w
+				recvLoad[tm] += w
+				totalWords += w
+			}
+		}
+	}
+	for m := 0; m < c.machines; m++ {
+		if sendLoad[m] > c.space {
+			return nil, &SpaceError{Machine: m, Used: sendLoad[m], Space: c.space, Kind: "send"}
+		}
+		if recvLoad[m] > c.space {
+			return nil, &SpaceError{Machine: m, Used: recvLoad[m], Space: c.space, Kind: "recv"}
+		}
+		if sendLoad[m] > maxSend {
+			maxSend = sendLoad[m]
+		}
+		if recvLoad[m] > maxRecv {
+			maxRecv = recvLoad[m]
+		}
+		if recvLoad[m] > c.peakSpace {
+			c.peakSpace = recvLoad[m]
+		}
+		if sendLoad[m] > c.peakSpace {
+			c.peakSpace = sendLoad[m]
+		}
+	}
+	if c.totalBudget > 0 {
+		used := c.TotalResident() + totalWords
+		if used > c.totalBudget {
+			return nil, &SpaceError{Machine: -1, Used: used, Space: c.totalBudget, Kind: "total"}
+		}
+	}
+	for v := range inboxes {
+		fabric.SortInbox(inboxes[v])
+	}
+	c.ledger.AddRound(totalWords, maxSend, maxRecv)
+	return inboxes, nil
+}
+
+func (c *Cluster) observeSpace(extra int64) {
+	for _, r := range c.resident {
+		if r+extra > c.peakSpace {
+			c.peakSpace = r + extra
+		}
+	}
+}
+
+func (c *Cluster) runParallel(f func(v int)) {
+	if c.pool == 1 || c.virtual < 2 {
+		for v := 0; v < c.virtual; v++ {
+			f(v)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < c.pool; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for v := range next {
+				f(v)
+			}
+		}()
+	}
+	for v := 0; v < c.virtual; v++ {
+		next <- v
+	}
+	close(next)
+	wg.Wait()
+}

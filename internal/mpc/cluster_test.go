@@ -1,0 +1,144 @@
+package mpc
+
+import (
+	"errors"
+	"testing"
+
+	"ccolor/internal/fabric"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New([]int{0, 3}, 2, 100); err == nil {
+		t.Fatal("invalid machine assignment accepted")
+	}
+	c, err := New([]int{0, 0, 1, 1}, 2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Workers() != 4 || c.Machines() != 2 || c.Space() != 100 {
+		t.Fatal("basic accessors wrong")
+	}
+	if c.MachineOf(2) != 1 || c.GroupOf(3) != 1 {
+		t.Fatal("machine mapping wrong")
+	}
+}
+
+func TestIntraMachineTrafficFree(t *testing.T) {
+	c, err := New([]int{0, 0, 1}, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Workers 0→1 are co-hosted: a huge message is free.
+	if _, err := c.Round(func(w int) []fabric.Msg {
+		if w != 0 {
+			return nil
+		}
+		return []fabric.Msg{{To: 1, Words: make([]uint64, 1000)}}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Ledger().WordsMoved() != 0 {
+		t.Fatal("intra-machine traffic charged")
+	}
+}
+
+func TestSendSpaceEnforced(t *testing.T) {
+	c, err := New([]int{0, 1}, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Round(func(w int) []fabric.Msg {
+		if w != 0 {
+			return nil
+		}
+		return []fabric.Msg{{To: 1, Words: make([]uint64, 10)}}
+	})
+	var se *SpaceError
+	if !errors.As(err, &se) || se.Kind != "send" {
+		t.Fatalf("expected send SpaceError, got %v", err)
+	}
+}
+
+func TestRecvSpaceEnforced(t *testing.T) {
+	c, err := New([]int{0, 1, 2, 3}, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Round(func(w int) []fabric.Msg {
+		if w == 0 {
+			return nil
+		}
+		return []fabric.Msg{{To: 0, Words: []uint64{1, 2}}} // 3 senders × 2 words = 6 > 3
+	})
+	var se *SpaceError
+	if !errors.As(err, &se) || se.Kind != "recv" {
+		t.Fatalf("expected recv SpaceError, got %v", err)
+	}
+}
+
+func TestResidentEnforced(t *testing.T) {
+	c, err := New([]int{0}, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AdjustResident(0, 8); err != nil {
+		t.Fatal(err)
+	}
+	err = c.AdjustResident(0, 8)
+	var se *SpaceError
+	if !errors.As(err, &se) || se.Kind != "resident" {
+		t.Fatalf("expected resident SpaceError, got %v", err)
+	}
+	if err := c.AdjustResidentMachine(0, -20); err == nil {
+		t.Fatal("negative resident accepted")
+	}
+}
+
+func TestTotalBudgetEnforced(t *testing.T) {
+	c, err := New([]int{0, 1}, 2, 100, WithTotalSpaceBudget(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Round(func(w int) []fabric.Msg {
+		return []fabric.Msg{{To: 1 - w, Words: []uint64{1, 2, 3}}}
+	})
+	var se *SpaceError
+	if !errors.As(err, &se) || se.Kind != "total" {
+		t.Fatalf("expected total SpaceError, got %v", err)
+	}
+}
+
+func TestNewLinearPacking(t *testing.T) {
+	c, err := NewLinear(10, func(v int) int64 { return 30 }, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// space = 100 words, each node 30 → 3 nodes/machine → 4 machines.
+	if c.Machines() != 4 {
+		t.Fatalf("machines = %d, want 4", c.Machines())
+	}
+	if c.TotalResident() != 300 {
+		t.Fatalf("resident = %d, want 300", c.TotalResident())
+	}
+	if _, err := NewLinear(4, func(v int) int64 { return 100 }, 1); err == nil {
+		t.Fatal("node heavier than machine accepted")
+	}
+}
+
+func TestPeakTracksTraffic(t *testing.T) {
+	c, err := New([]int{0, 1}, 2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Round(func(w int) []fabric.Msg {
+		if w != 0 {
+			return nil
+		}
+		return []fabric.Msg{{To: 1, Words: make([]uint64, 42)}}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if c.PeakMachineSpace() != 42 {
+		t.Fatalf("peak = %d, want 42", c.PeakMachineSpace())
+	}
+}

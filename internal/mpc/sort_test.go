@@ -1,0 +1,166 @@
+package mpc
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"ccolor/internal/graph"
+)
+
+func testCluster(t *testing.T, workers, perMachine int, space int64) *Cluster {
+	t.Helper()
+	assign := make([]int, workers)
+	for w := range assign {
+		assign[w] = w / perMachine
+	}
+	c, err := New(assign, (workers+perMachine-1)/perMachine, space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestPrefixSums(t *testing.T) {
+	c := testCluster(t, 30, 3, 4096)
+	vals := make([]int64, 30)
+	rng := graph.NewRand(5)
+	for i := range vals {
+		vals[i] = rng.Intn(100) - 50
+	}
+	got, err := PrefixSums(c, func(w int) int64 { return vals[w] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acc int64
+	for w := 0; w < 30; w++ {
+		if got[w] != acc {
+			t.Fatalf("worker %d prefix %d, want %d", w, got[w], acc)
+		}
+		acc += vals[w]
+	}
+	if c.Ledger().Rounds() == 0 {
+		t.Fatal("prefix sums charged no rounds")
+	}
+}
+
+func TestPrefixSumsSingleMachine(t *testing.T) {
+	c := testCluster(t, 8, 8, 4096)
+	got, err := PrefixSums(c, func(w int) int64 { return 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w, x := range got {
+		if x != int64(w) {
+			t.Fatalf("worker %d prefix %d, want %d", w, x, w)
+		}
+	}
+}
+
+func TestPrefixSumsQuick(t *testing.T) {
+	f := func(seed uint64, nn uint8) bool {
+		n := 4 + int(nn)%40
+		c := testCluster(t, n, 2, 8192)
+		rng := graph.NewRand(seed)
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = rng.Intn(1000)
+		}
+		got, err := PrefixSums(c, func(w int) int64 { return vals[w] })
+		if err != nil {
+			return false
+		}
+		var acc int64
+		for w := 0; w < n; w++ {
+			if got[w] != acc {
+				return false
+			}
+			acc += vals[w]
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSort(t *testing.T) {
+	c := testCluster(t, 16, 4, 1<<16)
+	rng := graph.NewRand(9)
+	local := make([][]uint64, 16)
+	var all []uint64
+	for w := range local {
+		k := 5 + int(rng.Intn(20))
+		for i := 0; i < k; i++ {
+			x := rng.Uint64() % 10000
+			local[w] = append(local[w], x)
+			all = append(all, x)
+		}
+	}
+	got, err := Sort(c, local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flat []uint64
+	for w := 0; w < 16; w++ {
+		// Within-worker sorted.
+		for i := 1; i < len(got[w]); i++ {
+			if got[w][i-1] > got[w][i] {
+				t.Fatalf("worker %d chunk unsorted", w)
+			}
+		}
+		// Across workers non-decreasing boundaries.
+		if len(flat) > 0 && len(got[w]) > 0 && flat[len(flat)-1] > got[w][0] {
+			t.Fatalf("worker %d chunk starts below previous chunk end", w)
+		}
+		flat = append(flat, got[w]...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	if len(flat) != len(all) {
+		t.Fatalf("lost keys: %d vs %d", len(flat), len(all))
+	}
+	for i := range all {
+		if flat[i] != all[i] {
+			t.Fatalf("key %d: %d vs %d", i, flat[i], all[i])
+		}
+	}
+}
+
+func TestSortEmptyAndMismatch(t *testing.T) {
+	c := testCluster(t, 4, 2, 1024)
+	got, err := Sort(c, make([][]uint64, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range got {
+		if len(l) != 0 {
+			t.Fatal("empty sort produced keys")
+		}
+	}
+	if _, err := Sort(c, make([][]uint64, 3)); err == nil {
+		t.Fatal("mismatched input accepted")
+	}
+}
+
+func TestSortSkewed(t *testing.T) {
+	// All keys identical: everything lands in one bucket; the cluster's
+	// space budget is what bounds this, and 1<<16 is plenty here.
+	c := testCluster(t, 8, 2, 1<<16)
+	local := make([][]uint64, 8)
+	for w := range local {
+		for i := 0; i < 10; i++ {
+			local[w] = append(local[w], 42)
+		}
+	}
+	got, err := Sort(c, local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for _, l := range got {
+		count += len(l)
+	}
+	if count != 80 {
+		t.Fatalf("lost keys: %d", count)
+	}
+}
