@@ -12,8 +12,12 @@
 package ccolor_test
 
 import (
+	"context"
+	"sync"
+	"sync/atomic"
 	"testing"
 
+	"ccolor"
 	"ccolor/internal/baseline"
 	"ccolor/internal/cclique"
 	"ccolor/internal/core"
@@ -21,6 +25,7 @@ import (
 	"ccolor/internal/graph"
 	"ccolor/internal/lowspace"
 	"ccolor/internal/mis"
+	"ccolor/internal/server"
 	"ccolor/internal/verify"
 )
 
@@ -148,6 +153,77 @@ func BenchmarkLowSpaceN512(b *testing.B) {
 		crit = tr.CriticalRounds
 	}
 	b.ReportMetric(float64(crit), "critical-rounds")
+}
+
+// --- serving-layer throughput (internal/server; baseline in BENCH_serve.json) ---
+
+// benchServe pushes (Δ+1)-coloring jobs through the full service path —
+// admission, bounded queue, worker pool, content-addressed cache — at the
+// given client concurrency. Warm mode reuses one instance so every job
+// after the first is a cache hit; cold mode disables the cache and cycles
+// through distinct instances (seeded generation) so every job solves from
+// scratch — single-flight coalescing would otherwise collapse concurrent
+// identical jobs even with the cache off.
+func benchServe(b *testing.B, warm bool, clients int) {
+	b.Helper()
+	cacheEntries := 0 // default-on
+	specCount := 1
+	if !warm {
+		cacheEntries = -1
+		specCount = 256
+	}
+	srv := server.New(server.Config{Workers: 4, QueueDepth: 4096, CacheEntries: cacheEntries})
+	defer srv.Drain(context.Background())
+	specs := make([]server.Spec, specCount)
+	for i := range specs {
+		g, err := graph.RandomRegular(256, 16, uint64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		specs[i] = server.Spec{Model: ccolor.ModelCClique, Inst: graph.DeltaPlus1Instance(g)}
+	}
+	if _, err := srv.Do(context.Background(), specs[0]); err != nil {
+		b.Fatal(err)
+	}
+	// A manual pool pins the client count exactly; b.RunParallel with
+	// SetParallelism would multiply by GOMAXPROCS. b.Fatal must not be
+	// called off the benchmark goroutine, hence b.Error + return.
+	var next, iters atomic.Uint64
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := iters.Add(1)
+				if i > uint64(b.N) {
+					return
+				}
+				spec := specs[next.Add(1)%uint64(len(specs))]
+				res, err := srv.Do(context.Background(), spec)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				if warm && !res.Cached {
+					b.Error("warm run missed the cache")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	b.StopTimer()
+	snap := srv.Metrics()
+	ms := snap.PerModel[string(ccolor.ModelCClique)]
+	b.ReportMetric(ms.CacheHitRate, "cache-hit-rate")
+	b.ReportMetric(float64(snap.JobsTotal), "jobs")
+}
+
+func BenchmarkServeColorDeltaPlus1(b *testing.B) {
+	b.Run("warm", func(b *testing.B) { benchServe(b, true, 16) })
+	b.Run("cold", func(b *testing.B) { benchServe(b, false, 16) })
 }
 
 func BenchmarkMISDetN400(b *testing.B) {

@@ -23,11 +23,9 @@ package ccolor
 import (
 	"fmt"
 
-	"ccolor/internal/cclique"
 	"ccolor/internal/core"
 	"ccolor/internal/graph"
 	"ccolor/internal/lowspace"
-	"ccolor/internal/mpc"
 	"ccolor/internal/verify"
 )
 
@@ -107,23 +105,11 @@ func ColorDeltaPlus1(g *Graph, params *Params) (*Result, error) {
 // ColorList runs Theorem 1.1's algorithm on the congested clique for a
 // (Δ+1)-list coloring instance (every palette strictly larger than Δ).
 func ColorList(inst *Instance, params *Params) (*Result, error) {
-	p := DefaultParams()
-	if params != nil {
-		p = *params
-	}
-	nw := cclique.New(inst.G.N())
-	col, tr, err := core.Solve(nw, nw.MsgWords(), inst, p)
+	rep, err := Solve(inst, &Options{Model: ModelCClique, Params: params})
 	if err != nil {
 		return nil, err
 	}
-	if err := verify.ListColoring(inst, col); err != nil {
-		return nil, fmt.Errorf("ccolor: internal verification failed: %w", err)
-	}
-	load := nw.Ledger().MaxRecvLoad()
-	if s := nw.Ledger().MaxSendLoad(); s > load {
-		load = s
-	}
-	return &Result{Coloring: col, Rounds: nw.Ledger().Rounds(), MaxNodeLoad: load, Trace: tr}, nil
+	return &Result{Coloring: rep.Coloring, Rounds: rep.Rounds, MaxNodeLoad: rep.MaxNodeLoad, Trace: rep.Trace}, nil
 }
 
 // MPCResult extends Result with machine-space telemetry (Theorems 1.2–1.3).
@@ -138,33 +124,15 @@ type MPCResult struct {
 // (Theorem 1.2). Set params.CompactPalettes for the Theorem 1.3 O(𝔪+𝔫)
 // global-space mode (requires {1..Δ+1} palettes).
 func ColorListMPC(inst *Instance, params *Params) (*MPCResult, error) {
-	p := DefaultParams()
-	if params != nil {
-		p = *params
-	}
-	g := inst.G
-	cl, err := mpc.NewLinear(g.N(), func(v int) int64 {
-		return int64(g.Degree(int32(v)) + len(inst.Palettes[v]) + 2)
-	}, 64)
+	rep, err := Solve(inst, &Options{Model: ModelMPC, Params: params})
 	if err != nil {
 		return nil, err
-	}
-	col, tr, err := core.Solve(cl, 8, inst, p)
-	if err != nil {
-		return nil, err
-	}
-	if err := verify.ListColoring(inst, col); err != nil {
-		return nil, fmt.Errorf("ccolor: internal verification failed: %w", err)
-	}
-	load := cl.Ledger().MaxRecvLoad()
-	if s := cl.Ledger().MaxSendLoad(); s > load {
-		load = s
 	}
 	return &MPCResult{
-		Result:    Result{Coloring: col, Rounds: cl.Ledger().Rounds(), MaxNodeLoad: load, Trace: tr},
-		Machines:  cl.Machines(),
-		Space:     cl.Space(),
-		PeakSpace: cl.PeakMachineSpace(),
+		Result:    Result{Coloring: rep.Coloring, Rounds: rep.Rounds, MaxNodeLoad: rep.MaxNodeLoad, Trace: rep.Trace},
+		Machines:  rep.Machines,
+		Space:     rep.Space,
+		PeakSpace: rep.PeakSpace,
 	}, nil
 }
 

@@ -1,5 +1,5 @@
 // ccbench regenerates the reproduction experiment tables (DESIGN.md §3,
-// EXPERIMENTS.md).
+// EXPERIMENTS.md) and doubles as a load generator for cmd/ccserve.
 //
 // Usage:
 //
@@ -7,6 +7,11 @@
 //	ccbench -e E1,E7        # run selected experiments
 //	ccbench -scale 0.5      # shrink workloads
 //	ccbench -csv results/   # also write one CSV per table
+//
+//	ccbench -serve-url http://localhost:8080 \
+//	        -concurrency 64 -duration 30s \
+//	        -mix gnp=2,regular=1,powerlaw=1 \
+//	        -models cclique,mpc,lowspace   # drive a running ccserve
 package main
 
 import (
@@ -33,8 +38,29 @@ func run() error {
 		scale  = flag.Float64("scale", 1.0, "workload scale factor")
 		seed   = flag.Uint64("seed", 2020, "workload generation seed")
 		csvDir = flag.String("csv", "", "directory to write per-table CSV files (optional)")
+
+		serveURL    = flag.String("serve-url", "", "ccserve base URL; set to run in load-generator mode")
+		concurrency = flag.Int("concurrency", 64, "load mode: concurrent client workers")
+		duration    = flag.Duration("duration", 10*time.Second, "load mode: run length")
+		mix         = flag.String("mix", "gnp=2,regular=1,powerlaw=1", "load mode: weighted scenario mix")
+		models      = flag.String("models", "cclique,mpc,lowspace", "load mode: model rotation")
+		sizes       = flag.String("sizes", "64,128,256", "load mode: node counts to sample")
+		distinct    = flag.Int("distinct", 32, "load mode: distinct seeds per scenario shape (cache churn)")
 	)
 	flag.Parse()
+
+	if *serveURL != "" {
+		return runLoad(loadConfig{
+			URL:         *serveURL,
+			Concurrency: *concurrency,
+			Duration:    *duration,
+			Mix:         *mix,
+			Models:      *models,
+			Sizes:       *sizes,
+			Distinct:    *distinct,
+			Seed:        *seed,
+		})
+	}
 
 	cfg := expt.Config{Scale: *scale, Seed: *seed}
 	var selected []expt.Experiment

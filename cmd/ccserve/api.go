@@ -1,0 +1,236 @@
+package main
+
+import (
+	"fmt"
+
+	"ccolor"
+	"ccolor/internal/server"
+)
+
+// The ccserve wire format. Requests describe the workload either as an
+// explicit edge list or as a deterministic generator spec (kind + seed);
+// both yield a canonical Instance, so identical requests hit the same cache
+// entry. Response bodies are a deterministic function of the instance and
+// options — anything request-scoped (cache hit, elapsed time, job id) rides
+// in headers or envelopes, keeping bodies byte-identical across repeats.
+
+// GraphSpec describes the input graph.
+type GraphSpec struct {
+	// Kind is one of "gnp", "regular", "powerlaw", "edges".
+	Kind string `json:"kind"`
+	N    int    `json:"n"`
+	// P is the G(n,p) edge probability.
+	P float64 `json:"p,omitempty"`
+	// D is the regular-graph degree.
+	D int `json:"d,omitempty"`
+	// Attach is the power-law edges-per-new-node attachment count.
+	Attach int    `json:"attach,omitempty"`
+	Seed   uint64 `json:"seed,omitempty"`
+	// Edges is the explicit undirected edge list for kind "edges".
+	Edges [][2]int32 `json:"edges,omitempty"`
+}
+
+// maxRequestNodes / maxRequestEdges bound per-request instance size so a
+// single request cannot exhaust the process; larger workloads belong in
+// offline ccbench runs.
+const (
+	maxRequestNodes = 1 << 20
+	maxRequestEdges = 4 << 20
+)
+
+// Build materializes the graph.
+func (gs *GraphSpec) Build() (*ccolor.Graph, error) {
+	if gs.N < 0 || gs.N > maxRequestNodes {
+		return nil, fmt.Errorf("n=%d out of range [0, %d]", gs.N, maxRequestNodes)
+	}
+	if len(gs.Edges) > maxRequestEdges {
+		return nil, fmt.Errorf("%d edges exceeds limit %d", len(gs.Edges), maxRequestEdges)
+	}
+	if gs.D < 0 || gs.Attach < 0 {
+		return nil, fmt.Errorf("negative degree parameters (d=%d, attach=%d)", gs.D, gs.Attach)
+	}
+	switch gs.Kind {
+	case "gnp":
+		if exp := float64(gs.N) * float64(gs.N-1) / 2 * gs.P; exp > maxRequestEdges {
+			return nil, fmt.Errorf("gnp(n=%d, p=%g) expects ~%.0f edges, over the %d limit",
+				gs.N, gs.P, exp, maxRequestEdges)
+		}
+		return ccolor.GNP(gs.N, gs.P, gs.Seed)
+	case "regular":
+		if e := float64(gs.N) * float64(gs.D) / 2; e > maxRequestEdges {
+			return nil, fmt.Errorf("regular(n=%d, d=%d) has %.0f edges, over the %d limit",
+				gs.N, gs.D, e, maxRequestEdges)
+		}
+		return ccolor.RandomRegular(gs.N, gs.D, gs.Seed)
+	case "powerlaw":
+		if e := float64(gs.N) * float64(gs.Attach); e > maxRequestEdges {
+			return nil, fmt.Errorf("powerlaw(n=%d, attach=%d) has ~%.0f edges, over the %d limit",
+				gs.N, gs.Attach, e, maxRequestEdges)
+		}
+		return ccolor.PowerLaw(gs.N, gs.Attach, gs.Seed)
+	case "edges":
+		return ccolor.FromEdges(gs.N, gs.Edges)
+	}
+	return nil, fmt.Errorf("unknown graph kind %q (want gnp, regular, powerlaw, or edges)", gs.Kind)
+}
+
+// PaletteSpec describes how node palettes are assigned.
+type PaletteSpec struct {
+	// Kind is "delta+1" (default), "list", or "deg+1".
+	Kind string `json:"kind,omitempty"`
+	// Universe is the color-universe size for "list" / "deg+1"; 0 means 4·n.
+	Universe int64  `json:"universe,omitempty"`
+	Seed     uint64 `json:"seed,omitempty"`
+	// Palettes gives explicit per-node color lists (overrides Kind).
+	Palettes [][]ccolor.Color `json:"palettes,omitempty"`
+}
+
+// Build materializes the instance for the graph.
+func (ps *PaletteSpec) Build(g *ccolor.Graph, model ccolor.Model) (*ccolor.Instance, error) {
+	if len(ps.Palettes) > 0 {
+		pals := make([]ccolor.Palette, len(ps.Palettes))
+		for v, colors := range ps.Palettes {
+			p, err := ccolor.NewPalette(colors)
+			if err != nil {
+				return nil, fmt.Errorf("node %d: %w", v, err)
+			}
+			pals[v] = p
+		}
+		return ccolor.NewInstance(g, pals)
+	}
+	kind := ps.Kind
+	if kind == "" {
+		if model == ccolor.ModelLowSpace {
+			kind = "deg+1" // Theorem 1.4's native problem
+		} else {
+			kind = "delta+1"
+		}
+	}
+	universe := ps.Universe
+	if universe == 0 {
+		universe = int64(4 * g.N())
+	}
+	switch kind {
+	case "delta+1":
+		return ccolor.DeltaPlus1Instance(g), nil
+	case "list":
+		return ccolor.ListInstance(g, universe, ps.Seed)
+	case "deg+1":
+		return ccolor.DegPlus1Instance(g, universe, ps.Seed)
+	}
+	return nil, fmt.Errorf("unknown palette kind %q (want delta+1, list, or deg+1)", kind)
+}
+
+// ColorRequest is the POST /v1/color (and per-entry /v1/batch) body.
+type ColorRequest struct {
+	// Model is "cclique" (default), "mpc", or "lowspace".
+	Model   string      `json:"model,omitempty"`
+	Graph   GraphSpec   `json:"graph"`
+	Palette PaletteSpec `json:"palette,omitempty"`
+	// MPCSpaceFactor scales per-machine space for the mpc model (0 = default).
+	MPCSpaceFactor int `json:"mpc_space_factor,omitempty"`
+	// Async enqueues the job and returns 202 with a job id instead of the
+	// result (single-job endpoint only).
+	Async bool `json:"async,omitempty"`
+	// OmitColoring drops the coloring vector from the response (the
+	// telemetry and content key remain).
+	OmitColoring bool `json:"omit_coloring,omitempty"`
+	// Scenario is an optional label for metrics attribution.
+	Scenario string `json:"scenario,omitempty"`
+}
+
+// Spec compiles the request into a server job spec.
+func (cr *ColorRequest) Spec() (server.Spec, error) {
+	model := ccolor.ModelCClique
+	if cr.Model != "" {
+		m, err := ccolor.ParseModel(cr.Model)
+		if err != nil {
+			return server.Spec{}, err
+		}
+		model = m
+	}
+	g, err := cr.Graph.Build()
+	if err != nil {
+		return server.Spec{}, fmt.Errorf("graph: %w", err)
+	}
+	inst, err := cr.Palette.Build(g, model)
+	if err != nil {
+		return server.Spec{}, fmt.Errorf("palette: %w", err)
+	}
+	return server.Spec{
+		Model:          model,
+		Inst:           inst,
+		MPCSpaceFactor: cr.MPCSpaceFactor,
+		Scenario:       cr.Scenario,
+		OmitColoring:   cr.OmitColoring,
+	}, nil
+}
+
+// ColorResponse is the deterministic result body: identical instances yield
+// byte-identical serializations (encoding/json emits struct fields in
+// declaration order and sorts map keys).
+type ColorResponse struct {
+	Model string `json:"model"`
+	// Key is the content address of the instance (canonical-encoding
+	// fingerprint).
+	Key        string         `json:"key"`
+	N          int            `json:"n"`
+	M          int            `json:"m"`
+	ColorsUsed int            `json:"colors_used"`
+	Coloring   []ccolor.Color `json:"coloring,omitempty"`
+	// Rounds / WordsMoved / MaxNodeLoad are the per-job model-cost ledger.
+	Rounds        int            `json:"rounds"`
+	WordsMoved    int64          `json:"words_moved"`
+	MaxNodeLoad   int64          `json:"max_node_load"`
+	RoundsByPhase map[string]int `json:"rounds_by_phase,omitempty"`
+	Machines      int            `json:"machines,omitempty"`
+	Space         int64          `json:"space,omitempty"`
+	PeakSpace     int64          `json:"peak_space,omitempty"`
+}
+
+func buildColorResponse(res *server.Result, omitColoring bool) *ColorResponse {
+	rep := res.Report
+	out := &ColorResponse{
+		Model:         string(rep.Model),
+		Key:           res.Key,
+		N:             res.N,
+		M:             res.M,
+		ColorsUsed:    rep.ColorsUsed,
+		Rounds:        rep.Rounds,
+		WordsMoved:    rep.WordsMoved,
+		MaxNodeLoad:   rep.MaxNodeLoad,
+		RoundsByPhase: rep.RoundsByPhase,
+		Machines:      rep.Machines,
+		Space:         rep.Space,
+		PeakSpace:     rep.PeakSpace,
+	}
+	if !omitColoring {
+		out.Coloring = rep.Coloring
+	}
+	return out
+}
+
+// BatchRequest is the POST /v1/batch body.
+type BatchRequest struct {
+	Jobs []ColorRequest `json:"jobs"`
+}
+
+// BatchEntry is one per-job outcome in a batch response.
+type BatchEntry struct {
+	OK     bool           `json:"ok"`
+	Error  string         `json:"error,omitempty"`
+	Result *ColorResponse `json:"result,omitempty"`
+}
+
+// BatchResponse is the POST /v1/batch response body.
+type BatchResponse struct {
+	Results []BatchEntry `json:"results"`
+}
+
+// JobEnvelope is the GET /v1/jobs/{id} response body.
+type JobEnvelope struct {
+	ID     string         `json:"id"`
+	State  string         `json:"state"`
+	Error  string         `json:"error,omitempty"`
+	Result *ColorResponse `json:"result,omitempty"`
+}

@@ -1,0 +1,256 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"ccolor/internal/server"
+)
+
+func newTestHandler(t *testing.T, cfg server.Config) (http.Handler, *server.Server) {
+	t.Helper()
+	srv := server.New(cfg)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Drain(ctx); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+	})
+	return newHandler(srv, cfg.QueueDepth, cfg.Workers).routes(), srv
+}
+
+func post(t *testing.T, h http.Handler, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewBufferString(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func get(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+const gnpBody = `{"model":"cclique","graph":{"kind":"gnp","n":96,"p":0.06,"seed":11}}`
+
+func TestColorEndpointByteIdenticalOnCacheHit(t *testing.T) {
+	h, _ := newTestHandler(t, server.Config{Workers: 2, QueueDepth: 16})
+
+	first := post(t, h, "/v1/color", gnpBody)
+	if first.Code != http.StatusOK {
+		t.Fatalf("first request: %d %s", first.Code, first.Body)
+	}
+	if got := first.Header().Get("X-CCServe-Cache"); got != "miss" {
+		t.Fatalf("first request cache header %q, want miss", got)
+	}
+	second := post(t, h, "/v1/color", gnpBody)
+	if second.Code != http.StatusOK {
+		t.Fatalf("second request: %d %s", second.Code, second.Body)
+	}
+	if got := second.Header().Get("X-CCServe-Cache"); got != "hit" {
+		t.Fatalf("second request cache header %q, want hit", got)
+	}
+	if !bytes.Equal(first.Body.Bytes(), second.Body.Bytes()) {
+		t.Fatalf("bodies differ between identical requests:\n%s\nvs\n%s", first.Body, second.Body)
+	}
+	var resp ColorResponse
+	if err := json.Unmarshal(first.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Rounds <= 0 || resp.WordsMoved <= 0 || resp.Key == "" {
+		t.Fatalf("missing per-job telemetry: %+v", resp)
+	}
+	if len(resp.Coloring) != 96 {
+		t.Fatalf("coloring has %d entries, want 96", len(resp.Coloring))
+	}
+}
+
+func TestColorEndpointAllModels(t *testing.T) {
+	h, _ := newTestHandler(t, server.Config{Workers: 4, QueueDepth: 16})
+	bodies := []string{
+		`{"model":"cclique","graph":{"kind":"regular","n":64,"d":8,"seed":2}}`,
+		`{"model":"mpc","graph":{"kind":"powerlaw","n":64,"attach":3,"seed":2}}`,
+		`{"model":"lowspace","graph":{"kind":"gnp","n":64,"p":0.08,"seed":2}}`,
+	}
+	for _, body := range bodies {
+		rec := post(t, h, "/v1/color", body)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s -> %d %s", body, rec.Code, rec.Body)
+		}
+		var resp ColorResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Rounds <= 0 {
+			t.Fatalf("%s: no round telemetry: %+v", body, resp)
+		}
+	}
+}
+
+func TestColorEndpointBackpressure429(t *testing.T) {
+	h, _ := newTestHandler(t, server.Config{Workers: 1, QueueDepth: 1})
+	saw429 := false
+	for i := 0; i < 48 && !saw429; i++ {
+		rec := post(t, h, "/v1/color",
+			`{"graph":{"kind":"gnp","n":128,"p":0.05,"seed":7},"async":true}`)
+		switch rec.Code {
+		case http.StatusAccepted:
+		case http.StatusTooManyRequests:
+			saw429 = true
+		default:
+			t.Fatalf("unexpected status %d: %s", rec.Code, rec.Body)
+		}
+	}
+	if !saw429 {
+		t.Fatal("no request hit the 429 backpressure path")
+	}
+}
+
+func TestAsyncJobFlow(t *testing.T) {
+	h, _ := newTestHandler(t, server.Config{Workers: 2, QueueDepth: 16})
+	rec := post(t, h, "/v1/color", `{"graph":{"kind":"gnp","n":48,"p":0.1,"seed":3},"async":true}`)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("async submit: %d %s", rec.Code, rec.Body)
+	}
+	var accepted struct {
+		JobID string `json:"job_id"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &accepted); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		rec := get(t, h, "/v1/jobs/"+accepted.JobID)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("job lookup: %d %s", rec.Code, rec.Body)
+		}
+		var env JobEnvelope
+		if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+			t.Fatal(err)
+		}
+		if env.State == string(server.StateDone) {
+			if env.Result == nil || env.Result.Rounds <= 0 {
+				t.Fatalf("done job missing result: %s", rec.Body)
+			}
+			break
+		}
+		if env.State == string(server.StateFailed) {
+			t.Fatalf("job failed: %s", env.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in state %s", accepted.JobID, env.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if rec := get(t, h, "/v1/jobs/nope"); rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown job lookup: %d", rec.Code)
+	}
+
+	// omit_coloring must carry through to the async envelope.
+	rec = post(t, h, "/v1/color",
+		`{"graph":{"kind":"gnp","n":48,"p":0.1,"seed":4},"async":true,"omit_coloring":true}`)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("async omit submit: %d %s", rec.Code, rec.Body)
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &accepted); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		rec := get(t, h, "/v1/jobs/"+accepted.JobID)
+		var env JobEnvelope
+		if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+			t.Fatal(err)
+		}
+		if env.State == string(server.StateDone) {
+			if env.Result == nil || len(env.Result.Coloring) != 0 {
+				t.Fatalf("omit_coloring ignored in envelope: %s", rec.Body)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("omit job stuck in state %s", env.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	h, _ := newTestHandler(t, server.Config{Workers: 4, QueueDepth: 32})
+	body := `{"jobs":[
+		{"model":"cclique","graph":{"kind":"gnp","n":48,"p":0.1,"seed":1}},
+		{"model":"mpc","graph":{"kind":"regular","n":48,"d":6,"seed":1}},
+		{"model":"lowspace","graph":{"kind":"gnp","n":48,"p":0.1,"seed":1}},
+		{"model":"cclique","graph":{"kind":"bogus","n":8}}
+	]}`
+	rec := post(t, h, "/v1/batch", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("batch: %d %s", rec.Code, rec.Body)
+	}
+	var resp BatchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 4 {
+		t.Fatalf("batch returned %d results, want 4", len(resp.Results))
+	}
+	for i := 0; i < 3; i++ {
+		if !resp.Results[i].OK || resp.Results[i].Result == nil {
+			t.Fatalf("batch entry %d failed: %+v", i, resp.Results[i])
+		}
+		if resp.Results[i].Result.Rounds <= 0 {
+			t.Fatalf("batch entry %d missing telemetry", i)
+		}
+	}
+	if resp.Results[3].OK || resp.Results[3].Error == "" {
+		t.Fatalf("invalid batch entry not rejected: %+v", resp.Results[3])
+	}
+}
+
+func TestMetricsAndHealth(t *testing.T) {
+	h, _ := newTestHandler(t, server.Config{Workers: 2, QueueDepth: 8})
+	if rec := post(t, h, "/v1/color", gnpBody); rec.Code != http.StatusOK {
+		t.Fatalf("color: %d", rec.Code)
+	}
+	rec := get(t, h, "/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics: %d", rec.Code)
+	}
+	var snap server.Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.JobsTotal != 1 || snap.PerModel["cclique"].Jobs != 1 {
+		t.Fatalf("metrics did not count the job: %s", rec.Body)
+	}
+	if rec := get(t, h, "/healthz"); rec.Code != http.StatusOK {
+		t.Fatalf("healthz: %d", rec.Code)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	h, _ := newTestHandler(t, server.Config{Workers: 1, QueueDepth: 4})
+	cases := []string{
+		`not json`,
+		`{"graph":{"kind":"bogus","n":8}}`,
+		`{"model":"quantum","graph":{"kind":"gnp","n":8,"p":0.5,"seed":1}}`,
+		`{"graph":{"kind":"gnp","n":-1,"p":0.5,"seed":1}}`,
+	}
+	for _, body := range cases {
+		if rec := post(t, h, "/v1/color", body); rec.Code != http.StatusBadRequest {
+			t.Fatalf("%s -> %d, want 400", body, rec.Code)
+		}
+	}
+	if rec := post(t, h, "/v1/batch", `{"jobs":[]}`); rec.Code != http.StatusBadRequest {
+		t.Fatalf("empty batch -> %d, want 400", rec.Code)
+	}
+}

@@ -1,0 +1,3 @@
+module ccolor
+
+go 1.24

@@ -1,0 +1,67 @@
+package cclique
+
+import (
+	"testing"
+
+	"ccolor/internal/fabric"
+)
+
+// produceAllToAll is a messy round program: every node messages a spread of
+// targets, with several equal-sender payload ties per inbox, so inbox
+// determinism actually has something to get wrong.
+func produceAllToAll(n int) func(v int) []fabric.Msg {
+	return func(v int) []fabric.Msg {
+		var out []fabric.Msg
+		for k := 1; k <= 4; k++ {
+			to := (v*31 + k*k) % n
+			if to == v {
+				to = (to + 1) % n
+			}
+			out = append(out, fabric.Msg{To: to, Words: []uint64{uint64(k % 2), uint64(v)}})
+		}
+		return out
+	}
+}
+
+// TestRoundParallelismDeterminism runs the same round program serially
+// (WithParallelism(1)) and with the default goroutine pool, under -race in
+// CI, and requires byte-identical inboxes: scheduling must never leak into
+// delivered message order or ledger accounting.
+func TestRoundParallelismDeterminism(t *testing.T) {
+	const n, rounds = 64, 8
+	serial := New(n, WithParallelism(1))
+	parallel := New(n)
+
+	for r := 0; r < rounds; r++ {
+		inS, err := serial.Round(produceAllToAll(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		inP, err := parallel.Round(produceAllToAll(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < n; v++ {
+			if len(inS[v]) != len(inP[v]) {
+				t.Fatalf("round %d node %d: inbox sizes %d vs %d", r, v, len(inS[v]), len(inP[v]))
+			}
+			for i := range inS[v] {
+				a, b := inS[v][i], inP[v][i]
+				if a.From != b.From || a.To != b.To || len(a.Words) != len(b.Words) {
+					t.Fatalf("round %d node %d msg %d: %+v vs %+v", r, v, i, a, b)
+				}
+				for j := range a.Words {
+					if a.Words[j] != b.Words[j] {
+						t.Fatalf("round %d node %d msg %d word %d: %d vs %d",
+							r, v, i, j, a.Words[j], b.Words[j])
+					}
+				}
+			}
+		}
+	}
+	ls, lp := serial.Ledger(), parallel.Ledger()
+	if ls.Rounds() != lp.Rounds() || ls.WordsMoved() != lp.WordsMoved() ||
+		ls.MaxSendLoad() != lp.MaxSendLoad() || ls.MaxRecvLoad() != lp.MaxRecvLoad() {
+		t.Fatalf("ledgers diverge: serial %v vs parallel %v", ls, lp)
+	}
+}

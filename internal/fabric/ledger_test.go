@@ -1,0 +1,78 @@
+package fabric
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestLedgerPhaseAttribution(t *testing.T) {
+	l := NewLedger()
+	if l.Phase() != "" {
+		t.Fatalf("fresh ledger has phase %q", l.Phase())
+	}
+	l.AddRound(10, 5, 5) // unlabeled: counted in totals, not in any phase
+	l.SetPhase("partition")
+	l.AddRound(20, 8, 12)
+	l.AddRound(30, 9, 9)
+	l.SetPhase("collect")
+	l.AddRound(40, 40, 7)
+	if l.Phase() != "collect" {
+		t.Fatalf("phase %q, want collect", l.Phase())
+	}
+	if l.Rounds() != 4 || l.WordsMoved() != 100 {
+		t.Fatalf("rounds=%d words=%d, want 4/100", l.Rounds(), l.WordsMoved())
+	}
+	if l.MaxSendLoad() != 40 || l.MaxRecvLoad() != 12 {
+		t.Fatalf("maxSend=%d maxRecv=%d, want 40/12", l.MaxSendLoad(), l.MaxRecvLoad())
+	}
+	by := l.ByPhase()
+	if by["partition"] != 2 || by["collect"] != 1 || len(by) != 2 {
+		t.Fatalf("ByPhase = %v, want partition:2 collect:1", by)
+	}
+	// ByPhase returns a copy: mutating it must not leak back.
+	by["collect"] = 99
+	if l.ByPhase()["collect"] != 1 {
+		t.Fatalf("ByPhase exposed internal state")
+	}
+}
+
+func TestSortInboxDeterministicOnEqualSenderTies(t *testing.T) {
+	// Several messages from the same sender, including shared prefixes and
+	// a duplicate payload: any initial permutation must sort identically.
+	base := []Msg{
+		{From: 3, Words: []uint64{7, 1}},
+		{From: 3, Words: []uint64{7}},
+		{From: 3, Words: []uint64{2, 9, 9}},
+		{From: 3, Words: []uint64{7, 1}},
+		{From: 1, Words: []uint64{500}},
+		{From: 3, Words: nil},
+	}
+	var want []Msg
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		in := append([]Msg(nil), base...)
+		rng.Shuffle(len(in), func(i, j int) { in[i], in[j] = in[j], in[i] })
+		SortInbox(in)
+		if want == nil {
+			want = in
+			// Spot-check the order itself: sender 1 first, then sender 3's
+			// payloads in lexicographic word order ({} < {2,9,9} < {7} < {7,1}).
+			if in[0].From != 1 || len(in[1].Words) != 0 || in[2].Words[0] != 2 ||
+				len(in[3].Words) != 1 || in[3].Words[0] != 7 {
+				t.Fatalf("unexpected canonical order: %v", in)
+			}
+			continue
+		}
+		for i := range in {
+			if in[i].From != want[i].From || len(in[i].Words) != len(want[i].Words) {
+				t.Fatalf("trial %d: permutation changed sorted order at %d: %v vs %v",
+					trial, i, in, want)
+			}
+			for j := range in[i].Words {
+				if in[i].Words[j] != want[i].Words[j] {
+					t.Fatalf("trial %d: payload mismatch at %d: %v vs %v", trial, i, in, want)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package graph
+
+// Canonical wire encoding of graphs and instances, in 64-bit machine words.
+//
+// Graph is already canonical storage (CSR with sorted neighbor lists) and
+// palettes are sorted and deduplicated at construction, so two structurally
+// equal instances always produce identical word streams. The serving layer
+// fingerprints this stream (internal/hashing.Fingerprint) to content-address
+// its result cache.
+
+// AppendGraphWords appends the canonical encoding of g to dst and returns
+// the extended slice: n, m, the N+1 CSR offsets, then the adjacency array.
+func AppendGraphWords(dst []uint64, g *Graph) []uint64 {
+	dst = append(dst, uint64(g.N()), uint64(g.M()))
+	for _, o := range g.offsets {
+		dst = append(dst, uint64(o))
+	}
+	for _, u := range g.adj {
+		dst = append(dst, uint64(u))
+	}
+	return dst
+}
+
+// AppendInstanceWords appends the canonical encoding of inst to dst: the
+// graph encoding followed by, per node, the palette length and its sorted
+// colors (int64 values reinterpreted as uint64).
+func AppendInstanceWords(dst []uint64, inst *Instance) []uint64 {
+	dst = AppendGraphWords(dst, inst.G)
+	for _, pal := range inst.Palettes {
+		dst = append(dst, uint64(len(pal)))
+		for _, c := range pal {
+			dst = append(dst, uint64(c))
+		}
+	}
+	return dst
+}

@@ -1,0 +1,23 @@
+package hashing
+
+import "ccolor/internal/field"
+
+// fpPoint is the fixed evaluation point for Fingerprint, an arbitrary
+// constant reduced into GF(2⁶¹−1). Fixing it makes fingerprints stable
+// across processes and runs, which is what a content-addressed cache needs.
+const fpPoint uint64 = 0x5dc7d540a940e65c % ((1 << 61) - 1)
+
+// Fingerprint returns a deterministic 61-bit content fingerprint of a word
+// stream: the Horner evaluation of the stream (plus its length, so prefixes
+// of zero words are distinguished) as a polynomial over GF(2⁶¹−1) at a fixed
+// point. Each input word is folded to < 2⁶¹−1 first, so callers that need
+// exactness (e.g. the serving cache) must still compare full streams on a
+// fingerprint match; distinct streams collide with probability ≈ len/2⁶¹
+// under the usual Schwartz–Zippel argument for a random point.
+func Fingerprint(words []uint64) uint64 {
+	acc := field.Reduce(uint64(len(words)))
+	for _, w := range words {
+		acc = field.Add(field.Mul(acc, fpPoint), field.Reduce(w))
+	}
+	return acc
+}

@@ -75,6 +75,8 @@ type Trace struct {
 	MISRounds        int   // rounds spent in MIS stages (executed)
 	MISPhases        int   // total MIS phases
 	CriticalRounds   int   // parallel-composition critical path
+	ExecutedRounds   int   // total simulator rounds executed (ledger count)
+	WordsMoved       int64 // total words moved across all executed rounds
 	PoolNodes        int   // nodes colored through MIS pools
 	BadNodes         int   // nodes demoted by bad chunk machines
 	PeakMachineWords int64 // max resident+inbound on any machine
@@ -203,6 +205,8 @@ func Solve(inst *graph.Instance, p Params) (graph.Coloring, *Trace, error) {
 		return nil, s.trace, err
 	}
 	s.trace.CriticalRounds = crit
+	s.trace.ExecutedRounds = cluster.Ledger().Rounds()
+	s.trace.WordsMoved = cluster.Ledger().WordsMoved()
 	s.trace.PeakMachineWords = cluster.PeakMachineSpace()
 	return s.color, s.trace, nil
 }

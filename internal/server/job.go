@@ -1,0 +1,158 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"ccolor"
+)
+
+// Spec is the unit of work the service executes: one list-coloring instance
+// under one execution model. Identical specs are deterministic — they always
+// produce identical Reports — which is what makes the result cache sound.
+type Spec struct {
+	Model ccolor.Model
+	Inst  *ccolor.Instance
+	// Params / LowSpace / MPCSpaceFactor mirror ccolor.Options; nil/zero
+	// means paper defaults. They participate in the cache key.
+	Params         *ccolor.Params
+	LowSpace       *ccolor.LowSpaceParams
+	MPCSpaceFactor int
+	// Scenario is an optional workload label for metrics attribution
+	// ("gnp", "regular", ...); it does not affect execution or caching.
+	Scenario string
+	// OmitColoring is a response-shaping hint carried with the job so async
+	// result rendering can honor the submitter's choice; it does not affect
+	// execution or caching.
+	OmitColoring bool
+}
+
+// Validate checks the spec is runnable.
+func (s *Spec) Validate() error {
+	if s.Inst == nil || s.Inst.G == nil {
+		return fmt.Errorf("server: spec has no instance")
+	}
+	if _, err := ccolor.ParseModel(string(s.model())); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (s *Spec) model() ccolor.Model {
+	if s.Model == "" {
+		return ccolor.ModelCClique
+	}
+	return s.Model
+}
+
+func (s *Spec) options() *ccolor.Options {
+	return &ccolor.Options{
+		Model:          s.model(),
+		Params:         s.Params,
+		LowSpace:       s.LowSpace,
+		MPCSpaceFactor: s.MPCSpaceFactor,
+	}
+}
+
+// State is a job's lifecycle position.
+type State string
+
+const (
+	StateQueued  State = "queued"
+	StateRunning State = "running"
+	StateDone    State = "done"
+	StateFailed  State = "failed"
+)
+
+// Result is the outcome of one executed job.
+type Result struct {
+	// Report is the verified coloring and cost ledger; shared (read-only)
+	// between all jobs that hit the same cache entry.
+	Report *ccolor.Report
+	// Key is the content address of the instance (canonical-encoding
+	// fingerprint, hex).
+	Key string
+	// N / M echo the instance shape — the instance itself is released when
+	// the job finishes, so retained jobs don't pin graph memory.
+	N, M int
+	// Cached reports whether the result was served from the cache.
+	Cached bool
+	// Elapsed is this job's wall time inside the worker (solve or lookup).
+	Elapsed time.Duration
+}
+
+// Job is one tracked unit of work moving through the queue.
+type Job struct {
+	ID   string
+	Spec Spec
+
+	mu       sync.Mutex
+	state    State
+	result   *Result
+	err      error
+	enqueued time.Time
+	done     chan struct{}
+	// tracked jobs are registered for Server.Job lookups and retained
+	// after finishing; ephemeral (sync) jobs are not.
+	tracked bool
+}
+
+func newJob(id string, spec Spec, now time.Time) *Job {
+	return &Job{ID: id, Spec: spec, state: StateQueued, enqueued: now, done: make(chan struct{})}
+}
+
+// State returns the job's current lifecycle state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Result returns the job outcome once the job is done: (result, nil) on
+// success, (nil, err) on failure, (nil, nil) while still in flight.
+func (j *Job) Result() (*Result, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result, j.err
+}
+
+// Status returns state and outcome in one consistent view — polling with
+// separate State/Result calls could otherwise see "running" paired with a
+// finished job's result.
+func (j *Job) Status() (State, *Result, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state, j.result, j.err
+}
+
+// Done returns a channel closed when the job finishes (either way).
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Wait blocks until the job finishes and returns its outcome.
+func (j *Job) Wait() (*Result, error) {
+	<-j.done
+	return j.Result()
+}
+
+func (j *Job) setRunning() {
+	j.mu.Lock()
+	j.state = StateRunning
+	j.mu.Unlock()
+}
+
+func (j *Job) finish(res *Result, err error) {
+	j.mu.Lock()
+	if err != nil {
+		j.state = StateFailed
+		j.err = err
+	} else {
+		j.state = StateDone
+		j.result = res
+	}
+	// Release the instance: the result carries everything consumers need
+	// (coloring, ledger, N/M), so a retained job must not pin graph memory.
+	j.Spec.Inst = nil
+	j.mu.Unlock()
+	close(j.done)
+}

@@ -1,0 +1,180 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"ccolor"
+)
+
+// latencyWindow is the per-model sliding window used for percentile
+// estimates; old samples fall out once the ring wraps.
+const latencyWindow = 4096
+
+// modelStats accumulates per-model counters; guarded by Metrics.mu.
+type modelStats struct {
+	Jobs      uint64
+	Errors    uint64
+	CacheHits uint64
+	// RoundsTotal / WordsTotal roll the per-job fabric.Ledger telemetry up
+	// across all executed (non-cached) jobs of this model.
+	RoundsTotal uint64
+	WordsTotal  uint64
+	// RoundsByPhase rolls up ledger phase attribution across jobs.
+	RoundsByPhase map[string]uint64
+
+	lat  []time.Duration // ring buffer, len ≤ latencyWindow
+	next int
+}
+
+func (m *modelStats) observe(lat time.Duration) {
+	if len(m.lat) < latencyWindow {
+		m.lat = append(m.lat, lat)
+		return
+	}
+	m.lat[m.next] = lat
+	m.next = (m.next + 1) % latencyWindow
+}
+
+// LatencySummary holds percentile estimates over the recent-sample window.
+type LatencySummary struct {
+	Samples int           `json:"samples"`
+	P50     time.Duration `json:"p50_ns"`
+	P90     time.Duration `json:"p90_ns"`
+	P99     time.Duration `json:"p99_ns"`
+	Max     time.Duration `json:"max_ns"`
+}
+
+// ModelSnapshot is the exported per-model view.
+type ModelSnapshot struct {
+	Jobs          uint64            `json:"jobs"`
+	Errors        uint64            `json:"errors"`
+	CacheHits     uint64            `json:"cache_hits"`
+	CacheHitRate  float64           `json:"cache_hit_rate"`
+	RoundsTotal   uint64            `json:"rounds_total"`
+	WordsTotal    uint64            `json:"words_total"`
+	RoundsByPhase map[string]uint64 `json:"rounds_by_phase,omitempty"`
+	Latency       LatencySummary    `json:"latency"`
+}
+
+// Snapshot is one consistent view of the whole service's metrics.
+type Snapshot struct {
+	Uptime     time.Duration            `json:"uptime_ns"`
+	JobsTotal  uint64                   `json:"jobs_total"`
+	Errors     uint64                   `json:"errors_total"`
+	Rejected   uint64                   `json:"rejected_total"` // queue-full rejections
+	InFlight   int64                    `json:"in_flight"`
+	QueueDepth int                      `json:"queue_depth"`
+	QueueCap   int                      `json:"queue_capacity"`
+	CacheSize  int                      `json:"cache_size"`
+	CacheHits  uint64                   `json:"cache_hits"`
+	CacheMiss  uint64                   `json:"cache_misses"`
+	PerModel   map[string]ModelSnapshot `json:"per_model"`
+}
+
+// Metrics aggregates service counters; all methods are safe for concurrent
+// use by the worker pool and HTTP handlers.
+type Metrics struct {
+	mu       sync.Mutex
+	start    time.Time
+	rejected uint64
+	models   map[ccolor.Model]*modelStats
+}
+
+func newMetrics(now time.Time) *Metrics {
+	return &Metrics{start: now, models: make(map[ccolor.Model]*modelStats)}
+}
+
+func (m *Metrics) model(model ccolor.Model) *modelStats {
+	s := m.models[model]
+	if s == nil {
+		s = &modelStats{RoundsByPhase: make(map[string]uint64)}
+		m.models[model] = s
+	}
+	return s
+}
+
+// RecordRejected counts a queue-full rejection.
+func (m *Metrics) RecordRejected() {
+	m.mu.Lock()
+	m.rejected++
+	m.mu.Unlock()
+}
+
+// RecordJob folds one finished job into the rollups.
+func (m *Metrics) RecordJob(model ccolor.Model, res *Result, err error, lat time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.model(model)
+	s.Jobs++
+	s.observe(lat)
+	if err != nil {
+		s.Errors++
+		return
+	}
+	if res.Cached {
+		s.CacheHits++
+		return
+	}
+	s.RoundsTotal += uint64(res.Report.Rounds)
+	s.WordsTotal += uint64(res.Report.WordsMoved)
+	for phase, rounds := range res.Report.RoundsByPhase {
+		s.RoundsByPhase[phase] += uint64(rounds)
+	}
+}
+
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func (s *modelStats) latencySummary() LatencySummary {
+	sorted := append([]time.Duration(nil), s.lat...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	out := LatencySummary{Samples: len(sorted)}
+	if len(sorted) == 0 {
+		return out
+	}
+	out.P50 = percentile(sorted, 0.50)
+	out.P90 = percentile(sorted, 0.90)
+	out.P99 = percentile(sorted, 0.99)
+	out.Max = sorted[len(sorted)-1]
+	return out
+}
+
+func (m *Metrics) snapshot(now time.Time) Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := Snapshot{
+		Uptime:   now.Sub(m.start),
+		Rejected: m.rejected,
+		PerModel: make(map[string]ModelSnapshot, len(m.models)),
+	}
+	for model, s := range m.models {
+		ms := ModelSnapshot{
+			Jobs:        s.Jobs,
+			Errors:      s.Errors,
+			CacheHits:   s.CacheHits,
+			RoundsTotal: s.RoundsTotal,
+			WordsTotal:  s.WordsTotal,
+			Latency:     s.latencySummary(),
+		}
+		if s.Jobs > 0 {
+			ms.CacheHitRate = float64(s.CacheHits) / float64(s.Jobs)
+		}
+		if len(s.RoundsByPhase) > 0 {
+			ms.RoundsByPhase = make(map[string]uint64, len(s.RoundsByPhase))
+			for k, v := range s.RoundsByPhase {
+				ms.RoundsByPhase[k] = v
+			}
+		}
+		out.PerModel[string(model)] = ms
+		out.JobsTotal += s.Jobs
+		out.Errors += s.Errors
+	}
+	return out
+}
