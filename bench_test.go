@@ -155,6 +155,87 @@ func BenchmarkLowSpaceN512(b *testing.B) {
 	b.ReportMetric(float64(crit), "critical-rounds")
 }
 
+// --- cold-solve path (ccolor.Solve end to end; baseline in BENCH_solve.json) ---
+
+// benchSolveModel drives the unified Solve facade — the exact path a ccserve
+// cache miss takes — on fixed GNP and power-law instances, reporting
+// allocations (the flat-buffer fabric's target metric) via -benchmem.
+func benchSolveModel(b *testing.B, model ccolor.Model, build func() (*graph.Instance, error)) {
+	b.Helper()
+	inst, err := build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := &ccolor.Options{Model: model}
+	var rounds int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := ccolor.Solve(inst, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds = rep.Rounds
+	}
+	b.ReportMetric(float64(rounds), "model-rounds")
+}
+
+func solveGNPInstance(n int, p float64, seed uint64) func() (*graph.Instance, error) {
+	return func() (*graph.Instance, error) {
+		g, err := graph.GNP(n, p, seed)
+		if err != nil {
+			return nil, err
+		}
+		return graph.DeltaPlus1Instance(g), nil
+	}
+}
+
+func solvePowerLawInstance(n, mAttach int, seed uint64, degList bool) func() (*graph.Instance, error) {
+	return func() (*graph.Instance, error) {
+		g, err := graph.PowerLaw(n, mAttach, seed)
+		if err != nil {
+			return nil, err
+		}
+		if degList {
+			return graph.DegPlus1Instance(g, 1<<20, seed+1)
+		}
+		return graph.ListInstance(g, 1<<20, seed+1)
+	}
+}
+
+func BenchmarkSolveCClique(b *testing.B) {
+	b.Run("gnp256", func(b *testing.B) {
+		benchSolveModel(b, ccolor.ModelCClique, solveGNPInstance(256, 0.05, 11))
+	})
+	b.Run("powerlaw256", func(b *testing.B) {
+		benchSolveModel(b, ccolor.ModelCClique, solvePowerLawInstance(256, 4, 12, false))
+	})
+}
+
+func BenchmarkSolveMPC(b *testing.B) {
+	b.Run("gnp256", func(b *testing.B) {
+		benchSolveModel(b, ccolor.ModelMPC, solveGNPInstance(256, 0.05, 11))
+	})
+	b.Run("powerlaw256", func(b *testing.B) {
+		benchSolveModel(b, ccolor.ModelMPC, solvePowerLawInstance(256, 4, 12, false))
+	})
+}
+
+func BenchmarkSolveLowSpace(b *testing.B) {
+	b.Run("gnp256", func(b *testing.B) {
+		benchSolveModel(b, ccolor.ModelLowSpace, func() (*graph.Instance, error) {
+			g, err := graph.GNP(256, 0.05, 11)
+			if err != nil {
+				return nil, err
+			}
+			return graph.DegPlus1Instance(g, 1<<20, 13)
+		})
+	})
+	b.Run("powerlaw256", func(b *testing.B) {
+		benchSolveModel(b, ccolor.ModelLowSpace, solvePowerLawInstance(256, 4, 12, true))
+	})
+}
+
 // --- serving-layer throughput (internal/server; baseline in BENCH_serve.json) ---
 
 // benchServe pushes (Δ+1)-coloring jobs through the full service path —

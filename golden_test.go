@@ -1,0 +1,141 @@
+package ccolor_test
+
+// Golden determinism tests: the serving layer's content-addressed cache and
+// byte-identical responses depend on Solve being a pure function of
+// (instance, options). These tests pin the exact coloring (as a fingerprint
+// of the color vector), the ledger round count, and the words moved for
+// fixed-seed instances across all three models. The values were captured
+// before the flat-buffer fabric refactor; any drift means the refactor
+// changed observable semantics, not just performance.
+//
+// Regenerate (only for an intentional, documented semantic change) with:
+//
+//	GOLDEN_DUMP=1 go test -run TestSolveGolden -v
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"ccolor"
+	"ccolor/internal/graph"
+	"ccolor/internal/hashing"
+)
+
+type goldenCase struct {
+	name        string
+	model       ccolor.Model
+	spaceFactor int // MPCSpaceFactor for ModelMPC; 0 = default
+	build       func() (*graph.Instance, error)
+
+	wantColoringFP uint64
+	wantRounds     int
+	wantWordsMoved int64
+}
+
+func gnpDelta(n int, p float64, seed uint64) func() (*graph.Instance, error) {
+	return func() (*graph.Instance, error) {
+		g, err := graph.GNP(n, p, seed)
+		if err != nil {
+			return nil, err
+		}
+		return graph.DeltaPlus1Instance(g), nil
+	}
+}
+
+func powerLawDegList(n, mAttach int, universe int64, seed uint64) func() (*graph.Instance, error) {
+	return func() (*graph.Instance, error) {
+		g, err := graph.PowerLaw(n, mAttach, seed)
+		if err != nil {
+			return nil, err
+		}
+		return graph.DegPlus1Instance(g, universe, seed+1)
+	}
+}
+
+func powerLawList(n, mAttach int, universe int64, seed uint64) func() (*graph.Instance, error) {
+	return func() (*graph.Instance, error) {
+		g, err := graph.PowerLaw(n, mAttach, seed)
+		if err != nil {
+			return nil, err
+		}
+		return graph.ListInstance(g, universe, seed+1)
+	}
+}
+
+var goldenCases = []goldenCase{
+	{name: "cclique/gnp96", model: ccolor.ModelCClique, build: gnpDelta(96, 0.08, 1),
+		wantColoringFP: 0xca023f0ffce3575, wantRounds: 27, wantWordsMoved: 12143},
+	{name: "cclique/powerlaw80", model: ccolor.ModelCClique, build: powerLawList(80, 3, 1<<16, 2),
+		wantColoringFP: 0x1f8e008717f952f2, wantRounds: 25, wantWordsMoved: 9209},
+	{name: "mpc/gnp96", model: ccolor.ModelMPC, spaceFactor: 16, build: gnpDelta(96, 0.08, 1),
+		wantColoringFP: 0xca023f0ffce3575, wantRounds: 24, wantWordsMoved: 3024},
+	{name: "mpc/powerlaw80", model: ccolor.ModelMPC, spaceFactor: 16, build: powerLawList(80, 3, 1<<16, 2),
+		wantColoringFP: 0x1f8e008717f952f2, wantRounds: 23, wantWordsMoved: 2804},
+	{name: "lowspace/gnp96", model: ccolor.ModelLowSpace, build: func() (*graph.Instance, error) {
+		g, err := graph.GNP(96, 0.08, 1)
+		if err != nil {
+			return nil, err
+		}
+		return graph.DegPlus1Instance(g, 1<<16, 3)
+	},
+		wantColoringFP: 0x172bdf2944601b81, wantRounds: 23, wantWordsMoved: 1438},
+	{name: "lowspace/powerlaw80", model: ccolor.ModelLowSpace, build: powerLawDegList(80, 3, 1<<16, 2),
+		wantColoringFP: 0xd9d5ca601069b8e, wantRounds: 21, wantWordsMoved: 904},
+}
+
+// coloringFP fingerprints a color vector (NoColor is impossible in a
+// verified report, but is folded in defensively as-is).
+func coloringFP(c ccolor.Coloring) uint64 {
+	words := make([]uint64, len(c))
+	for i, x := range c {
+		words[i] = uint64(x)
+	}
+	return hashing.Fingerprint(words)
+}
+
+func TestSolveGolden(t *testing.T) {
+	dump := os.Getenv("GOLDEN_DUMP") != ""
+	for i := range goldenCases {
+		gc := &goldenCases[i]
+		t.Run(gc.name, func(t *testing.T) {
+			inst, err := gc.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := &ccolor.Options{Model: gc.model, MPCSpaceFactor: gc.spaceFactor}
+			rep, err := ccolor.Solve(inst, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fp := coloringFP(rep.Coloring)
+			if dump {
+				fmt.Printf("\twantColoringFP: %#x, wantRounds: %d, wantWordsMoved: %d // %s\n",
+					fp, rep.Rounds, rep.WordsMoved, gc.name)
+				return
+			}
+			if fp != gc.wantColoringFP {
+				t.Errorf("coloring fingerprint = %#x, want %#x", fp, gc.wantColoringFP)
+			}
+			if rep.Rounds != gc.wantRounds {
+				t.Errorf("Rounds = %d, want %d", rep.Rounds, gc.wantRounds)
+			}
+			if rep.WordsMoved != gc.wantWordsMoved {
+				t.Errorf("WordsMoved = %d, want %d", rep.WordsMoved, gc.wantWordsMoved)
+			}
+			// A second run must reproduce the first exactly — determinism is
+			// what the server cache's byte-identical replay relies on.
+			rep2, err := ccolor.Solve(inst, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fp2 := coloringFP(rep2.Coloring); fp2 != fp {
+				t.Errorf("re-solve coloring fingerprint = %#x, want %#x", fp2, fp)
+			}
+			if rep2.Rounds != rep.Rounds || rep2.WordsMoved != rep.WordsMoved {
+				t.Errorf("re-solve ledger (%d rounds, %d words) != first (%d rounds, %d words)",
+					rep2.Rounds, rep2.WordsMoved, rep.Rounds, rep.WordsMoved)
+			}
+		})
+	}
+}

@@ -7,6 +7,7 @@ package baseline
 
 import (
 	"fmt"
+	"slices"
 
 	"ccolor/internal/core"
 	"ccolor/internal/fabric"
@@ -18,16 +19,18 @@ import (
 func SeqGreedy(inst *graph.Instance) (graph.Coloring, error) {
 	g := inst.G
 	col := graph.NewColoring(g.N())
+	var taken []graph.Color // sorted scratch, reused per node
 	for v := 0; v < g.N(); v++ {
-		taken := make(map[graph.Color]struct{})
+		taken = taken[:0]
 		for _, u := range g.Neighbors(int32(v)) {
 			if col[u] != graph.NoColor {
-				taken[col[u]] = struct{}{}
+				taken = append(taken, col[u])
 			}
 		}
+		slices.Sort(taken)
 		picked := false
 		for _, c := range inst.Palettes[v] {
-			if _, hit := taken[c]; !hit {
+			if _, hit := slices.BinarySearch(taken, c); !hit {
 				col[v] = c
 				picked = true
 				break
@@ -133,17 +136,19 @@ func RandTrial(f fabric.Fabric, pairWords int, inst *graph.Instance, seed uint64
 			col[v] = pick[v]
 			uncolored--
 		}
+		used := make([]graph.Color, 0, 16) // sorted scratch, reused per node
 		for v := 0; v < n; v++ {
 			if col[v] != graph.NoColor {
 				continue
 			}
-			used := make(map[graph.Color]struct{})
+			used = used[:0]
 			for _, u := range g.Neighbors(int32(v)) {
 				if keep[u] {
-					used[pick[u]] = struct{}{}
+					used = append(used, pick[u])
 				}
 			}
 			if len(used) > 0 {
+				slices.Sort(used)
 				pal[v] = pal[v].Without(used)
 			}
 		}

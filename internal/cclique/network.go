@@ -8,6 +8,7 @@
 package cclique
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -26,9 +27,17 @@ type Network struct {
 	msgWords int
 	ledger   *fabric.Ledger
 	workers  int // goroutine pool width
+
+	// live is the round buffer backing the most recent round's inboxes; it
+	// is recycled when the next round starts (see fabric.RoundBuffer's
+	// lifetime contract).
+	live *fabric.RoundBuffer
 }
 
-var _ fabric.Fabric = (*Network)(nil)
+var (
+	_ fabric.Fabric      = (*Network)(nil)
+	_ fabric.FrameFabric = (*Network)(nil)
+)
 
 // Option configures a Network.
 type Option func(*Network)
@@ -64,6 +73,17 @@ func New(n int, opts ...Option) *Network {
 // Workers returns 𝔫, the number of nodes.
 func (nw *Network) Workers() int { return nw.n }
 
+// Release returns the network's round arenas to the shared pool for reuse
+// by other fabrics. Call it once the solve is done; the last round's
+// inboxes become invalid. The network remains usable — the next round
+// simply acquires a fresh buffer.
+func (nw *Network) Release() {
+	if nw.live != nil {
+		fabric.ReleaseRoundBuffer(nw.live)
+		nw.live = nil
+	}
+}
+
 // Ledger returns the round/traffic ledger.
 func (nw *Network) Ledger() *fabric.Ledger { return nw.ledger }
 
@@ -85,45 +105,40 @@ func (e *BandwidthError) Error() string {
 // Round executes one synchronous round. produce runs for every node in a
 // bounded goroutine pool; returned messages are validated (destination in
 // range, per-ordered-pair total ≤ MsgWords) and delivered sorted by sender.
+// Inboxes are zero-copy views into pooled arenas, valid until the next
+// round on this network.
 func (nw *Network) Round(produce func(w int) []fabric.Msg) ([][]fabric.Msg, error) {
-	out := make([][]fabric.Msg, nw.n)
-	nw.runParallel(func(v int) {
-		out[v] = produce(v)
+	return nw.FrameRound(func(w int, sb *fabric.SendBuf) {
+		for _, m := range produce(w) {
+			sb.Put(m.To, m.Words...)
+		}
 	})
+}
 
-	inboxes := make([][]fabric.Msg, nw.n)
-	var totalWords, maxSend, maxRecv int64
-	recvWords := make([]int64, nw.n)
-	for from, msgs := range out {
-		var sent int64
-		pairWords := make(map[int]int, len(msgs))
-		for _, m := range msgs {
-			if m.To < 0 || m.To >= nw.n {
-				return nil, fmt.Errorf("cclique: node %d sent to out-of-range node %d", from, m.To)
+// FrameRound executes one synchronous round staged directly as flat frames
+// (fabric.FrameFabric), avoiding per-message allocation entirely.
+func (nw *Network) FrameRound(stage func(w int, sb *fabric.SendBuf)) ([][]fabric.Msg, error) {
+	if nw.live != nil {
+		fabric.ReleaseRoundBuffer(nw.live)
+		nw.live = nil
+	}
+	rb := fabric.AcquireRoundBuffer(nw.n)
+	nw.live = rb
+	nw.runParallel(func(v int) {
+		stage(v, rb.Sender(v))
+	})
+	inboxes, stats, err := rb.Deliver(fabric.DeliverOpts{PairWords: nw.msgWords})
+	if err != nil {
+		var re *fabric.RouteError
+		if errors.As(err, &re) {
+			if re.OutOfRange {
+				return nil, fmt.Errorf("cclique: node %d sent to out-of-range node %d", re.From, re.To)
 			}
-			pairWords[m.To] += len(m.Words)
-			if pairWords[m.To] > nw.msgWords {
-				return nil, &BandwidthError{From: from, To: m.To, Words: pairWords[m.To], Budget: nw.msgWords}
-			}
-			m.From = from
-			inboxes[m.To] = append(inboxes[m.To], m)
-			sent += int64(len(m.Words))
-			recvWords[m.To] += int64(len(m.Words))
+			return nil, &BandwidthError{From: re.From, To: re.To, Words: re.Words, Budget: nw.msgWords}
 		}
-		totalWords += sent
-		if sent > maxSend {
-			maxSend = sent
-		}
+		return nil, err
 	}
-	for _, r := range recvWords {
-		if r > maxRecv {
-			maxRecv = r
-		}
-	}
-	for v := range inboxes {
-		fabric.SortInbox(inboxes[v])
-	}
-	nw.ledger.AddRound(totalWords, maxSend, maxRecv)
+	nw.ledger.AddRound(stats.TotalWords, stats.MaxSendLoad, stats.MaxRecvLoad)
 	return inboxes, nil
 }
 

@@ -2,7 +2,7 @@ package cclique
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"ccolor/internal/fabric"
 )
@@ -13,12 +13,23 @@ type UnitMsg struct {
 	Word     uint64
 }
 
+// routePair is one (from, to) ordered pair's aggregate in a RouteAll call:
+// how many units the pair carries and the contiguous rank block its units
+// occupy at the target. Pairs replace the former map[key]int bookkeeping:
+// they are derived by sorting unit indices (a counting sort over flat
+// frames), so the whole schedule is computed with O(1) allocations.
+type routePair struct {
+	from, to int
+	count    int
+	offset   int // first rank of this pair's block at the target
+}
+
 // RouteAll implements Lenzen's routing guarantee [15]: any message set in
 // which every node is the source of at most 𝔫 units and the target of at
 // most 𝔫 units is delivered in O(1) rounds.
 //
 // The schedule is the rank-based two-phase relay: units destined to the
-// same target are ranked (via a 2-round offset computation at node 0, the
+// same target are ranked (via a 2-round offset computation, the
 // prefix-sums step of Lemma 2.1) and unit of per-target rank r relays
 // through intermediate r mod 𝔫. Ranks within one target are contiguous, so
 // each (intermediate, target) pair carries at most ⌈load(target)/𝔫⌉ ≤ 1
@@ -49,64 +60,123 @@ func RouteAll(nw *Network, units []UnitMsg) ([][]UnitMsg, error) {
 		}
 	}
 
-	// Rank units per target: 2 real rounds, one word per pair each way —
-	// every sender tells each of its targets how many units it will send;
-	// each target assigns its senders contiguous rank blocks (in sender-ID
-	// order) and replies with the block offset.
-	type key struct{ from, to int }
-	counts := make(map[key]int)
-	for _, u := range units {
-		counts[key{u.From, u.To}]++
+	// Group units into (from, to) pairs and assign ranks: sort unit indices
+	// by (to, from, index); each target's pairs take contiguous rank blocks
+	// in sender-ID order, and units within a pair keep their input order.
+	perm := make([]int32, len(units))
+	for i := range perm {
+		perm[i] = int32(i)
 	}
-	nw.Ledger().SetPhase("route:offsets")
-	if _, err := nw.Round(func(w int) []fabric.Msg {
-		var out []fabric.Msg
-		for t := 0; t < n; t++ {
-			if c := counts[key{w, t}]; c > 0 && t != w {
-				out = append(out, fabric.Msg{To: t, Words: []uint64{uint64(c)}})
-			}
+	slices.SortFunc(perm, func(a, b int32) int {
+		ua, ub := units[a], units[b]
+		if ua.To != ub.To {
+			return ua.To - ub.To
 		}
-		return out
-	}); err != nil {
-		return nil, err
-	}
-	// Each target's local offset computation (sender-ID order).
-	offsets := make(map[key]int, len(counts))
-	for t := 0; t < n; t++ {
-		acc := 0
-		for f := 0; f < n; f++ {
-			if c := counts[key{f, t}]; c > 0 {
-				offsets[key{f, t}] = acc
-				acc += c
-			}
+		if ua.From != ub.From {
+			return ua.From - ub.From
 		}
-	}
-	if _, err := nw.Round(func(w int) []fabric.Msg {
-		var out []fabric.Msg
-		for f := 0; f < n; f++ {
-			if f == w {
-				continue
-			}
-			if _, used := counts[key{f, w}]; used {
-				out = append(out, fabric.Msg{To: f, Words: []uint64{uint64(offsets[key{f, w}])}})
-			}
+		return int(a - b)
+	})
+	ranked := make([]int, len(units))
+	var pairs []routePair // in (to, from) order
+	acc := 0
+	for i := 0; i < len(perm); {
+		u := units[perm[i]]
+		if i > 0 && units[perm[i-1]].To != u.To {
+			acc = 0 // ranks restart per target
 		}
-		return out
-	}); err != nil {
-		return nil, err
+		j := i
+		for j < len(perm) && units[perm[j]].To == u.To && units[perm[j]].From == u.From {
+			ranked[perm[j]] = acc + (j - i)
+			j++
+		}
+		pairs = append(pairs, routePair{from: u.From, to: u.To, count: j - i, offset: acc})
+		acc += j - i
+		i = j
 	}
 
-	// Assign ranks: units of one (from,to) pair take consecutive ranks.
-	ranked := make([]int, len(units))
-	next := make(map[key]int, len(counts))
-	for i, u := range units {
-		k := key{u.From, u.To}
-		ranked[i] = offsets[k] + next[k]
-		next[k]++
+	// The rank computation costs 2 real rounds, one word per pair each way —
+	// every sender tells each of its targets how many units it will send;
+	// each target replies with the pair's block offset (computed above).
+	// pairsByFrom groups the same pairs by sender for staging round 1.
+	pairsByFrom := make([]int32, len(pairs))
+	for i := range pairsByFrom {
+		pairsByFrom[i] = int32(i)
+	}
+	slices.SortFunc(pairsByFrom, func(a, b int32) int {
+		if pairs[a].from != pairs[b].from {
+			return pairs[a].from - pairs[b].from
+		}
+		return pairs[a].to - pairs[b].to
+	})
+	fromStart := make([]int, n+1) // span of pairsByFrom per sender
+	for _, pi := range pairsByFrom {
+		fromStart[pairs[pi].from+1]++
+	}
+	for v := 0; v < n; v++ {
+		fromStart[v+1] += fromStart[v]
+	}
+	toStart := make([]int, n+1) // span of pairs (already (to,from)-sorted) per target
+	for _, p := range pairs {
+		toStart[p.to+1]++
+	}
+	for v := 0; v < n; v++ {
+		toStart[v+1] += toStart[v]
+	}
+	nw.Ledger().SetPhase("route:offsets")
+	if _, err := nw.FrameRound(func(w int, sb *fabric.SendBuf) {
+		for _, pi := range pairsByFrom[fromStart[w]:fromStart[w+1]] {
+			p := pairs[pi]
+			if p.to != w {
+				sb.Put(p.to, uint64(p.count))
+			}
+		}
+	}); err != nil {
+		return nil, err
+	}
+	if _, err := nw.FrameRound(func(w int, sb *fabric.SendBuf) {
+		// Each target w replies to its senders with their block offsets.
+		for _, p := range pairs[toStart[w]:toStart[w+1]] {
+			if p.from != w {
+				sb.Put(p.from, uint64(p.offset))
+			}
+		}
+	}); err != nil {
+		return nil, err
 	}
 
 	// Phase 1: greedy sub-round schedule — a unit goes in the earliest
-	// sub-round where its (sender → intermediate) slot is free.
+	// sub-round where its (sender → intermediate) slot is free. Slot use
+	// only depends on the unit's own (sender, intermediate) history, so the
+	// k-th unit of a (sender, intermediate) group (in input order) goes in
+	// sub-round k: another counting sort instead of the former slot map.
+	subOf := make([]int, len(units))
+	slices.SortFunc(perm, func(a, b int32) int {
+		ua, ub := units[a], units[b]
+		if ua.From != ub.From {
+			return ua.From - ub.From
+		}
+		ia, ib := ranked[a]%n, ranked[b]%n
+		if ia != ib {
+			return ia - ib
+		}
+		return int(a - b)
+	})
+	maxSub := 0
+	for i := 0; i < len(perm); {
+		u := units[perm[i]]
+		inter := ranked[perm[i]] % n
+		j := i
+		for j < len(perm) && units[perm[j]].From == u.From && ranked[perm[j]]%n == inter {
+			subOf[perm[j]] = j - i
+			j++
+		}
+		if j-i-1 > maxSub {
+			maxSub = j - i - 1
+		}
+		i = j
+	}
+
 	type rec struct {
 		to   int
 		rank int
@@ -114,26 +184,9 @@ func RouteAll(nw *Network, units []UnitMsg) ([][]UnitMsg, error) {
 		word uint64
 	}
 	held := make([][]rec, n)
-	type slot struct{ sub, from, inter int }
-	taken := make(map[slot]bool)
-	subOf := make([]int, len(units))
-	maxSub := 0
-	for i, u := range units {
-		inter := ranked[i] % n
-		s := 0
-		for taken[slot{s, u.From, inter}] {
-			s++
-		}
-		taken[slot{s, u.From, inter}] = true
-		subOf[i] = s
-		if s > maxSub {
-			maxSub = s
-		}
-	}
 	nw.Ledger().SetPhase("route:spread")
 	for s := 0; s <= maxSub; s++ {
-		in, err := nw.Round(func(w int) []fabric.Msg {
-			var out []fabric.Msg
+		in, err := nw.FrameRound(func(w int, sb *fabric.SendBuf) {
 			for i, u := range units {
 				if u.From != w || subOf[i] != s {
 					continue
@@ -143,9 +196,8 @@ func RouteAll(nw *Network, units []UnitMsg) ([][]UnitMsg, error) {
 					held[w] = append(held[w], rec{u.To, ranked[i], u.From, u.Word})
 					continue
 				}
-				out = append(out, fabric.Msg{To: inter, Words: []uint64{uint64(u.To), uint64(ranked[i]), uint64(u.From), u.Word}})
+				sb.Put(inter, uint64(u.To), uint64(ranked[i]), uint64(u.From), u.Word)
 			}
-			return out
 		})
 		if err != nil {
 			return nil, err
@@ -160,11 +212,11 @@ func RouteAll(nw *Network, units []UnitMsg) ([][]UnitMsg, error) {
 	// Phase 2: delivery — each intermediate holds ≤ 1 unit per target per
 	// residue layer; ship one unit per (intermediate, target) per round.
 	for v := range held {
-		sort.Slice(held[v], func(a, b int) bool {
-			if held[v][a].to != held[v][b].to {
-				return held[v][a].to < held[v][b].to
+		slices.SortFunc(held[v], func(a, b rec) int {
+			if a.to != b.to {
+				return a.to - b.to
 			}
-			return held[v][a].rank < held[v][b].rank
+			return a.rank - b.rank
 		})
 	}
 	out := make([][]UnitMsg, n)
@@ -180,8 +232,7 @@ func RouteAll(nw *Network, units []UnitMsg) ([][]UnitMsg, error) {
 		if !any {
 			break
 		}
-		in, err := nw.Round(func(w int) []fabric.Msg {
-			var msgs []fabric.Msg
+		in, err := nw.FrameRound(func(w int, sb *fabric.SendBuf) {
 			lastTo := -1
 			for _, r := range held[w] {
 				if r.to == lastTo {
@@ -191,9 +242,8 @@ func RouteAll(nw *Network, units []UnitMsg) ([][]UnitMsg, error) {
 				if r.to == w {
 					continue // delivered locally below
 				}
-				msgs = append(msgs, fabric.Msg{To: r.to, Words: []uint64{uint64(r.from), r.word}})
+				sb.Put(r.to, uint64(r.from), r.word)
 			}
-			return msgs
 		})
 		if err != nil {
 			return nil, err
@@ -220,11 +270,17 @@ func RouteAll(nw *Network, units []UnitMsg) ([][]UnitMsg, error) {
 		}
 	}
 	for v := range out {
-		sort.Slice(out[v], func(a, b int) bool {
-			if out[v][a].From != out[v][b].From {
-				return out[v][a].From < out[v][b].From
+		slices.SortFunc(out[v], func(a, b UnitMsg) int {
+			if a.From != b.From {
+				return a.From - b.From
 			}
-			return out[v][a].Word < out[v][b].Word
+			if a.Word != b.Word {
+				if a.Word < b.Word {
+					return -1
+				}
+				return 1
+			}
+			return 0
 		})
 	}
 	return out, nil

@@ -42,8 +42,10 @@ func (s *solver) collectAndColor(calls []*call) error {
 
 	// Gather: each member ships [d, neighbors…, p, colors…] to its
 	// instance's target machine. Palettes are truncated to d+1 colors
-	// (§3.6), keeping every gathered instance at O(size) words.
+	// (§3.6), keeping every gathered instance at O(size) words. The payload
+	// callback runs serially per worker, so the neighbor scratch is shared.
 	s.fab.Ledger().SetPhase("collect:gather")
+	var nbrs []int32
 	blocks, err := fabric.GatherMany(s.fab, s.pw, func(w int) (int, []uint64) {
 		v := int32(w)
 		cid := s.callOf[v]
@@ -54,7 +56,7 @@ func (s *solver) collectAndColor(calls []*call) error {
 		if !ok {
 			return -1, nil
 		}
-		var nbrs []int32
+		nbrs = nbrs[:0]
 		for _, u := range s.g.Neighbors(v) {
 			if s.callOf[u] == cid && s.color[u] == graph.NoColor {
 				nbrs = append(nbrs, u)
@@ -100,9 +102,8 @@ func (s *solver) collectAndColor(calls []*call) error {
 
 	// Scatter: each target sends every member its color (one word/pair).
 	s.fab.Ledger().SetPhase("collect:scatter")
-	if _, err := s.fab.Round(func(w int) []fabric.Msg {
+	if _, err := fabric.RoundFrames(s.fab, func(w int, sb *fabric.SendBuf) {
 		v := int32(w)
-		var out []fabric.Msg
 		for _, c := range active {
 			if targetOf[int32(c.id)] != v {
 				continue
@@ -111,10 +112,9 @@ func (s *solver) collectAndColor(calls []*call) error {
 				if u == v {
 					continue
 				}
-				out = append(out, fabric.Msg{To: int(u), Words: []uint64{uint64(assigned[u])}})
+				sb.Put(int(u), uint64(assigned[u]))
 			}
 		}
-		return out
 	}); err != nil {
 		return fmt.Errorf("scatter: %w", err)
 	}
@@ -138,17 +138,15 @@ func (s *solver) collectAndColor(calls []*call) error {
 	// neighbors (one word/pair); uncolored receivers drop the color from
 	// their palettes — Algorithm 1's "update color palettes" steps.
 	s.fab.Ledger().SetPhase("collect:notify")
-	if _, err := s.fab.Round(func(w int) []fabric.Msg {
+	if _, err := fabric.RoundFrames(s.fab, func(w int, sb *fabric.SendBuf) {
 		v := int32(w)
 		col, ok := assigned[v]
 		if !ok || s.color[v] == graph.NoColor {
-			return nil
+			return
 		}
-		var out []fabric.Msg
 		for _, u := range s.g.Neighbors(v) {
-			out = append(out, fabric.Msg{To: int(u), Words: []uint64{uint64(col)}})
+			sb.Put(int(u), uint64(col))
 		}
-		return out
 	}); err != nil {
 		return fmt.Errorf("notify: %w", err)
 	}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"ccolor/internal/graph"
 	"ccolor/internal/hashing"
 )
@@ -88,11 +90,18 @@ func (s *solver) palCountBin(v int32, h hashing.Hash, bin int64) int {
 }
 
 // palRestrict applies a Partition color restriction: keep only colors that
-// h maps to bin.
+// h maps to bin. The materialized palette is solver-owned (copied at init),
+// so it filters in place.
 func (s *solver) palRestrict(v int32, h hashing.Hash, bin int64) {
 	ps := &s.pal[v]
 	if !ps.compact {
-		ps.mat = ps.mat.Filter(func(c graph.Color) bool { return h.Eval(c) == bin })
+		kept := ps.mat[:0]
+		for _, c := range ps.mat {
+			if h.Eval(c) == bin {
+				kept = append(kept, c)
+			}
+		}
+		ps.mat = kept
 		return
 	}
 	ps.chainH = append(ps.chainH, h)
@@ -104,7 +113,10 @@ func (s *solver) palRestrict(v int32, h hashing.Hash, bin int64) {
 func (s *solver) palRemove(v int32, c graph.Color) {
 	ps := &s.pal[v]
 	if !ps.compact {
-		ps.mat = ps.mat.Filter(func(x graph.Color) bool { return x != c })
+		i := sort.Search(len(ps.mat), func(i int) bool { return ps.mat[i] >= c })
+		if i < len(ps.mat) && ps.mat[i] == c {
+			ps.mat = append(ps.mat[:i], ps.mat[i+1:]...)
+		}
 		return
 	}
 	if ps.used == nil {

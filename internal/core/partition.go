@@ -146,22 +146,20 @@ func (s *solver) partition(x *call) error {
 	for _, v := range g0Nodes {
 		badSet[v] = struct{}{}
 	}
-	if _, err := s.fab.Round(func(w int) []fabric.Msg {
+	if _, err := fabric.RoundFrames(s.fab, func(w int, sb *fabric.SendBuf) {
 		v := int32(w)
 		if s.callOf[v] != int32(x.id) || s.color[v] != graph.NoColor {
-			return nil
+			return
 		}
 		word := uint64(h1.Eval(int64(v)))
 		if _, hit := badSet[v]; hit {
 			word |= 1 << 32
 		}
-		var out []fabric.Msg
 		for _, u := range s.g.Neighbors(v) {
 			if s.callOf[u] == int32(x.id) && s.color[u] == graph.NoColor {
-				out = append(out, fabric.Msg{To: int(u), Words: []uint64{word}})
+				sb.Put(int(u), word)
 			}
 		}
-		return out
 	}); err != nil {
 		return fmt.Errorf("announce round: %w", err)
 	}

@@ -26,6 +26,11 @@ type Msg struct {
 // messages; the fabric validates them against the model's limits and
 // returns per-worker inboxes, sorted by sender. Implementations must charge
 // exactly one round per Round call.
+//
+// Lifetime contract: the returned inboxes (including every Msg.Words) may
+// alias pooled arenas and are only valid until the next Round/FrameRound
+// call on the same fabric. Callers that need message data across rounds
+// must copy it out before issuing the next round.
 type Fabric interface {
 	// Workers returns the number of computational entities (nodes in the
 	// congested clique, machines in MPC).

@@ -2,7 +2,7 @@ package fabric
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // Communication primitives (paper §2.1). Each is implemented with real
@@ -10,6 +10,11 @@ import (
 // They assume the congested-clique reading of bandwidth: at most pairWords
 // words between any ordered worker pair per round. MPC fabrics enforce
 // their own (space) limits on top.
+//
+// All primitives stage their traffic as flat frames (RoundFrames), which
+// runs allocation-free on FrameFabric backends and falls back to classic
+// []Msg rounds on any other Fabric; message content, inbox order, and
+// ledger charges are identical on both paths.
 //
 // The multi-target gather below is the restricted routing pattern the
 // coloring algorithm needs (per-sender blocks of ≤ O(𝔫) words, per-target
@@ -72,18 +77,16 @@ func Broadcast(f Fabric, pairWords int, src int, words []uint64) error {
 	}
 	if len(words) <= pairWords {
 		_, reps := groupReps(f)
-		_, err := f.Round(func(w int) []Msg {
+		_, err := RoundFrames(f, func(w int, sb *SendBuf) {
 			if w != src {
-				return nil
+				return
 			}
-			out := make([]Msg, 0, len(reps))
 			for _, t := range reps {
 				if t == src {
 					continue
 				}
-				out = append(out, Msg{To: t, Words: words})
+				sb.Put(t, words...)
 			}
-			return out
 		})
 		return err
 	}
@@ -99,35 +102,31 @@ func Broadcast(f Fabric, pairWords int, src int, words []uint64) error {
 		}
 		chunks[i/pairWords] = words[i:end]
 	}
-	if _, err := f.Round(func(w int) []Msg {
+	if _, err := RoundFrames(f, func(w int, sb *SendBuf) {
 		if w != src {
-			return nil
+			return
 		}
-		var out []Msg
 		for t, ch := range chunks {
 			if len(ch) == 0 || t == src {
 				continue
 			}
-			out = append(out, Msg{To: t, Words: ch})
+			sb.Put(t, ch...)
 		}
-		return out
 	}); err != nil {
 		return err
 	}
 	// Round 2: every chunk holder sends its chunk to everyone.
-	_, err := f.Round(func(w int) []Msg {
+	_, err := RoundFrames(f, func(w int, sb *SendBuf) {
 		ch := chunks[w]
 		if len(ch) == 0 {
-			return nil
+			return
 		}
-		out := make([]Msg, 0, n-1)
 		for t := 0; t < n; t++ {
 			if t == w {
 				continue
 			}
-			out = append(out, Msg{To: t, Words: ch})
+			sb.Put(t, ch...)
 		}
-		return out
 	})
 	return err
 }
@@ -141,33 +140,25 @@ func Broadcast(f Fabric, pairWords int, src int, words []uint64) error {
 // within 𝔰 — then owners sum and broadcast their elements back to the
 // representatives. On ungrouped fabrics this requires
 // vlen ≤ workers·pairWords.
+//
+// On grouped fabrics local is invoked serially (callers may share scratch
+// across invocations); on ungrouped fabrics it runs inside the round's
+// parallel staging and must be safe for concurrent calls with distinct w.
 func AggregateVec(f Fabric, pairWords int, vlen int, local func(w int) []int64) ([]int64, error) {
 	n := f.Workers()
-	isRep, reps := groupReps(f)
-	r := len(reps)
-	perOwner := (vlen + r - 1) / r
-	if _, grouped := f.(Grouped); !grouped && perOwner > pairWords {
-		return nil, fmt.Errorf("fabric: aggregate vector length %d exceeds %d*%d", vlen, n, pairWords)
-	}
-	// Group membership for local combining.
-	memberOfRep := make(map[int][]int, r)
 	if g, ok := f.(Grouped); ok {
-		repOfGroup := make(map[int]int, r)
+		// Space-bounded path: machine-local combine, then a fan-in-bounded
+		// reduction tree over representatives (Lemma 2.1 style).
+		_, reps := groupReps(f)
+		repOfGroup := make(map[int]int, len(reps))
 		for _, w := range reps {
 			repOfGroup[g.GroupOf(w)] = w
 		}
+		memberOfRep := make(map[int][]int, len(reps))
 		for w := 0; w < n; w++ {
 			rep := repOfGroup[g.GroupOf(w)]
 			memberOfRep[rep] = append(memberOfRep[rep], w)
 		}
-	} else {
-		for w := 0; w < n; w++ {
-			memberOfRep[w] = []int{w}
-		}
-	}
-	if _, grouped := f.(Grouped); grouped {
-		// Space-bounded path: machine-local combine, then a fan-in-bounded
-		// reduction tree over representatives (Lemma 2.1 style).
 		return aggregateVecTree(f, reps, vlen, func(rep int) []int64 {
 			combined := make([]int64, vlen)
 			for _, member := range memberOfRep[rep] {
@@ -182,100 +173,79 @@ func AggregateVec(f Fabric, pairWords int, vlen int, local func(w int) []int64) 
 			return combined
 		})
 	}
-	repIdx := make(map[int]int, r)
-	for i, w := range reps {
-		repIdx[w] = i
+
+	// Ungrouped path: every worker is a representative (r = n); element j is
+	// owned by worker j mod n, so owner o holds slots(o) elements.
+	r := n
+	perOwner := (vlen + r - 1) / r
+	if perOwner > pairWords {
+		return nil, fmt.Errorf("fabric: aggregate vector length %d exceeds %d*%d", vlen, n, pairWords)
 	}
-	slots := func(ownerIdx int) int {
-		if ownerIdx >= vlen {
+	slots := func(o int) int {
+		if o >= vlen {
 			return 0
 		}
-		return (vlen-ownerIdx-1)/r + 1
+		return (vlen-o-1)/r + 1
 	}
 
-	// Round 1: each representative sends its group's combined contribution
-	// for each owner's elements (element j owned by rep j mod r).
-	sums := make([][]int64, r)
-	for o := 0; o < r; o++ {
-		sums[o] = make([]int64, slots(o))
-	}
-	in, err := f.Round(func(w int) []Msg {
-		if !isRep[w] {
-			return nil
+	// Round 1: every worker ships, per owner, its contribution to that
+	// owner's elements; its own elements are summed in place. res is indexed
+	// like the result (element j at res[j]); owner o's slot s is j = o+s·r.
+	res := make([]int64, vlen)
+	in, err := RoundFrames(f, func(w int, sb *SendBuf) {
+		vals := local(w)
+		if len(vals) != vlen {
+			panic(fmt.Sprintf("fabric: local vector length %d != %d", len(vals), vlen))
 		}
-		combined := make([]int64, vlen)
-		for _, member := range memberOfRep[w] {
-			vals := local(member)
-			if len(vals) != vlen {
-				panic(fmt.Sprintf("fabric: local vector length %d != %d", len(vals), vlen))
-			}
-			for j, x := range vals {
-				combined[j] += x
-			}
-		}
-		out := make([]Msg, 0, r)
 		for o := 0; o < r; o++ {
 			k := slots(o)
 			if k == 0 {
-				continue
+				break // owners past vlen hold nothing
 			}
-			words := make([]uint64, k)
-			for s := 0; s < k; s++ {
-				words[s] = uint64(combined[o+s*r])
-			}
-			if reps[o] == w {
+			if o == w {
+				// Own elements: no self-message, accumulated directly. Only
+				// worker o touches res[o+s·r], so this is race-free under
+				// parallel staging.
 				for s := 0; s < k; s++ {
-					sums[o][s] += int64(words[s])
+					res[o+s*r] += vals[o+s*r]
 				}
 				continue
 			}
-			out = append(out, Msg{To: reps[o], Words: words})
+			payload := sb.Begin(o, k)
+			for s := 0; s < k; s++ {
+				payload[s] = uint64(vals[o+s*r])
+			}
 		}
-		return out
 	})
 	if err != nil {
 		return nil, err
 	}
-	for o := 0; o < r; o++ {
-		for _, m := range in[reps[o]] {
-			for s, w := range m.Words {
-				sums[o][s] += int64(w)
+	for o := 0; o < r && o < vlen; o++ {
+		for _, m := range in[o] {
+			for s, x := range m.Words {
+				res[o+s*r] += int64(x)
 			}
 		}
 	}
-	// Round 2: each owner broadcasts its summed elements to all
-	// representatives.
-	if _, err := f.Round(func(w int) []Msg {
-		oi, ok := repIdx[w]
-		if !ok {
-			return nil
+	// Round 2: each owner broadcasts its summed elements to all workers.
+	if _, err := RoundFrames(f, func(w int, sb *SendBuf) {
+		k := slots(w)
+		if w >= r || k == 0 {
+			return
 		}
-		k := slots(oi)
-		if k == 0 {
-			return nil
-		}
-		words := make([]uint64, k)
-		for s := 0; s < k; s++ {
-			words[s] = uint64(sums[oi][s])
-		}
-		out := make([]Msg, 0, r-1)
-		for _, t := range reps {
+		for t := 0; t < n; t++ {
 			if t == w {
 				continue
 			}
-			out = append(out, Msg{To: t, Words: words})
+			payload := sb.Begin(t, k)
+			for s := 0; s < k; s++ {
+				payload[s] = uint64(res[w+s*r])
+			}
 		}
-		return out
 	}); err != nil {
 		return nil, err
 	}
-	result := make([]int64, vlen)
-	for o := 0; o < r; o++ {
-		for s := 0; s < slots(o); s++ {
-			result[o+s*r] = sums[o][s]
-		}
-	}
-	return result, nil
+	return res, nil
 }
 
 // broadcastTree delivers words from src to every group representative via
@@ -288,11 +258,11 @@ func broadcastTree(f Fabric, src int, words []uint64) error {
 	// (skipped when src is the root).
 	root := reps[0]
 	if src != root {
-		if _, err := f.Round(func(w int) []Msg {
+		if _, err := RoundFrames(f, func(w int, sb *SendBuf) {
 			if w != src {
-				return nil
+				return
 			}
-			return []Msg{{To: root, Words: words}}
+			sb.Put(root, words...)
 		}); err != nil {
 			return err
 		}
@@ -301,21 +271,19 @@ func broadcastTree(f Fabric, src int, words []uint64) error {
 	// with index < branch^k.
 	have := map[int]bool{root: true}
 	for reach := 1; reach < len(reps); reach *= branch {
-		if _, err := f.Round(func(w int) []Msg {
+		if _, err := RoundFrames(f, func(w int, sb *SendBuf) {
 			if !have[w] {
-				return nil
+				return
 			}
-			var out []Msg
 			for i, t := range reps {
 				if i < reach || have[t] {
 					continue
 				}
 				// rep i is served by rep i/branch at this level.
 				if i/branch < reach && reps[i/branch] == w && i < reach*branch {
-					out = append(out, Msg{To: t, Words: words})
+					sb.Put(t, words...)
 				}
 			}
-			return out
 		}); err != nil {
 			return err
 		}
@@ -359,7 +327,7 @@ func aggregateVecTree(f Fabric, reps []int, vlen int, combinedOf func(rep int) [
 		for i := 0; i < len(cur); i += branch {
 			next = append(next, cur[i])
 		}
-		in, err := f.Round(func(w int) []Msg {
+		in, err := RoundFrames(f, func(w int, sb *SendBuf) {
 			// Block members (non-leaders) send their accumulator to the
 			// block leader.
 			for i := 0; i < len(cur); i += branch {
@@ -371,14 +339,13 @@ func aggregateVecTree(f Fabric, reps []int, vlen int, combinedOf func(rep int) [
 					if cur[j] != w {
 						continue
 					}
-					words := make([]uint64, vlen)
+					payload := sb.Begin(cur[i], vlen)
 					for k, x := range acc[w] {
-						words[k] = uint64(x)
+						payload[k] = uint64(x)
 					}
-					return []Msg{{To: cur[i], Words: words}}
+					return
 				}
 			}
-			return nil
 		})
 		if err != nil {
 			return nil, err
@@ -398,11 +365,10 @@ func aggregateVecTree(f Fabric, reps []int, vlen int, combinedOf func(rep int) [
 	have := map[int]bool{root: true}
 	for li := len(levels) - 2; li >= 0; li-- {
 		cur := levels[li]
-		if _, err := f.Round(func(w int) []Msg {
+		if _, err := RoundFrames(f, func(w int, sb *SendBuf) {
 			if !have[w] {
-				return nil
+				return
 			}
-			var out []Msg
 			for i := 0; i < len(cur); i += branch {
 				if cur[i] != w {
 					continue
@@ -411,15 +377,13 @@ func aggregateVecTree(f Fabric, reps []int, vlen int, combinedOf func(rep int) [
 				if end > len(cur) {
 					end = len(cur)
 				}
-				words := make([]uint64, vlen)
-				for k, x := range result {
-					words[k] = uint64(x)
-				}
 				for j := i + 1; j < end; j++ {
-					out = append(out, Msg{To: cur[j], Words: words})
+					payload := sb.Begin(cur[j], vlen)
+					for k, x := range result {
+						payload[k] = uint64(x)
+					}
 				}
 			}
-			return out
 		}); err != nil {
 			return nil, err
 		}
@@ -450,6 +414,10 @@ type SenderBlock struct {
 // worker w contributes nothing. Multiple targets may be gathered to
 // concurrently. The result maps target → blocks sorted by sender.
 //
+// payload is invoked serially, in ascending worker order — callers may
+// share scratch buffers across invocations (the returned words, however,
+// are retained until the gather completes and must be per-worker).
+//
 // Round cost: 2 (offset computation via worker 0) + ⌈maxBlock/𝔫⌉ (spread) +
 // phase-2 delivery rounds, which is O(1) whenever every block is O(𝔫) words
 // and every target receives O(𝔫) words — the regime Corollary 3.10 and
@@ -468,16 +436,16 @@ func GatherMany(f Fabric, pairWords int, payload func(w int) (int, []uint64)) (m
 	// Rounds 1-2: worker 0 assigns each sender a rank offset within its
 	// target's gather space. Each sender reports (target, count) — 2 words;
 	// worker 0 replies with the offset — 1 word.
-	if _, err := f.Round(func(w int) []Msg {
+	if _, err := RoundFrames(f, func(w int, sb *SendBuf) {
 		if targets[w] < 0 || len(blocks[w]) == 0 || w == 0 {
-			return nil
+			return
 		}
-		return []Msg{{To: 0, Words: []uint64{uint64(targets[w]), uint64(len(blocks[w]))}}}
+		sb.Put(0, uint64(targets[w]), uint64(len(blocks[w])))
 	}); err != nil {
 		return nil, err
 	}
 	offsets := make([]int, n)
-	totals := make(map[int]int)
+	totals := make([]int, n) // per target: gathered word count
 	for w := 0; w < n; w++ { // worker 0's local computation over reported counts
 		if targets[w] < 0 || len(blocks[w]) == 0 {
 			continue
@@ -485,18 +453,16 @@ func GatherMany(f Fabric, pairWords int, payload func(w int) (int, []uint64)) (m
 		offsets[w] = totals[targets[w]]
 		totals[targets[w]] += len(blocks[w])
 	}
-	if _, err := f.Round(func(w int) []Msg {
+	if _, err := RoundFrames(f, func(w int, sb *SendBuf) {
 		if w != 0 {
-			return nil
+			return
 		}
-		var out []Msg
 		for t := 1; t < n; t++ {
 			if targets[t] < 0 || len(blocks[t]) == 0 {
 				continue
 			}
-			out = append(out, Msg{To: t, Words: []uint64{uint64(offsets[t])}})
+			sb.Put(t, uint64(offsets[t]))
 		}
-		return out
 	}); err != nil {
 		return nil, err
 	}
@@ -516,32 +482,49 @@ func GatherMany(f Fabric, pairWords int, payload func(w int) (int, []uint64)) (m
 			maxBlock = len(blocks[w])
 		}
 	}
+	// Every record relays through rank % n, so each intermediate's queue
+	// size is known up front: carve the per-intermediate queues out of one
+	// slab instead of growing n slices.
+	heldCnt := make([]int, n+1)
+	baseSum := 0 // full cycles land on every intermediate equally
+	for w := 0; w < n; w++ {
+		if targets[w] < 0 {
+			continue
+		}
+		l := len(blocks[w])
+		baseSum += l / n
+		rem, start := l%n, offsets[w]%n
+		for k := 0; k < rem; k++ {
+			heldCnt[(start+k)%n+1]++
+		}
+	}
+	for i := 0; i < n; i++ {
+		heldCnt[i+1] += heldCnt[i] + baseSum
+	}
+	slab := make([]rec, heldCnt[n])
 	held := make([][]rec, n) // per intermediate
+	for i := 0; i < n; i++ {
+		held[i] = slab[heldCnt[i]:heldCnt[i]:heldCnt[i+1]]
+	}
 	subRounds := (maxBlock + n - 1) / n
 	for s := 0; s < subRounds; s++ {
-		in, err := f.Round(func(w int) []Msg {
+		in, err := RoundFrames(f, func(w int, sb *SendBuf) {
 			if targets[w] < 0 {
-				return nil
+				return
 			}
 			lo, hi := s*n, (s+1)*n
 			if hi > len(blocks[w]) {
 				hi = len(blocks[w])
 			}
-			if lo >= hi {
-				return nil
-			}
-			out := make([]Msg, 0, hi-lo)
 			for k := lo; k < hi; k++ {
 				r := offsets[w] + k
 				inter := r % n
-				words := []uint64{uint64(targets[w]), uint64(r), blocks[w][k]}
 				if inter == w {
 					held[w] = append(held[w], rec{targets[w], r, blocks[w][k]})
 					continue
 				}
-				out = append(out, Msg{To: inter, Words: words})
+				sb.Put(inter, uint64(targets[w]), uint64(r), blocks[w][k])
 			}
-			return out
 		})
 		if err != nil {
 			return nil, err
@@ -555,19 +538,21 @@ func GatherMany(f Fabric, pairWords int, payload func(w int) (int, []uint64)) (m
 
 	// Phase 2: delivery. Each intermediate holds ≤ ⌈W_target/n⌉ records per
 	// target; it ships per-target chunks of ⌊pairWords/2⌋ (rank, word) pairs
-	// per round until drained.
+	// per round until drained. gathered words live in one flat slab indexed
+	// by per-target offsets.
 	for i := range held {
-		sort.Slice(held[i], func(a, b int) bool {
-			if held[i][a].target != held[i][b].target {
-				return held[i][a].target < held[i][b].target
+		slices.SortFunc(held[i], func(a, b rec) int {
+			if a.target != b.target {
+				return a.target - b.target
 			}
-			return held[i][a].rank < held[i][b].rank
+			return a.rank - b.rank
 		})
 	}
-	gathered := make(map[int][]uint64, len(totals)) // target → words by rank
-	for t, w := range totals {
-		gathered[t] = make([]uint64, w)
+	goff := make([]int, n+1) // slab offset per target
+	for t := 0; t < n; t++ {
+		goff[t+1] = goff[t] + totals[t]
 	}
+	gath := make([]uint64, goff[n])
 	perRound := pairWords / 2
 	if perRound < 1 {
 		return nil, fmt.Errorf("fabric: pairWords %d too small for gather delivery", pairWords)
@@ -584,23 +569,24 @@ func GatherMany(f Fabric, pairWords int, payload func(w int) (int, []uint64)) (m
 		if !anyLeft {
 			break
 		}
-		in, err := f.Round(func(w int) []Msg {
-			var out []Msg
+		in, err := RoundFrames(f, func(w int, sb *SendBuf) {
 			i := cursor[w]
 			for i < len(held[w]) {
 				t := held[w][i].target
 				j := i
-				words := make([]uint64, 0, 2*perRound)
 				for j < len(held[w]) && held[w][j].target == t && j-i < perRound {
-					words = append(words, uint64(held[w][j].rank), held[w][j].word)
 					j++
 				}
 				if t == w {
-					for k := 0; k < len(words); k += 2 {
-						gathered[t][int(words[k])] = words[k+1]
+					for k := i; k < j; k++ {
+						gath[goff[t]+held[w][k].rank] = held[w][k].word
 					}
 				} else {
-					out = append(out, Msg{To: t, Words: words})
+					payload := sb.Begin(t, 2*(j-i))
+					for k := i; k < j; k++ {
+						payload[2*(k-i)] = uint64(held[w][k].rank)
+						payload[2*(k-i)+1] = held[w][k].word
+					}
 				}
 				// Stop at the per-target chunk for this round; move to the
 				// next target's queue segment.
@@ -614,7 +600,6 @@ func GatherMany(f Fabric, pairWords int, payload func(w int) (int, []uint64)) (m
 					i = j
 				}
 			}
-			return out
 		})
 		if err != nil {
 			return nil, err
@@ -644,33 +629,25 @@ func GatherMany(f Fabric, pairWords int, payload func(w int) (int, []uint64)) (m
 		for t := 0; t < n; t++ {
 			for _, m := range in[t] {
 				for k := 0; k+1 < len(m.Words); k += 2 {
-					gathered[t][int(m.Words[k])] = m.Words[k+1]
+					gath[goff[t]+int(m.Words[k])] = m.Words[k+1]
 				}
 			}
 		}
 	}
 
-	// Reassemble per-sender blocks at each target.
-	out := make(map[int][]SenderBlock, len(gathered))
-	type span struct {
-		from, off, ln int
-	}
-	spansByTarget := make(map[int][]span)
+	// Reassemble per-sender blocks at each target. Senders are visited in
+	// ascending order, so each target's blocks arrive From-sorted.
+	out := make(map[int][]SenderBlock)
 	for w := 0; w < n; w++ {
 		if targets[w] < 0 || len(blocks[w]) == 0 {
 			continue
 		}
-		spansByTarget[targets[w]] = append(spansByTarget[targets[w]],
-			span{from: w, off: offsets[w], ln: len(blocks[w])})
-	}
-	for t, spans := range spansByTarget {
-		sort.Slice(spans, func(a, b int) bool { return spans[a].from < spans[b].from })
-		for _, sp := range spans {
-			out[t] = append(out[t], SenderBlock{
-				From:  sp.from,
-				Words: gathered[t][sp.off : sp.off+sp.ln],
-			})
-		}
+		t := targets[w]
+		lo := goff[t] + offsets[w]
+		out[t] = append(out[t], SenderBlock{
+			From:  w,
+			Words: gath[lo : lo+len(blocks[w])],
+		})
 	}
 	return out, nil
 }

@@ -1,0 +1,369 @@
+package fabric
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Flat-buffer round fabric: instead of materializing one Msg (and one Words
+// slice) per message per round, a round's outgoing traffic is staged in
+// per-worker contiguous []uint64 arenas as length-prefixed frames
+//
+//	to, from, nwords, payload...
+//
+// and delivered by a counting sort over destinations. Inbox Msg.Words are
+// zero-copy views into the staging arenas, and the arenas are recycled
+// across rounds through a sync.Pool, so the steady-state round executes
+// with no per-message heap allocation on the fabric side.
+//
+// Lifetime contract: the inboxes returned by a FrameFabric round (including
+// the classic Round adapter over it) reference pooled arenas and are valid
+// only until the next Round/FrameRound call on the same fabric. Every
+// consumer that needs data across rounds must copy it out — all in-tree
+// callers already do.
+
+// frameHeader is the number of header words per frame: to, from, nwords.
+const frameHeader = 3
+
+// FrameFabric is implemented by fabrics whose rounds can be staged directly
+// as flat frames, bypassing []Msg materialization on the send side. The
+// communication primitives in this package use it when available and fall
+// back to Fabric.Round otherwise; semantics (message content, inbox order,
+// ledger charges) are identical on both paths.
+type FrameFabric interface {
+	Fabric
+	// FrameRound runs one synchronous round: stage is invoked (possibly
+	// concurrently) once per worker to write that worker's outgoing frames.
+	FrameRound(stage func(w int, sb *SendBuf)) ([][]Msg, error)
+}
+
+// SendBuf stages one worker's outgoing frames for one round in a contiguous
+// arena. It is handed to staging callbacks by FrameRound; the zero value is
+// ready for use after reset.
+type SendBuf struct {
+	from int
+	buf  []uint64
+	nmsg int
+}
+
+func (sb *SendBuf) reset(from int) {
+	sb.from = from
+	sb.buf = sb.buf[:0]
+	sb.nmsg = 0
+}
+
+// Begin reserves a frame addressed to `to` with an n-word payload and
+// returns the payload slice for the caller to fill in place. The slice
+// must be filled before the next Begin/Put on the same SendBuf: a later
+// reservation may grow the arena and reallocate it, detaching earlier
+// payload slices. Destination validation happens at delivery, in staging
+// order, so the error behavior matches the classic per-message path.
+func (sb *SendBuf) Begin(to, n int) []uint64 {
+	sb.buf = append(sb.buf, uint64(int64(to)), uint64(sb.from), uint64(n))
+	l := len(sb.buf)
+	if cap(sb.buf)-l < n {
+		grown := make([]uint64, l, 2*(l+n)+64)
+		copy(grown, sb.buf)
+		sb.buf = grown
+	}
+	sb.buf = sb.buf[:l+n]
+	sb.nmsg++
+	return sb.buf[l : l+n]
+}
+
+// Put stages one message. Passing an existing slice with `words...` does
+// not copy it to the heap; the payload is copied into the arena.
+func (sb *SendBuf) Put(to int, words ...uint64) {
+	copy(sb.Begin(to, len(words)), words)
+}
+
+// messages materializes the staged frames as a []Msg — the fallback path
+// for fabrics without native frame support.
+func (sb *SendBuf) messages() []Msg {
+	if sb.nmsg == 0 {
+		return nil
+	}
+	out := make([]Msg, 0, sb.nmsg)
+	for i := 0; i < len(sb.buf); {
+		to := int(int64(sb.buf[i]))
+		nw := int(sb.buf[i+2])
+		out = append(out, Msg{To: to, Words: sb.buf[i+frameHeader : i+frameHeader+nw]})
+		i += frameHeader + nw
+	}
+	return out
+}
+
+// RoundFrames runs one round staged as flat frames: natively on a
+// FrameFabric, or materialized through Fabric.Round otherwise. Algorithm
+// code can use it in place of Fabric.Round without tying itself to any
+// backend: semantics (message content, inbox order, ledger charges) are
+// identical on both paths.
+func RoundFrames(f Fabric, stage func(w int, sb *SendBuf)) ([][]Msg, error) {
+	if ff, ok := f.(FrameFabric); ok {
+		return ff.FrameRound(stage)
+	}
+	n := f.Workers()
+	bufs := make([]SendBuf, n)
+	return f.Round(func(w int) []Msg {
+		sb := &bufs[w]
+		sb.reset(w)
+		stage(w, sb)
+		return sb.messages()
+	})
+}
+
+// RouteError reports a frame rejected at delivery: an out-of-range
+// destination, or (when a pair budget is enforced) a per-ordered-pair word
+// total exceeding it. Backends translate it into their model-specific error
+// types.
+type RouteError struct {
+	OutOfRange bool
+	From, To   int
+	Words      int // running (From,To) word total at the violation
+	Budget     int
+}
+
+func (e *RouteError) Error() string {
+	if e.OutOfRange {
+		return fmt.Sprintf("fabric: worker %d sent to out-of-range worker %d", e.From, e.To)
+	}
+	return fmt.Sprintf("fabric: pair (%d→%d) moved %d words (budget %d)", e.From, e.To, e.Words, e.Budget)
+}
+
+// DeliverOpts configures one delivery.
+type DeliverOpts struct {
+	// PairWords > 0 enforces the congested-clique per-ordered-pair word
+	// budget, checked in staging order.
+	PairWords int
+	// GroupOf maps workers to load-accounting groups (MPC machines); nil
+	// means per-worker accounting with Groups = workers.
+	GroupOf []int
+	Groups  int
+	// FreeIntraGroup leaves intra-group traffic uncharged (MPC's free
+	// machine-local exchange). Delivery still happens.
+	FreeIntraGroup bool
+}
+
+// RoundStats is the traffic profile of one delivered round. SendLoad and
+// RecvLoad are per group and borrowed from the RoundBuffer: valid until its
+// next Deliver.
+type RoundStats struct {
+	TotalWords  int64
+	MaxSendLoad int64
+	MaxRecvLoad int64
+	SendLoad    []int64
+	RecvLoad    []int64
+}
+
+// RoundBuffer holds the pooled arenas and scratch state for flat rounds.
+// Backends acquire one per round (releasing the previous round's buffer,
+// whose inbox data is dead by the lifetime contract) so arenas recycle
+// across rounds and across fabrics.
+type RoundBuffer struct {
+	n    int
+	send []SendBuf
+
+	cnt       []int32 // per destination: frame count, then fill cursor
+	off       []int32 // per destination: msg slab offsets (len n+1)
+	msgs      []Msg   // header slab; inboxes are windows into it
+	inboxes   [][]Msg
+	sendLoad  []int64
+	recvLoad  []int64
+	pairCnt   []int32 // per destination, epoch-stamped per sender
+	pairStamp []int64
+	stamp     int64
+}
+
+var roundBufPool = sync.Pool{New: func() any { return new(RoundBuffer) }}
+
+// AcquireRoundBuffer returns a buffer sized for an n-worker round with all
+// arenas reset (capacity retained from previous uses).
+func AcquireRoundBuffer(n int) *RoundBuffer {
+	rb := roundBufPool.Get().(*RoundBuffer)
+	rb.n = n
+	if cap(rb.send) < n {
+		grown := make([]SendBuf, n)
+		copy(grown, rb.send)
+		rb.send = grown
+	}
+	rb.send = rb.send[:n]
+	for w := 0; w < n; w++ {
+		rb.send[w].reset(w)
+	}
+	return rb
+}
+
+// ReleaseRoundBuffer returns a buffer to the pool. The caller must not touch
+// the buffer, or any inboxes delivered from it, afterwards.
+func ReleaseRoundBuffer(rb *RoundBuffer) { roundBufPool.Put(rb) }
+
+// Sender returns worker w's staging arena for the current round.
+func (rb *RoundBuffer) Sender(w int) *SendBuf { return &rb.send[w] }
+
+func growInt32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func growInt64(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	return s[:n]
+}
+
+// Deliver validates and routes the staged frames, returning per-worker
+// inboxes sorted exactly as SortInbox orders them: by sender, then by
+// lexicographic payload. The counting sort over destinations visits senders
+// in ascending order, so only equal-sender runs need payload ordering.
+func (rb *RoundBuffer) Deliver(opts DeliverOpts) ([][]Msg, RoundStats, error) {
+	n := rb.n
+	groups := opts.Groups
+	groupOf := opts.GroupOf
+	if groupOf == nil {
+		groups = n
+	}
+	rb.cnt = growInt32(rb.cnt, n)
+	rb.off = growInt32(rb.off, n+1)
+	rb.sendLoad = growInt64(rb.sendLoad, groups)
+	rb.recvLoad = growInt64(rb.recvLoad, groups)
+	for i := 0; i < n; i++ {
+		rb.cnt[i] = 0
+	}
+	for g := 0; g < groups; g++ {
+		rb.sendLoad[g] = 0
+		rb.recvLoad[g] = 0
+	}
+	if opts.PairWords > 0 {
+		rb.pairCnt = growInt32(rb.pairCnt, n)
+		if cap(rb.pairStamp) < n {
+			rb.pairStamp = make([]int64, n)
+			rb.stamp = 0
+		}
+		rb.pairStamp = rb.pairStamp[:n]
+	}
+
+	// Pass 1: validate in staging order, count frames per destination, and
+	// charge group loads.
+	var total int64
+	nmsg := 0
+	for w := 0; w < n; w++ {
+		buf := rb.send[w].buf
+		rb.stamp++
+		gw := w
+		if groupOf != nil {
+			gw = groupOf[w]
+		}
+		for i := 0; i < len(buf); {
+			to := int(int64(buf[i]))
+			nw := int(buf[i+2])
+			if to < 0 || to >= n {
+				return nil, RoundStats{}, &RouteError{OutOfRange: true, From: w, To: to}
+			}
+			if opts.PairWords > 0 {
+				if rb.pairStamp[to] != rb.stamp {
+					rb.pairStamp[to] = rb.stamp
+					rb.pairCnt[to] = 0
+				}
+				rb.pairCnt[to] += int32(nw)
+				if int(rb.pairCnt[to]) > opts.PairWords {
+					return nil, RoundStats{}, &RouteError{
+						From: w, To: to, Words: int(rb.pairCnt[to]), Budget: opts.PairWords,
+					}
+				}
+			}
+			rb.cnt[to]++
+			nmsg++
+			gt := to
+			if groupOf != nil {
+				gt = groupOf[to]
+			}
+			if !opts.FreeIntraGroup || gt != gw {
+				words := int64(nw)
+				rb.sendLoad[gw] += words
+				rb.recvLoad[gt] += words
+				total += words
+			}
+			i += frameHeader + nw
+		}
+	}
+
+	// Pass 2: prefix offsets, then scatter headers into the msg slab.
+	// Visiting senders in ascending order makes each inbox From-sorted.
+	rb.off[0] = 0
+	for d := 0; d < n; d++ {
+		rb.off[d+1] = rb.off[d] + rb.cnt[d]
+		rb.cnt[d] = 0 // reuse as fill cursor
+	}
+	if cap(rb.msgs) < nmsg {
+		rb.msgs = make([]Msg, nmsg)
+	}
+	rb.msgs = rb.msgs[:nmsg]
+	for w := 0; w < n; w++ {
+		buf := rb.send[w].buf
+		for i := 0; i < len(buf); {
+			to := int(int64(buf[i]))
+			nw := int(buf[i+2])
+			idx := int(rb.off[to] + rb.cnt[to])
+			rb.cnt[to]++
+			rb.msgs[idx] = Msg{To: to, From: w, Words: buf[i+frameHeader : i+frameHeader+nw : i+frameHeader+nw]}
+			i += frameHeader + nw
+		}
+	}
+
+	// Pass 3: slice inboxes out of the slab and order equal-sender runs by
+	// payload (SortInbox's tie-break; runs are per ordered pair and tiny).
+	if cap(rb.inboxes) < n {
+		rb.inboxes = make([][]Msg, n)
+	}
+	rb.inboxes = rb.inboxes[:n]
+	var maxSend, maxRecv int64
+	for g := 0; g < groups; g++ {
+		if rb.sendLoad[g] > maxSend {
+			maxSend = rb.sendLoad[g]
+		}
+		if rb.recvLoad[g] > maxRecv {
+			maxRecv = rb.recvLoad[g]
+		}
+	}
+	for d := 0; d < n; d++ {
+		in := rb.msgs[rb.off[d]:rb.off[d+1]]
+		rb.inboxes[d] = in
+		for i := 1; i < len(in); {
+			if in[i].From != in[i-1].From {
+				i++
+				continue
+			}
+			j := i - 1
+			for i < len(in) && in[i].From == in[j].From {
+				i++
+			}
+			insertionSortByWords(in[j:i])
+		}
+	}
+	return rb.inboxes, RoundStats{
+		TotalWords:  total,
+		MaxSendLoad: maxSend,
+		MaxRecvLoad: maxRecv,
+		SendLoad:    rb.sendLoad,
+		RecvLoad:    rb.recvLoad,
+	}, nil
+}
+
+// insertionSortByWords orders an equal-sender run lexicographically by
+// payload. Runs are bounded by the per-pair message count (a small constant
+// under the bandwidth budget), so insertion sort wins over sort.Slice and
+// allocates nothing.
+func insertionSortByWords(run []Msg) {
+	for i := 1; i < len(run); i++ {
+		m := run[i]
+		j := i - 1
+		for j >= 0 && lessWords(m.Words, run[j].Words) {
+			run[j+1] = run[j]
+			j--
+		}
+		run[j+1] = m
+	}
+}

@@ -1,0 +1,109 @@
+package fabric
+
+import (
+	"errors"
+	"testing"
+)
+
+func stageInto(rb *RoundBuffer, w int, msgs ...Msg) {
+	sb := rb.Sender(w)
+	for _, m := range msgs {
+		sb.Put(m.To, m.Words...)
+	}
+}
+
+func TestRoundBufferDeliverSortsLikeSortInbox(t *testing.T) {
+	rb := AcquireRoundBuffer(4)
+	defer ReleaseRoundBuffer(rb)
+	// Worker 2 sends two messages to 0 out of payload order; worker 1 sends
+	// one; delivery must be sender-sorted with equal-sender runs ordered by
+	// lexicographic payload.
+	stageInto(rb, 2, Msg{To: 0, Words: []uint64{9, 1}}, Msg{To: 0, Words: []uint64{3}})
+	stageInto(rb, 1, Msg{To: 0, Words: []uint64{7}})
+	in, stats, err := rb.Deliver(DeliverOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := in[0]
+	if len(got) != 3 {
+		t.Fatalf("inbox 0 has %d msgs, want 3", len(got))
+	}
+	if got[0].From != 1 || got[0].Words[0] != 7 {
+		t.Fatalf("msg 0: %+v", got[0])
+	}
+	if got[1].From != 2 || got[1].Words[0] != 3 {
+		t.Fatalf("msg 1 (payload-sorted run): %+v", got[1])
+	}
+	if got[2].From != 2 || got[2].Words[0] != 9 || got[2].Words[1] != 1 {
+		t.Fatalf("msg 2: %+v", got[2])
+	}
+	if stats.TotalWords != 4 || stats.MaxSendLoad != 3 || stats.MaxRecvLoad != 4 {
+		t.Fatalf("stats: %+v", stats)
+	}
+}
+
+func TestRoundBufferPairBudget(t *testing.T) {
+	rb := AcquireRoundBuffer(3)
+	defer ReleaseRoundBuffer(rb)
+	stageInto(rb, 0, Msg{To: 1, Words: []uint64{1, 2}}, Msg{To: 1, Words: []uint64{3}})
+	_, _, err := rb.Deliver(DeliverOpts{PairWords: 2})
+	var re *RouteError
+	if !errors.As(err, &re) || re.OutOfRange || re.From != 0 || re.To != 1 || re.Words != 3 {
+		t.Fatalf("want pair-budget RouteError(0→1, 3 words), got %v", err)
+	}
+}
+
+func TestRoundBufferOutOfRange(t *testing.T) {
+	rb := AcquireRoundBuffer(2)
+	defer ReleaseRoundBuffer(rb)
+	stageInto(rb, 1, Msg{To: 5, Words: []uint64{1}})
+	_, _, err := rb.Deliver(DeliverOpts{})
+	var re *RouteError
+	if !errors.As(err, &re) || !re.OutOfRange || re.From != 1 || re.To != 5 {
+		t.Fatalf("want out-of-range RouteError(1→5), got %v", err)
+	}
+}
+
+func TestRoundBufferGroupedLoads(t *testing.T) {
+	rb := AcquireRoundBuffer(4)
+	defer ReleaseRoundBuffer(rb)
+	groupOf := []int{0, 0, 1, 1}
+	// 0→1 intra-group (free), 0→2 cross (2 words), 3→0 cross (1 word).
+	stageInto(rb, 0, Msg{To: 1, Words: []uint64{5}}, Msg{To: 2, Words: []uint64{6, 7}})
+	stageInto(rb, 3, Msg{To: 0, Words: []uint64{8}})
+	in, stats, err := rb.Deliver(DeliverOpts{GroupOf: groupOf, Groups: 2, FreeIntraGroup: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TotalWords != 3 {
+		t.Fatalf("total = %d, want 3 (intra-group traffic free)", stats.TotalWords)
+	}
+	if stats.SendLoad[0] != 2 || stats.SendLoad[1] != 1 || stats.RecvLoad[0] != 1 || stats.RecvLoad[1] != 2 {
+		t.Fatalf("loads: send=%v recv=%v", stats.SendLoad, stats.RecvLoad)
+	}
+	// Intra-group message still delivered.
+	if len(in[1]) != 1 || in[1][0].Words[0] != 5 {
+		t.Fatalf("intra-group message not delivered: %+v", in[1])
+	}
+}
+
+func TestSendBufBeginGrowthKeepsEarlierPayloads(t *testing.T) {
+	var sb SendBuf
+	sb.reset(0)
+	p1 := sb.Begin(1, 2)
+	p1[0], p1[1] = 11, 12
+	// Force growth several times; earlier frames must stay intact in buf.
+	for i := 0; i < 64; i++ {
+		p := sb.Begin(1, 17)
+		for j := range p {
+			p[j] = uint64(i)
+		}
+	}
+	msgs := sb.messages()
+	if len(msgs) != 65 {
+		t.Fatalf("got %d msgs", len(msgs))
+	}
+	if msgs[0].Words[0] != 11 || msgs[0].Words[1] != 12 {
+		t.Fatalf("first frame corrupted after growth: %+v", msgs[0])
+	}
+}

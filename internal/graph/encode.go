@@ -1,5 +1,7 @@
 package graph
 
+import "fmt"
+
 // Canonical wire encoding of graphs and instances, in 64-bit machine words.
 //
 // Graph is already canonical storage (CSR with sorted neighbor lists) and
@@ -33,4 +35,93 @@ func AppendInstanceWords(dst []uint64, inst *Instance) []uint64 {
 		}
 	}
 	return dst
+}
+
+// DecodeGraphWords decodes a graph from the prefix of a canonical word
+// stream, returning the graph and the number of words consumed. It rejects
+// malformed streams (truncation, inconsistent offsets, out-of-range or
+// unsorted adjacency, asymmetry) — every graph it accepts re-encodes to
+// exactly the consumed prefix, which is what keeps the serving cache's
+// content addressing injective.
+func DecodeGraphWords(words []uint64) (*Graph, int, error) {
+	if len(words) < 2 {
+		return nil, 0, fmt.Errorf("graph: decode: stream too short for header")
+	}
+	n := int(words[0])
+	m := int(words[1])
+	if n < 0 || uint64(n) != words[0] || m < 0 || uint64(m) != words[1] {
+		return nil, 0, fmt.Errorf("graph: decode: implausible header n=%d m=%d", words[0], words[1])
+	}
+	need := 2 + (n + 1) + 2*m
+	if n > len(words) || m > len(words) || need > len(words) {
+		return nil, 0, fmt.Errorf("graph: decode: stream has %d words, need %d", len(words), need)
+	}
+	offs := words[2 : 2+n+1]
+	if offs[0] != 0 || offs[n] != uint64(2*m) {
+		return nil, 0, fmt.Errorf("graph: decode: offset bounds [%d,%d] want [0,%d]", offs[0], offs[n], 2*m)
+	}
+	adjWords := words[2+n+1 : need]
+	adj := make([][]int32, n)
+	for v := 0; v < n; v++ {
+		lo, hi := offs[v], offs[v+1]
+		if lo > hi || hi > uint64(2*m) {
+			return nil, 0, fmt.Errorf("graph: decode: node %d offsets [%d,%d] invalid", v, lo, hi)
+		}
+		l := make([]int32, hi-lo)
+		for i := range l {
+			u := adjWords[int(lo)+i]
+			if u >= uint64(n) {
+				return nil, 0, fmt.Errorf("graph: decode: node %d neighbor %d out of range", v, u)
+			}
+			if i > 0 && uint64(l[i-1]) >= u {
+				return nil, 0, fmt.Errorf("graph: decode: node %d adjacency not strictly sorted", v)
+			}
+			l[i] = int32(u)
+		}
+		adj[v] = l
+	}
+	g, err := NewGraph(adj)
+	if err != nil {
+		return nil, 0, fmt.Errorf("graph: decode: %w", err)
+	}
+	if g.M() != m {
+		return nil, 0, fmt.Errorf("graph: decode: header says %d edges, adjacency has %d", m, g.M())
+	}
+	return g, need, nil
+}
+
+// DecodeInstanceWords decodes the canonical word stream produced by
+// AppendInstanceWords, round-tripping exactly: for every accepted stream,
+// AppendInstanceWords(nil, decoded) reproduces the input. Palettes must be
+// strictly sorted (the canonical form) and satisfy p(v) > d(v).
+func DecodeInstanceWords(words []uint64) (*Instance, error) {
+	g, used, err := DecodeGraphWords(words)
+	if err != nil {
+		return nil, err
+	}
+	rest := words[used:]
+	pals := make([]Palette, g.N())
+	for v := 0; v < g.N(); v++ {
+		if len(rest) < 1 {
+			return nil, fmt.Errorf("graph: decode: stream ends before palette %d", v)
+		}
+		k := int(rest[0])
+		if k < 0 || uint64(k) != rest[0] || k > len(rest)-1 {
+			return nil, fmt.Errorf("graph: decode: palette %d length %d exceeds stream", v, rest[0])
+		}
+		pal := make(Palette, k)
+		for i := 0; i < k; i++ {
+			c := Color(rest[1+i])
+			if i > 0 && pal[i-1] >= c {
+				return nil, fmt.Errorf("graph: decode: palette %d not strictly sorted", v)
+			}
+			pal[i] = c
+		}
+		pals[v] = pal
+		rest = rest[1+k:]
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("graph: decode: %d trailing words", len(rest))
+	}
+	return NewInstance(g, pals)
 }

@@ -1,0 +1,122 @@
+package graph
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+func TestInstanceWordsRoundTrip(t *testing.T) {
+	g, err := GNP(40, 0.1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := DegPlus1Instance(g, 1<<20, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := AppendInstanceWords(nil, inst)
+	dec, err := DecodeInstanceWords(words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := AppendInstanceWords(nil, dec)
+	if len(re) != len(words) {
+		t.Fatalf("re-encoded %d words, want %d", len(re), len(words))
+	}
+	for i := range words {
+		if re[i] != words[i] {
+			t.Fatalf("word %d: %d != %d", i, re[i], words[i])
+		}
+	}
+}
+
+// FuzzInstanceWordsRoundTrip guards the serving cache's content addressing
+// against frame-layout drift: every instance the fuzzer can construct must
+// encode → decode → re-encode to the identical word stream, so structurally
+// equal instances keep identical fingerprints across releases.
+func FuzzInstanceWordsRoundTrip(f *testing.F) {
+	f.Add(uint8(8), uint16(20), uint8(3), uint64(1))
+	f.Add(uint8(1), uint16(0), uint8(0), uint64(99))
+	f.Add(uint8(32), uint16(200), uint8(10), uint64(42))
+	f.Fuzz(func(t *testing.T, nRaw uint8, edges uint16, extra uint8, seed uint64) {
+		n := int(nRaw)%48 + 1
+		adj := make([][]int32, n)
+		rng := NewRand(seed)
+		for e := 0; e < int(edges)%128; e++ {
+			u := int32(rng.Intn(int64(n)))
+			v := int32(rng.Intn(int64(n)))
+			if u == v {
+				continue
+			}
+			dup := false
+			for _, w := range adj[u] {
+				if w == v {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			adj[u] = append(adj[u], v)
+			adj[v] = append(adj[v], u)
+		}
+		g, err := NewGraph(adj)
+		if err != nil {
+			t.Fatalf("generator produced invalid graph: %v", err)
+		}
+		inst, err := DegPlus1Instance(g, int64(g.MaxDegree())+2+int64(extra), seed)
+		if err != nil {
+			t.Fatalf("instance: %v", err)
+		}
+		words := AppendInstanceWords(nil, inst)
+		dec, err := DecodeInstanceWords(words)
+		if err != nil {
+			t.Fatalf("decode of canonical stream failed: %v", err)
+		}
+		re := AppendInstanceWords(nil, dec)
+		if len(re) != len(words) {
+			t.Fatalf("re-encode length %d != %d", len(re), len(words))
+		}
+		for i := range words {
+			if re[i] != words[i] {
+				t.Fatalf("round-trip diverges at word %d: %d != %d", i, re[i], words[i])
+			}
+		}
+	})
+}
+
+// FuzzDecodeInstanceWords feeds arbitrary byte streams to the decoder: it
+// must never panic, and anything it accepts must re-encode byte-identically
+// (i.e. the decoder only accepts canonical streams).
+func FuzzDecodeInstanceWords(f *testing.F) {
+	g, _ := GNP(6, 0.5, 3)
+	inst := DeltaPlus1Instance(g)
+	words := AppendInstanceWords(nil, inst)
+	buf := make([]byte, 8*len(words))
+	for i, w := range words {
+		binary.LittleEndian.PutUint64(buf[8*i:], w)
+	}
+	f.Add(buf)
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		words := make([]uint64, len(raw)/8)
+		for i := range words {
+			words[i] = binary.LittleEndian.Uint64(raw[8*i:])
+		}
+		inst, err := DecodeInstanceWords(words)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		re := AppendInstanceWords(nil, inst)
+		if len(re) != len(words) {
+			t.Fatalf("accepted non-canonical stream: re-encode %d words != %d", len(re), len(words))
+		}
+		for i := range words {
+			if re[i] != words[i] {
+				t.Fatalf("accepted non-canonical stream: word %d differs", i)
+			}
+		}
+	})
+}

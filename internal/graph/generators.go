@@ -223,13 +223,26 @@ func PowerLaw(n, mAttach int, seed uint64) (*Graph, error) {
 			targets = append(targets, int32(u), int32(v))
 		}
 	}
+	chosen := make([]int32, 0, mAttach)
 	for v := mAttach + 1; v < n; v++ {
-		chosen := make(map[int32]struct{}, mAttach)
+		// Draw-order slice, not a map: edge insertion order feeds back into
+		// the attachment distribution, so iteration order must be
+		// deterministic for fixed seeds (the server cache depends on it).
+		chosen = chosen[:0]
 		for len(chosen) < mAttach {
 			t := targets[rng.Intn(int64(len(targets)))]
-			chosen[t] = struct{}{}
+			dup := false
+			for _, c := range chosen {
+				if c == t {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				chosen = append(chosen, t)
+			}
 		}
-		for t := range chosen {
+		for _, t := range chosen {
 			edges = append(edges, [2]int32{int32(v), t})
 			targets = append(targets, int32(v), t)
 		}

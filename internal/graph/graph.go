@@ -9,6 +9,7 @@ package graph
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -41,7 +42,7 @@ func NewGraph(adj [][]int32) (*Graph, error) {
 	for v, l := range adj {
 		ll := make([]int32, len(l))
 		copy(ll, l)
-		sort.Slice(ll, func(i, j int) bool { return ll[i] < ll[j] })
+		slices.Sort(ll)
 		for i, u := range ll {
 			if u < 0 || int(u) >= n {
 				return nil, fmt.Errorf("graph: node %d has out-of-range neighbor %d", v, u)
@@ -190,7 +191,7 @@ type Palette []Color
 func NewPalette(colors []Color) (Palette, error) {
 	p := make(Palette, len(colors))
 	copy(p, colors)
-	sort.Slice(p, func(i, j int) bool { return p[i] < p[j] })
+	slices.Sort(p)
 	for i := 1; i < len(p); i++ {
 		if p[i] == p[i-1] {
 			return nil, fmt.Errorf("graph: duplicate color %d in palette", p[i])
@@ -214,19 +215,21 @@ func (p Palette) Contains(c Color) bool {
 	return i < len(p) && p[i] == c
 }
 
-// Without returns a new palette with the given colors removed. The removed
-// set may contain colors not present in p.
-func (p Palette) Without(remove map[Color]struct{}) Palette {
-	if len(remove) == 0 {
-		out := make(Palette, len(p))
-		copy(out, p)
-		return out
-	}
+// Without returns a new palette with the given colors removed, by a linear
+// sorted merge. remove must be sorted ascending (duplicates allowed) and
+// may contain colors not present in p — callers keep a reusable sorted
+// scratch slice instead of building a set per node.
+func (p Palette) Without(remove []Color) Palette {
 	out := make(Palette, 0, len(p))
+	j := 0
 	for _, c := range p {
-		if _, hit := remove[c]; !hit {
-			out = append(out, c)
+		for j < len(remove) && remove[j] < c {
+			j++
 		}
+		if j < len(remove) && remove[j] == c {
+			continue
+		}
+		out = append(out, c)
 	}
 	return out
 }
@@ -290,9 +293,10 @@ func DegPlus1Instance(g *Graph, universe int64, seed uint64) (*Instance, error) 
 	}
 	rng := NewRand(seed)
 	pals := make([]Palette, g.N())
+	set := make(map[Color]struct{}, g.MaxDegree()+1) // scratch, cleared per node
 	for v := 0; v < g.N(); v++ {
 		need := g.Degree(int32(v)) + 1
-		set := make(map[Color]struct{}, need)
+		clear(set)
 		list := make([]Color, 0, need)
 		for len(list) < need {
 			c := Color(rng.Intn(universe))
@@ -321,8 +325,9 @@ func ListInstance(g *Graph, universe int64, seed uint64) (*Instance, error) {
 	}
 	rng := NewRand(seed)
 	pals := make([]Palette, g.N())
+	set := make(map[Color]struct{}, delta+1) // scratch, cleared per node
 	for v := 0; v < g.N(); v++ {
-		set := make(map[Color]struct{}, delta+1)
+		clear(set)
 		list := make([]Color, 0, delta+1)
 		for len(list) < delta+1 {
 			c := Color(rng.Intn(universe))

@@ -227,9 +227,15 @@ func TestPalette(t *testing.T) {
 	if _, err := NewPalette([]Color{1, 1}); err == nil {
 		t.Fatal("duplicate color accepted")
 	}
-	q := p.Without(map[Color]struct{}{3: {}})
+	q := p.Without([]Color{3})
 	if len(q) != 2 || q.Contains(3) {
 		t.Fatal("Without wrong")
+	}
+	if full := p.Without([]Color{0, 1, 2, 3, 4, 5, 6}); len(full) != 0 {
+		t.Fatalf("Without did not remove all: %v", full)
+	}
+	if none := p.Without(nil); len(none) != 3 {
+		t.Fatalf("Without(nil) dropped colors: %v", none)
 	}
 	r := p.Filter(func(c Color) bool { return c > 2 })
 	if len(r) != 2 || r.Contains(1) {

@@ -100,6 +100,12 @@ type solver struct {
 	color   []graph.Color
 	machine []int // home machine per node (chunk-0 machine)
 
+	// Reusable per-node scratch, stamp-based so recursive calls need no
+	// per-call maps: stamp[v] == curStamp marks v in the current set.
+	stamp    []int64
+	curStamp int64
+	idxOf    []int32 // node → pool-local index scratch (colorPool)
+
 	colorDomain int64
 	trace       *Trace
 }
@@ -181,6 +187,8 @@ func Solve(inst *graph.Instance, p Params) (graph.Coloring, *Trace, error) {
 		pal:     make([]graph.Palette, n),
 		color:   graph.NewColoring(n),
 		machine: machineOf,
+		stamp:   make([]int64, n),
+		idxOf:   make([]int32, n),
 		trace: &Trace{
 			N: n, Delta: inst.G.MaxDegree(), Machines: machines,
 			SpaceWords: space, Tau: tau, Bins: bins,
@@ -200,6 +208,7 @@ func Solve(inst *graph.Instance, p Params) (graph.Coloring, *Trace, error) {
 	for i := range all {
 		all[i] = int32(i)
 	}
+	defer cluster.Release() // return round arenas to the shared pool
 	crit, err := s.colorReduce(all, 0)
 	if err != nil {
 		return nil, s.trace, err
@@ -239,14 +248,17 @@ func (s *solver) colorReduce(nodes []int32, depth int) (int, error) {
 	}
 
 	// Split into the low-degree pool G0 and the high-degree remainder.
-	inCall := make(map[int32]struct{}, len(live))
+	// Membership is stamp-based: no per-call set allocation, and the stamp
+	// is only read before the recursive calls below re-stamp it.
+	s.curStamp++
+	inCall := s.curStamp
 	for _, v := range live {
-		inCall[v] = struct{}{}
+		s.stamp[v] = inCall
 	}
 	degIn := func(v int32) int {
 		d := 0
 		for _, u := range s.adj[v] {
-			if _, in := inCall[u]; in && s.color[u] == graph.NoColor {
+			if s.stamp[u] == inCall && s.color[u] == graph.NoColor {
 				d++
 			}
 		}

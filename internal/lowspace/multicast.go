@@ -18,7 +18,8 @@ type msgPair struct {
 // machine's receive load stay within half of 𝔰. A node whose fan-out
 // exceeds 𝔰 (e.g. a star center) therefore takes ⌈deg/(𝔰/2)⌉ sub-rounds —
 // the serialized rendering of what the paper's M_v^N chunk machines do in
-// parallel from different machines.
+// parallel from different machines. Load accounting is machine-indexed
+// slices (one pair per sub-round), not per-call maps.
 func (s *solver) spacedMulticast(phase string, pairs []msgPair) error {
 	if len(pairs) == 0 {
 		return nil
@@ -27,7 +28,8 @@ func (s *solver) spacedMulticast(phase string, pairs []msgPair) error {
 	if budget < 1 {
 		budget = 1
 	}
-	type load struct{ snd, rcv map[int]int64 }
+	machines := s.cluster.Machines()
+	type load struct{ snd, rcv []int64 }
 	var rounds []load
 	roundOf := make([]int, len(pairs))
 	for i, p := range pairs {
@@ -49,7 +51,7 @@ func (s *solver) spacedMulticast(phase string, pairs []msgPair) error {
 			}
 		}
 		if !placed {
-			l := load{snd: map[int]int64{}, rcv: map[int]int64{}}
+			l := load{snd: make([]int64, machines), rcv: make([]int64, machines)}
 			if fm != tm {
 				l.snd[fm]++
 				l.rcv[tm]++
@@ -60,15 +62,13 @@ func (s *solver) spacedMulticast(phase string, pairs []msgPair) error {
 	}
 	s.cluster.Ledger().SetPhase(phase)
 	for r := range rounds {
-		if _, err := s.cluster.Round(func(w int) []fabric.Msg {
-			var out []fabric.Msg
+		if _, err := s.cluster.FrameRound(func(w int, sb *fabric.SendBuf) {
 			for i, p := range pairs {
 				if roundOf[i] != r || int(p.from) != w {
 					continue
 				}
-				out = append(out, fabric.Msg{To: int(p.to), Words: []uint64{p.word}})
+				sb.Put(int(p.to), p.word)
 			}
-			return out
 		}); err != nil {
 			return fmt.Errorf("lowspace: %s sub-round %d: %w", phase, r, err)
 		}

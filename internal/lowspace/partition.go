@@ -34,10 +34,14 @@ func (s *solver) partition(high []int32, depth int) ([][]int32, []int32, int, er
 		}
 		filt[v] = l
 	}
+	// spanScratch backs chunksOf across calls: the derand local callback
+	// runs serially on grouped fabrics (the only fabric lowspace uses), so
+	// one scratch per partition call is race-free.
+	var spanScratch [][2]int
 	chunksOf := func(total int) [][2]int {
 		// Split [0,total) into pieces of size in [τ, 2τ] (possible since
 		// total > τ); a final short remainder merges into its predecessor.
-		var spans [][2]int
+		spans := spanScratch[:0]
 		for lo := 0; lo < total; {
 			hi := lo + s.tau
 			if hi > total {
@@ -49,6 +53,7 @@ func (s *solver) partition(high []int32, depth int) ([][]int32, []int32, int, er
 			spans = append(spans, [2]int{lo, hi})
 			lo = hi
 		}
+		spanScratch = spans
 		return spans
 	}
 

@@ -25,17 +25,21 @@ func (s *solver) colorPool(pool []int32) (int, error) {
 	}
 	s.trace.PoolNodes += len(live)
 
-	// Build the pool-induced instance with truncated palettes.
-	idx := make(map[int32]int32, len(live))
+	// Build the pool-induced instance with truncated palettes. The
+	// node → pool-index mapping reuses the solver's stamp + index scratch
+	// instead of a per-call map.
+	s.curStamp++
+	inPool := s.curStamp
 	for i, v := range live {
-		idx[v] = int32(i)
+		s.stamp[v] = inPool
+		s.idxOf[v] = int32(i)
 	}
 	adj := make([][]int32, len(live))
 	pals := make([]graph.Palette, len(live))
 	for i, v := range live {
 		for _, u := range s.adj[v] {
-			if j, in := idx[u]; in {
-				adj[i] = append(adj[i], j)
+			if s.stamp[u] == inPool {
+				adj[i] = append(adj[i], s.idxOf[u])
 			}
 		}
 		need := len(adj[i]) + 1
@@ -85,6 +89,7 @@ func (s *solver) colorPool(pool []int32) (int, error) {
 	mp := s.p.MIS
 	mp.Salt = uint64(len(live))*0x9e3779b97f4a7c15 + uint64(s.trace.PoolNodes)
 	in, st, err := mis.SolveDet(misCluster, pairWords, red.G, mp)
+	misCluster.Release() // per-pool cluster: return arenas before it goes out of scope
 	if err != nil {
 		return 0, fmt.Errorf("lowspace: MIS: %w", err)
 	}

@@ -12,6 +12,7 @@
 package mpc
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -32,9 +33,17 @@ type Cluster struct {
 
 	peakSpace   int64 // max over machines and rounds of resident + inbound
 	totalBudget int64 // 0 = unchecked
+
+	// live is the round buffer backing the most recent round's inboxes; it
+	// is recycled when the next round starts (see fabric.RoundBuffer's
+	// lifetime contract).
+	live *fabric.RoundBuffer
 }
 
-var _ fabric.Fabric = (*Cluster)(nil)
+var (
+	_ fabric.Fabric      = (*Cluster)(nil)
+	_ fabric.FrameFabric = (*Cluster)(nil)
+)
 
 // Option configures a Cluster.
 type Option func(*Cluster)
@@ -113,6 +122,17 @@ func NewLinear(n int, nodeWeight func(v int) int64, spaceFactor int, opts ...Opt
 // Workers returns the number of virtual workers.
 func (c *Cluster) Workers() int { return c.virtual }
 
+// Release returns the cluster's round arenas to the shared pool for reuse
+// by other fabrics. Call it once the solve is done; the last round's
+// inboxes become invalid. The cluster remains usable — the next round
+// simply acquires a fresh buffer.
+func (c *Cluster) Release() {
+	if c.live != nil {
+		fabric.ReleaseRoundBuffer(c.live)
+		c.live = nil
+	}
+}
+
 // Machines returns 𝔐.
 func (c *Cluster) Machines() int { return c.machines }
 
@@ -181,62 +201,67 @@ func (e *SpaceError) Error() string {
 
 // Round executes one synchronous round across the virtual workers, charging
 // traffic at machine granularity. Cross-machine sends and receives per
-// machine must each fit in 𝔰.
+// machine must each fit in 𝔰. Inboxes are zero-copy views into pooled
+// arenas, valid until the next round on this cluster.
 func (c *Cluster) Round(produce func(w int) []fabric.Msg) ([][]fabric.Msg, error) {
-	out := make([][]fabric.Msg, c.virtual)
-	c.runParallel(func(v int) { out[v] = produce(v) })
+	return c.FrameRound(func(w int, sb *fabric.SendBuf) {
+		for _, m := range produce(w) {
+			sb.Put(m.To, m.Words...)
+		}
+	})
+}
 
-	inboxes := make([][]fabric.Msg, c.virtual)
-	sendLoad := make([]int64, c.machines)
-	recvLoad := make([]int64, c.machines)
-	var totalWords, maxSend, maxRecv int64
-	for from, msgs := range out {
-		fm := c.assign[from]
-		for _, m := range msgs {
-			if m.To < 0 || m.To >= c.virtual {
-				return nil, fmt.Errorf("mpc: worker %d sent to out-of-range worker %d", from, m.To)
-			}
-			tm := c.assign[m.To]
-			m.From = from
-			inboxes[m.To] = append(inboxes[m.To], m)
-			if tm != fm {
-				w := int64(len(m.Words))
-				sendLoad[fm] += w
-				recvLoad[tm] += w
-				totalWords += w
-			}
-		}
+// FrameRound executes one synchronous round staged directly as flat frames
+// (fabric.FrameFabric), avoiding per-message allocation entirely.
+func (c *Cluster) FrameRound(stage func(w int, sb *fabric.SendBuf)) ([][]fabric.Msg, error) {
+	if c.live != nil {
+		fabric.ReleaseRoundBuffer(c.live)
+		c.live = nil
 	}
+	rb := fabric.AcquireRoundBuffer(c.virtual)
+	c.live = rb
+	c.runParallel(func(v int) { stage(v, rb.Sender(v)) })
+	inboxes, stats, err := rb.Deliver(fabric.DeliverOpts{
+		GroupOf:        c.assign,
+		Groups:         c.machines,
+		FreeIntraGroup: true,
+	})
+	if err != nil {
+		var re *fabric.RouteError
+		if errors.As(err, &re) && re.OutOfRange {
+			return nil, fmt.Errorf("mpc: worker %d sent to out-of-range worker %d", re.From, re.To)
+		}
+		return nil, err
+	}
+	var maxSend, maxRecv int64
 	for m := 0; m < c.machines; m++ {
-		if sendLoad[m] > c.space {
-			return nil, &SpaceError{Machine: m, Used: sendLoad[m], Space: c.space, Kind: "send"}
+		send, recv := stats.SendLoad[m], stats.RecvLoad[m]
+		if send > c.space {
+			return nil, &SpaceError{Machine: m, Used: send, Space: c.space, Kind: "send"}
 		}
-		if recvLoad[m] > c.space {
-			return nil, &SpaceError{Machine: m, Used: recvLoad[m], Space: c.space, Kind: "recv"}
+		if recv > c.space {
+			return nil, &SpaceError{Machine: m, Used: recv, Space: c.space, Kind: "recv"}
 		}
-		if sendLoad[m] > maxSend {
-			maxSend = sendLoad[m]
+		if send > maxSend {
+			maxSend = send
 		}
-		if recvLoad[m] > maxRecv {
-			maxRecv = recvLoad[m]
+		if recv > maxRecv {
+			maxRecv = recv
 		}
-		if recvLoad[m] > c.peakSpace {
-			c.peakSpace = recvLoad[m]
+		if recv > c.peakSpace {
+			c.peakSpace = recv
 		}
-		if sendLoad[m] > c.peakSpace {
-			c.peakSpace = sendLoad[m]
+		if send > c.peakSpace {
+			c.peakSpace = send
 		}
 	}
 	if c.totalBudget > 0 {
-		used := c.TotalResident() + totalWords
+		used := c.TotalResident() + stats.TotalWords
 		if used > c.totalBudget {
 			return nil, &SpaceError{Machine: -1, Used: used, Space: c.totalBudget, Kind: "total"}
 		}
 	}
-	for v := range inboxes {
-		fabric.SortInbox(inboxes[v])
-	}
-	c.ledger.AddRound(totalWords, maxSend, maxRecv)
+	c.ledger.AddRound(stats.TotalWords, maxSend, maxRecv)
 	return inboxes, nil
 }
 

@@ -12,6 +12,8 @@ import (
 // These are the substrate the paper's §2.1 communication layer stands on;
 // ccolor's collectives use the specialized tree forms in internal/fabric,
 // and these general forms are exercised by the substrate test suite.
+// Both stage their exchanges as flat frames over machine-indexed slices —
+// no per-round maps, no per-message Words allocations.
 
 // PrefixSums computes, for every virtual worker w, the exclusive prefix
 // Σ_{i<w} local(i), using a fan-in-bounded scan over machines: machine
@@ -67,8 +69,7 @@ func PrefixSums(c *Cluster, local func(w int) int64) ([]int64, error) {
 		}
 		// One real round: block members ship their subtree sums to the
 		// block leader (addressed via the leader machine's first worker).
-		if _, err := c.Round(func(w int) []fabric.Msg {
-			var out []fabric.Msg
+		if _, err := c.FrameRound(func(w int, sb *fabric.SendBuf) {
 			for i := 0; i < len(cur.machines); i += branch {
 				end := i + branch
 				if end > len(cur.machines) {
@@ -78,13 +79,9 @@ func PrefixSums(c *Cluster, local func(w int) int64) ([]int64, error) {
 					if firstWorker[cur.machines[j]] != w {
 						continue
 					}
-					out = append(out, fabric.Msg{
-						To:    firstWorker[cur.machines[i]],
-						Words: []uint64{uint64(cur.sums[j])},
-					})
+					sb.Put(firstWorker[cur.machines[i]], uint64(cur.sums[j]))
 				}
 			}
-			return out
 		}); err != nil {
 			return nil, err
 		}
@@ -93,63 +90,61 @@ func PrefixSums(c *Cluster, local func(w int) int64) ([]int64, error) {
 	}
 
 	// Down-sweep: leaders hand each block member its offset (the leader's
-	// offset plus the sums of earlier members).
-	offsets := map[int]int64{cur.machines[0]: 0}
+	// offset plus the sums of earlier members). Offsets live in a
+	// machine-indexed slice; hasOff marks the machines resolved so far.
+	offsets := make([]int64, c.machines)
+	hasOff := make([]bool, c.machines)
+	nextHas := make([]bool, c.machines)
+	hasOff[cur.machines[0]] = true
 	for li := len(levels) - 2; li >= 0; li-- {
 		lv := levels[li]
-		newOffsets := make(map[int]int64, len(lv.machines))
-		if _, err := c.Round(func(w int) []fabric.Msg {
-			var out []fabric.Msg
+		if _, err := c.FrameRound(func(w int, sb *fabric.SendBuf) {
 			for i := 0; i < len(lv.machines); i += branch {
 				leader := lv.machines[i]
-				off, ok := offsets[leader]
-				if !ok || firstWorker[leader] != w {
+				if !hasOff[leader] || firstWorker[leader] != w {
 					continue
 				}
 				end := i + branch
 				if end > len(lv.machines) {
 					end = len(lv.machines)
 				}
-				acc := off
+				acc := offsets[leader]
 				for j := i; j < end; j++ {
 					if j > i {
-						out = append(out, fabric.Msg{
-							To:    firstWorker[lv.machines[j]],
-							Words: []uint64{uint64(acc)},
-						})
+						sb.Put(firstWorker[lv.machines[j]], uint64(acc))
 					}
 					acc += lv.sums[j]
 				}
 			}
-			return out
 		}); err != nil {
 			return nil, err
 		}
+		for m := range nextHas {
+			nextHas[m] = false
+		}
 		for i := 0; i < len(lv.machines); i += branch {
 			leader := lv.machines[i]
-			off, ok := offsets[leader]
-			if !ok {
+			if !hasOff[leader] {
 				continue
 			}
 			end := i + branch
 			if end > len(lv.machines) {
 				end = len(lv.machines)
 			}
-			acc := off
+			acc := offsets[leader]
 			for j := i; j < end; j++ {
-				newOffsets[lv.machines[j]] = acc
+				offsets[lv.machines[j]] = acc
+				nextHas[lv.machines[j]] = true
 				acc += lv.sums[j]
 			}
 		}
-		offsets = newOffsets
+		hasOff, nextHas = nextHas, hasOff
 	}
 
 	// Machine-local resolution: workers on one machine scan in ID order.
 	out := make([]int64, n)
 	acc := make([]int64, c.machines)
-	for m, off := range offsets {
-		acc[m] = off
-	}
+	copy(acc, offsets)
 	for w := 0; w < n; w++ {
 		m := c.assign[w]
 		out[w] = acc[m]
@@ -178,7 +173,7 @@ func Sort(c *Cluster, local [][]uint64) ([][]uint64, error) {
 	}
 
 	// Per-machine local sort + regular sampling (oversampling factor 4).
-	perMachine := make(map[int][]uint64, c.machines)
+	perMachine := make([][]uint64, c.machines)
 	for w, l := range local {
 		perMachine[c.assign[w]] = append(perMachine[c.assign[w]], l...)
 	}
@@ -202,23 +197,19 @@ func Sort(c *Cluster, local [][]uint64) ([][]uint64, error) {
 			break
 		}
 	}
-	if _, err := c.Round(func(w int) []fabric.Msg {
+	if _, err := c.FrameRound(func(w int, sb *fabric.SendBuf) {
 		m := c.assign[w]
 		if m == 0 || !isFirstOfMachine(c, w) {
-			return nil
+			return
 		}
 		keys := perMachine[m]
-		words := make([]uint64, 0, samplesPer)
+		if len(keys) == 0 {
+			return
+		}
+		payload := sb.Begin(first0, samplesPer)
 		for s := 1; s <= samplesPer; s++ {
-			if len(keys) == 0 {
-				break
-			}
-			words = append(words, keys[(len(keys)-1)*s/samplesPer])
+			payload[s-1] = keys[(len(keys)-1)*s/samplesPer]
 		}
-		if len(words) == 0 {
-			return nil
-		}
-		return []fabric.Msg{{To: first0, Words: words}}
 	}); err != nil {
 		return nil, err
 	}
@@ -229,45 +220,52 @@ func Sort(c *Cluster, local [][]uint64) ([][]uint64, error) {
 		splitters[i-1] = samples[(len(samples)-1)*i/n]
 	}
 	// Round 2: broadcast splitters (to each machine's first worker).
-	if _, err := c.Round(func(w int) []fabric.Msg {
+	if _, err := c.FrameRound(func(w int, sb *fabric.SendBuf) {
 		if w != first0 {
-			return nil
+			return
 		}
-		var out []fabric.Msg
 		for m := 1; m < c.machines; m++ {
 			fw := firstWorkerOf(c, m)
 			if fw >= 0 {
-				out = append(out, fabric.Msg{To: fw, Words: splitters})
+				sb.Put(fw, splitters...)
 			}
 		}
-		return out
 	}); err != nil {
 		return nil, err
 	}
 
-	// Round 3: route every key to its bucket worker.
+	// Round 3: route every key to its bucket worker. Each worker counting-
+	// sorts its keys by bucket into a flat scratch (stable, so keys stay in
+	// local order within a bucket) and ships one frame per bucket.
 	bucketOf := func(k uint64) int {
 		return sort.Search(len(splitters), func(i int) bool { return k <= splitters[i] })
 	}
 	result := make([][]uint64, n)
-	in, err := c.Round(func(w int) []fabric.Msg {
-		byBucket := make(map[int][]uint64)
-		for _, k := range local[w] {
-			b := bucketOf(k)
-			byBucket[b] = append(byBucket[b], k)
+	in, err := c.FrameRound(func(w int, sb *fabric.SendBuf) {
+		keys := local[w]
+		if len(keys) == 0 {
+			return
 		}
-		out := make([]fabric.Msg, 0, len(byBucket))
+		cnt := make([]int32, n+1)
+		for _, k := range keys {
+			cnt[bucketOf(k)+1]++
+		}
 		for b := 0; b < n; b++ {
-			keys, ok := byBucket[b]
-			if !ok {
-				continue
-			}
-			if b == w {
-				continue // delivered locally below
-			}
-			out = append(out, fabric.Msg{To: b, Words: keys})
+			cnt[b+1] += cnt[b]
 		}
-		return out
+		flat := make([]uint64, len(keys))
+		fill := make([]int32, n)
+		for _, k := range keys {
+			b := bucketOf(k)
+			flat[int(cnt[b])+int(fill[b])] = k
+			fill[b]++
+		}
+		for b := 0; b < n; b++ {
+			if b == w || cnt[b] == cnt[b+1] {
+				continue // own bucket is delivered locally below
+			}
+			sb.Put(b, flat[cnt[b]:cnt[b+1]]...)
+		}
 	})
 	if err != nil {
 		return nil, err

@@ -2,6 +2,7 @@ package ccolor
 
 import (
 	"fmt"
+	"slices"
 
 	"ccolor/internal/cclique"
 	"ccolor/internal/core"
@@ -86,14 +87,23 @@ type Report struct {
 	LowTrace *LowSpaceTrace
 }
 
+// countColors counts distinct colors by sorting a scratch copy — one
+// allocation instead of a per-solve map on the report path.
 func countColors(c Coloring) int {
-	seen := make(map[Color]struct{})
+	scratch := make([]Color, 0, len(c))
 	for _, x := range c {
 		if x != NoColor {
-			seen[x] = struct{}{}
+			scratch = append(scratch, x)
 		}
 	}
-	return len(seen)
+	slices.Sort(scratch)
+	n := 0
+	for i, x := range scratch {
+		if i == 0 || x != scratch[i-1] {
+			n++
+		}
+	}
+	return n
 }
 
 // Solve runs the selected model's algorithm on a list-coloring instance and
@@ -116,6 +126,7 @@ func Solve(inst *Instance, opts *Options) (*Report, error) {
 			p = *o.Params
 		}
 		nw := cclique.New(inst.G.N())
+		defer nw.Release() // return round arenas to the shared pool
 		col, tr, err := core.Solve(nw, nw.MsgWords(), inst, p)
 		if err != nil {
 			return nil, err
@@ -151,6 +162,7 @@ func Solve(inst *Instance, opts *Options) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
+		defer cl.Release() // return round arenas to the shared pool
 		col, tr, err := core.Solve(cl, 8, inst, p)
 		if err != nil {
 			return nil, err
