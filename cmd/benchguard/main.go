@@ -1,0 +1,137 @@
+// Command benchguard compares `go test -bench` output against the committed
+// cold-solve baseline (BENCH_solve.json) and fails when allocs/op regress
+// beyond a threshold. CI pipes the bench-smoke run through it so allocation
+// regressions on guarded paths break the build instead of landing silently:
+//
+//	go test -run NONE -bench 'BenchmarkSolveLowSpace' -benchmem -benchtime 5x . |
+//	    go run ./cmd/benchguard -baseline BENCH_solve.json -threshold 0.20
+//
+// Benchmarks present in the input but absent from the baseline are reported
+// and skipped; matching at least one baseline entry is required (a filter
+// typo must not pass vacuously). Use -require to insist specific benchmarks
+// were both run and checked.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+type baselineFile struct {
+	Results map[string]struct {
+		AllocsPerOp float64 `json:"allocs_per_op"`
+	} `json:"results"`
+}
+
+// benchLine matches one result line of `go test -bench -benchmem` output and
+// captures the benchmark name (with any -GOMAXPROCS suffix still attached).
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+(.*)$`)
+
+// allocsField captures the allocs/op metric from the measurements tail.
+var allocsField = regexp.MustCompile(`(\d+(?:\.\d+)?)\s+allocs/op`)
+
+// trimProcs strips the trailing -N GOMAXPROCS suffix go test appends to
+// benchmark names (baseline keys are stored without it).
+func trimProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_solve.json", "baseline JSON with results.<name>.allocs_per_op")
+	threshold := flag.Float64("threshold", 0.20, "maximum tolerated fractional allocs/op regression")
+	require := flag.String("require", "", "comma-separated benchmark name substrings that must be checked")
+	flag.Parse()
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fatalf("read baseline: %v", err)
+	}
+	var base baselineFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatalf("parse baseline %s: %v", *baselinePath, err)
+	}
+
+	checked := make([]string, 0, len(base.Results))
+	var regressions []string
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass the bench output through for the CI log
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name := trimProcs(m[1])
+		af := allocsField.FindStringSubmatch(m[2])
+		if af == nil {
+			continue // not run with -benchmem
+		}
+		measured, err := strconv.ParseFloat(af[1], 64)
+		if err != nil {
+			continue
+		}
+		entry, ok := base.Results[name]
+		if !ok || entry.AllocsPerOp <= 0 {
+			fmt.Printf("benchguard: %s not in baseline, skipped\n", name)
+			continue
+		}
+		limit := entry.AllocsPerOp * (1 + *threshold)
+		ratio := measured / entry.AllocsPerOp
+		status := "ok"
+		if measured > limit {
+			status = "REGRESSION"
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %.0f allocs/op vs baseline %.0f (%.2fx, limit %.0f)",
+				name, measured, entry.AllocsPerOp, ratio, limit))
+		}
+		fmt.Printf("benchguard: %s %s: %.0f allocs/op vs baseline %.0f (%.2fx, limit %.0f)\n",
+			name, status, measured, entry.AllocsPerOp, ratio, limit)
+		checked = append(checked, name)
+	}
+	if err := sc.Err(); err != nil {
+		fatalf("read input: %v", err)
+	}
+	if len(checked) == 0 {
+		fatalf("no benchmarks in the input matched the baseline — wrong -bench filter or missing -benchmem?")
+	}
+	for _, want := range strings.Split(*require, ",") {
+		want = strings.TrimSpace(want)
+		if want == "" {
+			continue
+		}
+		found := false
+		for _, name := range checked {
+			if strings.Contains(name, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fatalf("required benchmark %q was not checked (ran: %s)", want, strings.Join(checked, ", "))
+		}
+	}
+	if len(regressions) > 0 {
+		fatalf("allocs/op regressions beyond %.0f%%:\n  %s",
+			*threshold*100, strings.Join(regressions, "\n  "))
+	}
+	fmt.Printf("benchguard: %d benchmark(s) within %.0f%% of baseline\n", len(checked), *threshold*100)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchguard: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -80,6 +80,7 @@ func (s *Selector) Select(f fabric.Fabric, pairWords int, target int64, cost Loc
 		maxBatches = DefaultMaxBatches
 	}
 	var st Stats
+	shared := sharedCostScratch(f, width)
 	for batch := 0; batch < maxBatches; batch++ {
 		cands := make([]Pair, width)
 		for i := range cands {
@@ -91,7 +92,10 @@ func (s *Selector) Select(f fabric.Fabric, pairWords int, target int64, cost Loc
 			}
 		}
 		totals, err := fabric.AggregateVec(f, pairWords, width, func(w int) []int64 {
-			vals := make([]int64, width)
+			vals := shared
+			if vals == nil {
+				vals = make([]int64, width)
+			}
 			for i, p := range cands {
 				vals[i] = cost(w, p)
 			}
@@ -137,6 +141,7 @@ func (s *Selector) SelectBest(f fabric.Fabric, pairWords int, budgetBatches int,
 	var best Pair
 	bestCost := int64(1<<62 - 1)
 	haveBest := false
+	shared := sharedCostScratch(f, width)
 	for batch := 0; batch < budgetBatches; batch++ {
 		cands := make([]Pair, width)
 		for i := range cands {
@@ -148,7 +153,10 @@ func (s *Selector) SelectBest(f fabric.Fabric, pairWords int, budgetBatches int,
 			}
 		}
 		totals, err := fabric.AggregateVec(f, pairWords, width, func(w int) []int64 {
-			vals := make([]int64, width)
+			vals := shared
+			if vals == nil {
+				vals = make([]int64, width)
+			}
 			for i, p := range cands {
 				vals[i] = cost(w, p)
 			}
@@ -199,6 +207,17 @@ func (s *Selector) SelectLocal(target int64, cost func(p Pair) int64) (Pair, Sta
 	}
 	st.Batches = maxBatches
 	return Pair{}, st, fmt.Errorf("%w (target %d after %d candidates)", ErrExhausted, target, st.Candidates)
+}
+
+// sharedCostScratch returns a single reusable local-cost vector when the
+// fabric invokes AggregateVec's local callback serially (grouped fabrics —
+// see the AggregateVec contract), or nil when callbacks may run
+// concurrently and each invocation must allocate its own.
+func sharedCostScratch(f fabric.Fabric, width int) []int64 {
+	if _, ok := f.(fabric.Grouped); ok {
+		return make([]int64, width)
+	}
+	return nil
 }
 
 // mix derives independent sub-streams for the two families from a candidate

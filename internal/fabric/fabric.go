@@ -60,6 +60,18 @@ func NewLedger() *Ledger {
 // SetPhase labels subsequent rounds for attribution in reports.
 func (l *Ledger) SetPhase(label string) { l.label = label }
 
+// Reset clears all counters and phase attribution, returning the ledger to
+// its initial state. Fabrics that are recycled across solves (for example
+// mpc.Cluster.Reset) use it so each solve starts from a zero ledger.
+func (l *Ledger) Reset() {
+	l.rounds = 0
+	l.wordsMoved = 0
+	l.maxSendLoad = 0
+	l.maxRecvLoad = 0
+	l.label = ""
+	clear(l.byLabel)
+}
+
 // Phase returns the current phase label.
 func (l *Ledger) Phase() string { return l.label }
 

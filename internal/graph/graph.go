@@ -234,18 +234,6 @@ func (p Palette) Without(remove []Color) Palette {
 	return out
 }
 
-// Filter returns a new palette keeping only colors for which keep returns
-// true, preserving order.
-func (p Palette) Filter(keep func(Color) bool) Palette {
-	out := make(Palette, 0, len(p))
-	for _, c := range p {
-		if keep(c) {
-			out = append(out, c)
-		}
-	}
-	return out
-}
-
 // Instance is a list-coloring instance: a graph plus a palette per node.
 // It is the unit of work ColorReduce recurses on.
 type Instance struct {

@@ -237,10 +237,6 @@ func TestPalette(t *testing.T) {
 	if none := p.Without(nil); len(none) != 3 {
 		t.Fatalf("Without(nil) dropped colors: %v", none)
 	}
-	r := p.Filter(func(c Color) bool { return c > 2 })
-	if len(r) != 2 || r.Contains(1) {
-		t.Fatal("Filter wrong")
-	}
 	if got := RangePalette(2, 5); len(got) != 4 || got[0] != 2 || got[3] != 5 {
 		t.Fatalf("RangePalette wrong: %v", got)
 	}

@@ -1,0 +1,13 @@
+package graph
+
+// Grow returns s with length n, reallocating only when capacity is
+// insufficient. Contents are NOT preserved or zeroed on the reuse path —
+// it is the scratch-buffer growth helper the solver packages share for
+// per-call workspaces whose entries are fully rewritten (or explicitly
+// cleared) before use.
+func Grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}

@@ -104,10 +104,39 @@ type solver struct {
 	// per-call maps: stamp[v] == curStamp marks v in the current set.
 	stamp    []int64
 	curStamp int64
-	idxOf    []int32 // node → pool-local index scratch (colorPool)
+	idxOf    []int32 // node → set-local index scratch (colorPool, partition)
+
+	// ws/mws are the persistent pool-solve and multicast workspaces, reused
+	// across every colorPool/partition call and recursion level of the solve
+	// so the steady-state pool path allocates (almost) nothing.
+	ws  poolScratch
+	mws mcastScratch
 
 	colorDomain int64
 	trace       *Trace
+}
+
+// poolScratch is the solver-persistent workspace behind colorPool and
+// partition: the live set, the set-local filtered adjacency in CSR form,
+// palette views, the MIS reduction and its cluster, and the
+// point-to-point pair buffer shared by the announce/notify multicasts.
+// Buffers grow to the largest call and are then reused as-is.
+type poolScratch struct {
+	live    []int32         // colorPool's live set ONLY — partition's binsOf must stay freshly allocated (read across recursive calls that reuse this workspace)
+	off     []int32         // CSR offsets into adjFlat (len set+1)
+	adjFlat []int32         // set-local filtered adjacency
+	adj     [][]int32       // per-node views into adjFlat
+	pals    []graph.Palette // truncated palette views into solver pal
+	pairs   []msgPair       // announce/notify staging
+
+	red    mis.Reduction // reduction scratch (implicit-clique CSR layout)
+	mis    mis.Workspace // SolveDet scratch
+	col    graph.Coloring
+	assign []int
+
+	// misCluster is the one MIS cluster recycled (mpc.Cluster.Reset) across
+	// all pools of the solve, replacing a fresh mpc.New per colorPool call.
+	misCluster *mpc.Cluster
 }
 
 // Solve colors the instance in the low-space MPC model and returns the
@@ -194,10 +223,20 @@ func Solve(inst *graph.Instance, p Params) (graph.Coloring, *Trace, error) {
 			SpaceWords: space, Tau: tau, Bins: bins,
 		},
 	}
+	// The solver-owned adjacency and palette copies are carved out of two
+	// flat slabs: neighbor lists are immutable views, palettes only ever
+	// shrink in place (sorted prune / splice), so per-node views never
+	// reallocate and the copies cost two allocations instead of 2n.
+	adjSlab := make([]int32, 0, inst.G.Size()-n) // Size() = |V| + 2|E|
+	palSlab := make([]graph.Color, 0, inst.PaletteMass())
 	maxColor := graph.Color(0)
 	for v := 0; v < n; v++ {
-		s.adj[v] = append([]int32(nil), inst.G.Neighbors(int32(v))...)
-		s.pal[v] = append(graph.Palette(nil), inst.Palettes[v]...)
+		lo := len(adjSlab)
+		adjSlab = append(adjSlab, inst.G.Neighbors(int32(v))...)
+		s.adj[v] = adjSlab[lo:len(adjSlab):len(adjSlab)]
+		plo := len(palSlab)
+		palSlab = append(palSlab, inst.Palettes[v]...)
+		s.pal[v] = graph.Palette(palSlab[plo:len(palSlab):len(palSlab)])
 		if k := len(s.pal[v]); k > 0 && s.pal[v][k-1] > maxColor {
 			maxColor = s.pal[v][k-1]
 		}
@@ -208,7 +247,14 @@ func Solve(inst *graph.Instance, p Params) (graph.Coloring, *Trace, error) {
 	for i := range all {
 		all[i] = int32(i)
 	}
-	defer cluster.Release() // return round arenas to the shared pool
+	defer func() {
+		// Return round arenas to the shared pool: the main cluster's and,
+		// when any pool ran, the recycled MIS cluster's.
+		cluster.Release()
+		if s.ws.misCluster != nil {
+			s.ws.misCluster.Release()
+		}
+	}()
 	crit, err := s.colorReduce(all, 0)
 	if err != nil {
 		return nil, s.trace, err
@@ -216,15 +262,12 @@ func Solve(inst *graph.Instance, p Params) (graph.Coloring, *Trace, error) {
 	s.trace.CriticalRounds = crit
 	s.trace.ExecutedRounds = cluster.Ledger().Rounds()
 	s.trace.WordsMoved = cluster.Ledger().WordsMoved()
-	s.trace.PeakMachineWords = cluster.PeakMachineSpace()
-	return s.color, s.trace, nil
-}
-
-func min64(a, b int64) int64 {
-	if a < b {
-		return a
+	// The trace peak is the max over the main cluster and every MIS
+	// cluster incarnation (colorPool folds those in as it reads them).
+	if pk := cluster.PeakMachineSpace(); pk > s.trace.PeakMachineWords {
+		s.trace.PeakMachineWords = pk
 	}
-	return b
+	return s.color, s.trace, nil
 }
 
 // colorReduce is Algorithm 3 for one call; nodes is the call's live node

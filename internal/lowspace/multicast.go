@@ -4,12 +4,35 @@ import (
 	"fmt"
 
 	"ccolor/internal/fabric"
+	"ccolor/internal/graph"
 )
 
 // msgPair is one single-word point-to-point delivery.
 type msgPair struct {
 	from, to int32
 	word     uint64
+}
+
+// mcastScratch is the solver-persistent schedule scratch behind
+// spacedMulticast: the per-pair sub-round assignment and the per-sub-round
+// machine load tables, reused across calls.
+type mcastScratch struct {
+	roundOf []int32
+	rounds  []mcastLoad
+}
+
+type mcastLoad struct{ snd, rcv []int64 }
+
+func (l *mcastLoad) reset(machines int) {
+	if cap(l.snd) < machines {
+		l.snd = make([]int64, machines)
+		l.rcv = make([]int64, machines)
+		return
+	}
+	l.snd = l.snd[:machines]
+	l.rcv = l.rcv[:machines]
+	clear(l.snd)
+	clear(l.rcv)
 }
 
 // spacedMulticast delivers the pairs over as few rounds as per-machine
@@ -19,7 +42,8 @@ type msgPair struct {
 // exceeds 𝔰 (e.g. a star center) therefore takes ⌈deg/(𝔰/2)⌉ sub-rounds —
 // the serialized rendering of what the paper's M_v^N chunk machines do in
 // parallel from different machines. Load accounting is machine-indexed
-// slices (one pair per sub-round), not per-call maps.
+// slices (one pair per sub-round) from the solver's persistent scratch,
+// not per-call allocations.
 func (s *solver) spacedMulticast(phase string, pairs []msgPair) error {
 	if len(pairs) == 0 {
 		return nil
@@ -29,42 +53,47 @@ func (s *solver) spacedMulticast(phase string, pairs []msgPair) error {
 		budget = 1
 	}
 	machines := s.cluster.Machines()
-	type load struct{ snd, rcv []int64 }
-	var rounds []load
-	roundOf := make([]int, len(pairs))
+	mws := &s.mws
+	roundOf := graph.Grow(mws.roundOf, len(pairs))
+	nrounds := 0
 	for i, p := range pairs {
 		fm, tm := s.cluster.MachineOf(int(p.from)), s.cluster.MachineOf(int(p.to))
 		placed := false
-		for r := range rounds {
+		for r := 0; r < nrounds; r++ {
 			if fm == tm {
 				// Intra-machine traffic is free; round 0 always fits.
 				roundOf[i] = 0
 				placed = true
 				break
 			}
-			if rounds[r].snd[fm] < budget && rounds[r].rcv[tm] < budget {
-				rounds[r].snd[fm]++
-				rounds[r].rcv[tm]++
-				roundOf[i] = r
+			if mws.rounds[r].snd[fm] < budget && mws.rounds[r].rcv[tm] < budget {
+				mws.rounds[r].snd[fm]++
+				mws.rounds[r].rcv[tm]++
+				roundOf[i] = int32(r)
 				placed = true
 				break
 			}
 		}
 		if !placed {
-			l := load{snd: make([]int64, machines), rcv: make([]int64, machines)}
+			if nrounds == len(mws.rounds) {
+				mws.rounds = append(mws.rounds, mcastLoad{})
+			}
+			l := &mws.rounds[nrounds]
+			l.reset(machines)
 			if fm != tm {
 				l.snd[fm]++
 				l.rcv[tm]++
 			}
-			rounds = append(rounds, l)
-			roundOf[i] = len(rounds) - 1
+			roundOf[i] = int32(nrounds)
+			nrounds++
 		}
 	}
+	mws.roundOf = roundOf
 	s.cluster.Ledger().SetPhase(phase)
-	for r := range rounds {
+	for r := 0; r < nrounds; r++ {
 		if _, err := s.cluster.FrameRound(func(w int, sb *fabric.SendBuf) {
 			for i, p := range pairs {
-				if roundOf[i] != r || int(p.from) != w {
+				if roundOf[i] != int32(r) || int(p.from) != w {
 					continue
 				}
 				sb.Put(int(p.to), p.word)

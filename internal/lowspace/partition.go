@@ -16,23 +16,38 @@ import (
 // classify, and restrict palettes of bins 1..B−1.
 //
 // Returns the node sets of bins 1..B (index B−1 is the gated bin B) and the
-// demoted (bad) nodes, plus the rounds this phase cost.
+// demoted (bad) nodes, plus the rounds this phase cost. Set membership is
+// stamp-based and the filtered in-call neighbor lists live in the solver's
+// CSR scratch — no per-call maps or per-node list allocations.
 func (s *solver) partition(high []int32, depth int) ([][]int32, []int32, int, error) {
 	b := s.bins
-	inHigh := make(map[int32]struct{}, len(high))
-	for _, v := range high {
-		inHigh[v] = struct{}{}
+	// Stamp the high set; idxOf maps node → high-local CSR index. The
+	// enclosing call's stamp is only read before partition runs, so
+	// re-stamping here is safe.
+	s.curStamp++
+	inHigh := s.curStamp
+	for i, v := range high {
+		s.stamp[v] = inHigh
+		s.idxOf[v] = int32(i)
 	}
-	// Live in-call neighbor lists and their chunk boundaries.
-	filt := make(map[int32][]int32, len(high))
-	for _, v := range high {
-		var l []int32
+	// Live in-call neighbor lists (original IDs), CSR over high indices.
+	ws := &s.ws
+	off := graph.Grow(ws.off, len(high)+1)
+	flatBuf := ws.adjFlat[:0]
+	off[0] = 0
+	for i, v := range high {
 		for _, u := range s.adj[v] {
-			if _, in := inHigh[u]; in {
-				l = append(l, u)
+			if s.stamp[u] == inHigh {
+				flatBuf = append(flatBuf, u)
 			}
 		}
-		filt[v] = l
+		off[i+1] = int32(len(flatBuf))
+	}
+	ws.off, ws.adjFlat = off, flatBuf
+	flat := flatBuf
+	filt := func(v int32) []int32 {
+		i := s.idxOf[v]
+		return flat[off[i]:off[i+1]]
 	}
 	// spanScratch backs chunksOf across calls: the derand local callback
 	// runs serially on grouped fabrics (the only fabric lowspace uses), so
@@ -71,7 +86,7 @@ func (s *solver) partition(high []int32, depth int) ([][]int32, []int32, int, er
 	badChunks := func(v int32, h1, h2 hashing.Hash) int64 {
 		myBin := h1.Eval(int64(v))
 		var bad int64
-		nl := filt[v]
+		nl := filt(v)
 		for _, sp := range chunksOf(len(nl)) {
 			dx := float64(sp[1] - sp[0])
 			dPrime := 0
@@ -117,7 +132,7 @@ func (s *solver) partition(high []int32, depth int) ([][]int32, []int32, int, er
 	// demote nodes whose chunks still misbehave (measured as BadNodes).
 	pair, st, err := sel.SelectBest(s.cluster, pairWords, 2, func(w int, pr derand.Pair) int64 {
 		v := int32(w)
-		if _, in := inHigh[v]; !in {
+		if s.stamp[v] != inHigh {
 			return 0
 		}
 		return badChunks(v, pr.H1, pr.H2)
@@ -139,7 +154,7 @@ func (s *solver) partition(high []int32, depth int) ([][]int32, []int32, int, er
 			continue
 		}
 		dPrime := 0
-		for _, u := range filt[v] {
+		for _, u := range filt(v) {
 			if h1.Eval(int64(u)) == myBin {
 				dPrime++
 			}
@@ -161,23 +176,29 @@ func (s *solver) partition(high []int32, depth int) ([][]int32, []int32, int, er
 
 	// Announce bins (space-bounded multicast): nodes tell live in-call
 	// neighbors their destination so chunk machines can filter.
-	var announce []msgPair
+	announce := ws.pairs[:0]
 	for _, v := range high {
 		word := uint64(h1.Eval(int64(v)) + 1)
-		for _, u := range filt[v] {
+		for _, u := range filt(v) {
 			announce = append(announce, msgPair{from: v, to: u, word: word})
 		}
 	}
+	ws.pairs = announce
 	if err := s.spacedMulticast("lowspace:announce", announce); err != nil {
 		return nil, nil, 0, err
 	}
 
-	// Restrict palettes of color-receiving bins (machine-local).
+	// Restrict palettes of color-receiving bins (machine-local). The
+	// palettes are solver-owned, so the sorted prune filters in place.
 	for bin := 0; bin < b-1; bin++ {
 		for _, v := range binsOf[bin] {
-			s.pal[v] = s.pal[v].Filter(func(c graph.Color) bool {
-				return h2.Eval(int64(c)) == int64(bin)
-			})
+			kept := s.pal[v][:0]
+			for _, c := range s.pal[v] {
+				if h2.Eval(int64(c)) == int64(bin) {
+					kept = append(kept, c)
+				}
+			}
+			s.pal[v] = kept
 		}
 	}
 	return binsOf, bad, s.cluster.Ledger().Rounds() - before, nil

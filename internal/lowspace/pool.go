@@ -2,6 +2,7 @@ package lowspace
 
 import (
 	"fmt"
+	"sort"
 
 	"ccolor/internal/graph"
 	"ccolor/internal/mis"
@@ -13,13 +14,21 @@ import (
 // cluster (reduction-graph nodes hosted on 𝔰-word machines). Palettes are
 // first truncated to d+1 colors so reduction degrees stay ≤ 2τ-scale.
 // Returns the rounds charged (MIS cluster rounds + one notify round).
+//
+// Everything the call needs lives in the solver's persistent poolScratch:
+// the pool-induced instance is a CSR view (filtered adjacency in one flat
+// buffer, palettes as truncated views into the solver's palette state), the
+// reduction is rebuilt in place with implicit clique blocks, and the MIS
+// cluster is recycled via Reset instead of constructed per pool.
 func (s *solver) colorPool(pool []int32) (int, error) {
-	var live []int32
+	ws := &s.ws
+	live := ws.live[:0]
 	for _, v := range pool {
 		if s.color[v] == graph.NoColor {
 			live = append(live, v)
 		}
 	}
+	ws.live = live
 	if len(live) == 0 {
 		return 0, nil
 	}
@@ -34,96 +43,126 @@ func (s *solver) colorPool(pool []int32) (int, error) {
 		s.stamp[v] = inPool
 		s.idxOf[v] = int32(i)
 	}
-	adj := make([][]int32, len(live))
-	pals := make([]graph.Palette, len(live))
+	off := graph.Grow(ws.off, len(live)+1)
+	flat := ws.adjFlat[:0]
+	off[0] = 0
 	for i, v := range live {
 		for _, u := range s.adj[v] {
 			if s.stamp[u] == inPool {
-				adj[i] = append(adj[i], s.idxOf[u])
+				flat = append(flat, s.idxOf[u])
 			}
 		}
-		need := len(adj[i]) + 1
+		off[i+1] = int32(len(flat))
+	}
+	ws.off, ws.adjFlat = off, flat
+	adj := graph.Grow(ws.adj, len(live))
+	pals := graph.Grow(ws.pals, len(live))
+	for i, v := range live {
+		adj[i] = flat[off[i]:off[i+1]]
+		need := int(off[i+1]-off[i]) + 1
 		if len(s.pal[v]) < need {
 			return 0, fmt.Errorf("lowspace: pool node %d has %d colors for degree %d",
-				v, len(s.pal[v]), len(adj[i]))
+				v, len(s.pal[v]), need-1)
 		}
-		pals[i] = append(graph.Palette(nil), s.pal[v][:need]...)
+		pals[i] = s.pal[v][:need]
 	}
-	pg, err := graph.NewGraph(adj)
-	if err != nil {
-		return 0, fmt.Errorf("lowspace: pool graph: %w", err)
-	}
-	inst, err := graph.NewInstance(pg, pals)
-	if err != nil {
-		return 0, fmt.Errorf("lowspace: pool instance: %w", err)
-	}
-	red, err := mis.BuildReduction(inst)
-	if err != nil {
-		return 0, err
-	}
+	ws.adj, ws.pals = adj, pals
+	red := &ws.red
+	red.Build(adj, pals)
 
 	// Host the reduction graph on a low-space cluster: reduction node x
-	// weighs deg(x)+2 words; machines have 𝔰 words.
-	rn := red.G.N()
-	assign := make([]int, rn)
+	// weighs deg(x)+2 words; machines have 𝔰 words. One cluster instance is
+	// recycled across all pools of the solve.
+	rn := red.N()
+	assign := ws.assign[:0]
 	m := 0
 	var used int64
 	for x := 0; x < rn; x++ {
-		w := int64(red.G.Degree(int32(x)) + 2)
+		w := int64(red.Degree(int32(x)) + 2)
 		if used+w > s.trace.SpaceWords {
 			m++
 			used = 0
 		}
-		assign[x] = m
+		assign = append(assign, m)
 		used += w
 	}
-	misCluster, err := mpc.New(assign, m+1, s.trace.SpaceWords)
-	if err != nil {
+	ws.assign = assign
+	if ws.misCluster == nil {
+		c, err := mpc.New(assign, m+1, s.trace.SpaceWords)
+		if err != nil {
+			return 0, fmt.Errorf("lowspace: MIS cluster: %w", err)
+		}
+		ws.misCluster = c
+	} else if err := ws.misCluster.Reset(assign, m+1, s.trace.SpaceWords); err != nil {
 		return 0, fmt.Errorf("lowspace: MIS cluster: %w", err)
 	}
+	misCluster := ws.misCluster
 	for x := 0; x < rn; x++ {
-		if err := misCluster.AdjustResident(x, int64(red.G.Degree(int32(x))+2)); err != nil {
+		if err := misCluster.AdjustResident(x, int64(red.Degree(int32(x))+2)); err != nil {
 			return 0, fmt.Errorf("lowspace: MIS resident: %w", err)
 		}
 	}
 	mp := s.p.MIS
 	mp.Salt = uint64(len(live))*0x9e3779b97f4a7c15 + uint64(s.trace.PoolNodes)
-	in, st, err := mis.SolveDet(misCluster, pairWords, red.G, mp)
-	misCluster.Release() // per-pool cluster: return arenas before it goes out of scope
+	in, st, err := mis.SolveDetReduction(misCluster, pairWords, red, mp, &ws.mis)
 	if err != nil {
 		return 0, fmt.Errorf("lowspace: MIS: %w", err)
 	}
-	col, err := red.ExtractColoring(in, len(live))
-	if err != nil {
-		return 0, err
-	}
+	// Telemetry is read while the cluster still owns its ledger and arenas
+	// — before any Release/Reset can hand them back — so the reads cannot
+	// race the pooled substrate.
+	misRounds := misCluster.Ledger().Rounds()
 	s.trace.MISPhases += st.Phases
-	s.trace.MISRounds += misCluster.Ledger().Rounds()
+	s.trace.MISRounds += misRounds
 	if pk := misCluster.PeakMachineSpace(); pk > s.trace.PeakMachineWords {
 		s.trace.PeakMachineWords = pk
 	}
+	col := growColoring(ws.col, len(live))
+	if err := red.ExtractColoringInto(in, col); err != nil {
+		return 0, err
+	}
+	ws.col = col
 
 	// Commit and notify: colored pool nodes announce to all neighbors
 	// (space-bounded multicast), which prune their palettes.
 	for i, v := range live {
 		s.color[v] = col[i]
 	}
-	var notify []msgPair
+	notify := ws.pairs[:0]
 	for _, v := range live {
 		for _, u := range s.adj[v] {
 			notify = append(notify, msgPair{from: v, to: u, word: uint64(s.color[v])})
 		}
 	}
+	ws.pairs = notify
 	if err := s.spacedMulticast("lowspace:notify", notify); err != nil {
 		return 0, err
 	}
 	for _, v := range live {
 		for _, u := range s.adj[v] {
 			if s.color[u] == graph.NoColor {
-				c := s.color[v]
-				s.pal[u] = s.pal[u].Filter(func(x graph.Color) bool { return x != c })
+				s.pal[u] = removeColor(s.pal[u], s.color[v])
 			}
 		}
 	}
-	return misCluster.Ledger().Rounds() + 1, nil
+	return misRounds + 1, nil
+}
+
+// removeColor deletes one color from a sorted palette in place (binary
+// search + splice — the same prune core uses via palRemove). Palettes are
+// solver-owned, so shrinking the view is safe.
+func removeColor(p graph.Palette, c graph.Color) graph.Palette {
+	i := sort.Search(len(p), func(i int) bool { return p[i] >= c })
+	if i < len(p) && p[i] == c {
+		return append(p[:i], p[i+1:]...)
+	}
+	return p
+}
+
+func growColoring(c graph.Coloring, n int) graph.Coloring {
+	c = graph.Grow(c, n)
+	for i := range c {
+		c[i] = graph.NoColor
+	}
+	return c
 }

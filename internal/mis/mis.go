@@ -76,6 +76,31 @@ func DefaultParams() Params {
 	return Params{Independence: 8, BatchWidth: 8, MaxBatches: 256}
 }
 
+// topology abstracts the adjacency structure SolveDet runs over. Neighbors
+// come in two parts: an implicit clique block [lo, hi) of consecutive node
+// IDs containing v (empty for plain graphs), and an explicit list. The
+// split is what lets the §4.1 reduction skip materializing its O(p(v)²)
+// clique edges.
+type topology interface {
+	N() int
+	CliqueBlock(v int32) (lo, hi int32)
+	Conflicts(v int32) []int32
+}
+
+// graphTopo adapts an explicit graph: no implicit block, all edges listed.
+type graphTopo struct{ g *graph.Graph }
+
+func (t graphTopo) N() int                             { return t.g.N() }
+func (t graphTopo) CliqueBlock(v int32) (lo, hi int32) { return v, v }
+func (t graphTopo) Conflicts(v int32) []int32          { return t.g.Neighbors(v) }
+
+// Workspace holds reusable SolveDet scratch so repeated solves (the
+// low-space pool path runs one MIS per pool) allocate nothing in steady
+// state. The zero value is ready for use.
+type Workspace struct {
+	in, live, joined []bool
+}
+
 // SolveDet computes an MIS deterministically over the fabric (one virtual
 // worker per node). Each phase draws priorities from a c-wise independent
 // hash; a node joins when its priority is a strict minimum among live
@@ -85,15 +110,36 @@ func DefaultParams() Params {
 // selected seed's realized progress is what the round envelope experiment
 // measures.
 func SolveDet(f fabric.Fabric, pairWords int, g *graph.Graph, p Params) ([]bool, Stats, error) {
-	n := g.N()
+	return solveDet(f, pairWords, graphTopo{g}, p, nil)
+}
+
+// SolveDetReduction runs the same algorithm over a Reduction's implicit
+// topology: clique siblings are iterated via the contiguous block
+// [first[v], first[v+1]) and only conflict edges are read from memory. ws
+// may be nil; when non-nil its scratch backs the run and the returned set
+// aliases it (valid until the next solve on the same workspace).
+func SolveDetReduction(f fabric.Fabric, pairWords int, r *Reduction, p Params, ws *Workspace) ([]bool, Stats, error) {
+	return solveDet(f, pairWords, r, p, ws)
+}
+
+func solveDet[T topology](f fabric.Fabric, pairWords int, t T, p Params, ws *Workspace) ([]bool, Stats, error) {
+	n := t.N()
 	if f.Workers() != n {
 		return nil, Stats{}, fmt.Errorf("mis: fabric has %d workers for %d nodes", f.Workers(), n)
 	}
 	if p.Independence == 0 {
 		p = DefaultParams()
 	}
-	in := make([]bool, n)
-	live := make([]bool, n)
+	if ws == nil {
+		ws = &Workspace{}
+	}
+	ws.in = graph.Grow(ws.in, n)
+	ws.live = graph.Grow(ws.live, n)
+	ws.joined = graph.Grow(ws.joined, n)
+	in, live, joined := ws.in, ws.live, ws.joined
+	clear(in)
+	clear(live)
+	clear(joined)
 	liveCount := 0
 	for v := range live {
 		live[v] = true
@@ -110,7 +156,17 @@ func SolveDet(f fabric.Fabric, pairWords int, g *graph.Graph, p Params) ([]bool,
 			return false
 		}
 		pv := h.Eval(int64(v))
-		for _, u := range g.Neighbors(v) {
+		lo, hi := t.CliqueBlock(v)
+		for u := lo; u < hi; u++ {
+			if u == v || !live[u] {
+				continue
+			}
+			pu := h.Eval(int64(u))
+			if pu < pv || (pu == pv && u < v) {
+				return false
+			}
+		}
+		for _, u := range t.Conflicts(v) {
 			if !live[u] {
 				continue
 			}
@@ -123,7 +179,13 @@ func SolveDet(f fabric.Fabric, pairWords int, g *graph.Graph, p Params) ([]bool,
 	}
 	liveDeg := func(v int32) int64 {
 		d := int64(0)
-		for _, u := range g.Neighbors(v) {
+		lo, hi := t.CliqueBlock(v)
+		for u := lo; u < hi; u++ {
+			if u != v && live[u] {
+				d++
+			}
+		}
+		for _, u := range t.Conflicts(v) {
 			if live[u] {
 				d++
 			}
@@ -163,25 +225,26 @@ func SolveDet(f fabric.Fabric, pairWords int, g *graph.Graph, p Params) ([]bool,
 		chosen := pair.H1
 
 		// Apply the phase: joiners announce to neighbors (one round).
-		joined := make([]bool, n)
 		for v := 0; v < n; v++ {
-			if joinsUnder(int32(v), chosen) {
-				joined[v] = true
-			}
+			joined[v] = joinsUnder(int32(v), chosen)
 		}
 		f.Ledger().SetPhase("mis:announce")
-		if _, err := f.Round(func(w int) []fabric.Msg {
+		if _, err := fabric.RoundFrames(f, func(w int, sb *fabric.SendBuf) {
 			v := int32(w)
 			if !joined[v] {
-				return nil
+				return
 			}
-			var out []fabric.Msg
-			for _, u := range g.Neighbors(v) {
-				if live[u] {
-					out = append(out, fabric.Msg{To: int(u), Words: []uint64{1}})
+			lo, hi := t.CliqueBlock(v)
+			for u := lo; u < hi; u++ {
+				if u != v && live[u] {
+					sb.Put(int(u), 1)
 				}
 			}
-			return out
+			for _, u := range t.Conflicts(v) {
+				if live[u] {
+					sb.Put(int(u), 1)
+				}
+			}
 		}); err != nil {
 			return nil, st, fmt.Errorf("mis: announce: %w", err)
 		}
@@ -194,7 +257,14 @@ func SolveDet(f fabric.Fabric, pairWords int, g *graph.Graph, p Params) ([]bool,
 				live[v] = false
 				liveCount--
 			}
-			for _, u := range g.Neighbors(int32(v)) {
+			lo, hi := t.CliqueBlock(int32(v))
+			for u := lo; u < hi; u++ {
+				if int(u) != v && live[u] {
+					live[u] = false
+					liveCount--
+				}
+			}
+			for _, u := range t.Conflicts(int32(v)) {
 				if live[u] {
 					live[u] = false
 					liveCount--

@@ -73,11 +73,12 @@ func TestReductionColoring(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	red, err := BuildReduction(inst)
+	red := BuildReduction(inst)
+	rg, err := red.Materialize()
 	if err != nil {
 		t.Fatal(err)
 	}
-	in := Greedy(red.G)
+	in := Greedy(rg)
 	col, err := red.ExtractColoring(in, g.N())
 	if err != nil {
 		t.Fatal(err)
@@ -96,12 +97,9 @@ func TestReductionDetMIS(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	red, err := BuildReduction(inst)
-	if err != nil {
-		t.Fatal(err)
-	}
-	nw := cclique.New(red.G.N())
-	in, _, err := SolveDet(nw, nw.MsgWords(), red.G, DefaultParams())
+	red := BuildReduction(inst)
+	nw := cclique.New(red.N())
+	in, _, err := SolveDetReduction(nw, nw.MsgWords(), red, DefaultParams(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,196 @@
+package mis
+
+import (
+	"slices"
+	"testing"
+
+	"ccolor/internal/graph"
+)
+
+// naiveReduction is the reference construction the CSR layout replaced: a
+// per-node color → reduction-node map plus fully materialized adjacency,
+// clique edges included. The equivalence test pins the implicit-clique
+// build to it on random instances.
+type naiveReduction struct {
+	owner   []int32
+	colorOf []graph.Color
+	first   []int32
+	adj     [][]int32
+}
+
+func buildNaive(inst *graph.Instance) *naiveReduction {
+	g := inst.G
+	n := g.N()
+	total := 0
+	first := make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		first[v] = int32(total)
+		total += len(inst.Palettes[v])
+	}
+	first[n] = int32(total)
+
+	owner := make([]int32, total)
+	colorOf := make([]graph.Color, total)
+	colorIdx := make([]map[graph.Color]int32, n)
+	for v := 0; v < n; v++ {
+		colorIdx[v] = make(map[graph.Color]int32, len(inst.Palettes[v]))
+		for i, c := range inst.Palettes[v] {
+			x := first[v] + int32(i)
+			owner[x] = int32(v)
+			colorOf[x] = c
+			colorIdx[v][c] = x
+		}
+	}
+	adj := make([][]int32, total)
+	for v := 0; v < n; v++ {
+		k := int(first[v+1] - first[v])
+		for i := 0; i < k; i++ {
+			x := first[v] + int32(i)
+			for j := 0; j < k; j++ {
+				if i != j {
+					adj[x] = append(adj[x], first[v]+int32(j))
+				}
+			}
+		}
+		for _, u := range g.Neighbors(int32(v)) {
+			if u < int32(v) {
+				continue
+			}
+			for i := 0; i < k; i++ {
+				x := first[v] + int32(i)
+				if y, ok := colorIdx[u][colorOf[x]]; ok {
+					adj[x] = append(adj[x], y)
+					adj[y] = append(adj[y], x)
+				}
+			}
+		}
+	}
+	return &naiveReduction{owner: owner, colorOf: colorOf, first: first, adj: adj}
+}
+
+// reductionNeighbors renders x's neighbor list (implicit clique block plus
+// conflict edges) as an explicit sorted slice.
+func reductionNeighbors(r *Reduction, x int32) []int32 {
+	var l []int32
+	lo, hi := r.CliqueBlock(x)
+	for y := lo; y < hi; y++ {
+		if y != x {
+			l = append(l, y)
+		}
+	}
+	l = append(l, r.Conflicts(x)...)
+	slices.Sort(l)
+	return l
+}
+
+func TestReductionEquivalentToNaive(t *testing.T) {
+	cases := []struct {
+		name string
+		mk   func() (*graph.Instance, error)
+	}{
+		{"gnp60", func() (*graph.Instance, error) {
+			g, err := graph.GNP(60, 0.1, 11)
+			if err != nil {
+				return nil, err
+			}
+			return graph.DegPlus1Instance(g, 256, 3)
+		}},
+		{"gnp90-denser", func() (*graph.Instance, error) {
+			g, err := graph.GNP(90, 0.2, 5)
+			if err != nil {
+				return nil, err
+			}
+			return graph.DegPlus1Instance(g, int64(4*g.MaxDegree()+4), 9)
+		}},
+		{"powerlaw70", func() (*graph.Instance, error) {
+			g, err := graph.PowerLaw(70, 3, 7)
+			if err != nil {
+				return nil, err
+			}
+			return graph.DegPlus1Instance(g, 1<<12, 1)
+		}},
+		{"regular-delta", func() (*graph.Instance, error) {
+			g, err := graph.RandomRegular(48, 7, 13)
+			if err != nil {
+				return nil, err
+			}
+			return graph.DeltaPlus1Instance(g), nil
+		}},
+		{"empty", func() (*graph.Instance, error) {
+			g, err := graph.FromEdges(10, nil)
+			if err != nil {
+				return nil, err
+			}
+			return graph.DeltaPlus1Instance(g), nil
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			inst, err := tc.mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := buildNaive(inst)
+			got := BuildReduction(inst)
+			if got.N() != len(want.owner) {
+				t.Fatalf("N = %d, want %d", got.N(), len(want.owner))
+			}
+			if !slices.Equal(got.owner, want.owner) {
+				t.Fatal("owner mismatch")
+			}
+			if !slices.Equal(got.colorOf, want.colorOf) {
+				t.Fatal("colorOf mismatch")
+			}
+			if !slices.Equal(got.first, want.first) {
+				t.Fatal("first mismatch")
+			}
+			edges := 0
+			for x := int32(0); x < int32(got.N()); x++ {
+				wantL := append([]int32(nil), want.adj[x]...)
+				slices.Sort(wantL)
+				gotL := reductionNeighbors(got, x)
+				if !slices.Equal(gotL, wantL) {
+					t.Fatalf("node %d neighbors = %v, want %v", x, gotL, wantL)
+				}
+				if d := got.Degree(x); d != len(wantL) {
+					t.Fatalf("node %d degree = %d, want %d", x, d, len(wantL))
+				}
+				edges += len(gotL)
+			}
+			t.Logf("%d reduction nodes, %d directed edges", got.N(), edges)
+		})
+	}
+}
+
+// TestReductionBuildReuse rebuilds the same Reduction value across several
+// instances and checks each build matches its fresh reference — the pool
+// path reuses one Reduction per solver, so stale state must never leak.
+func TestReductionBuildReuse(t *testing.T) {
+	var r Reduction
+	for seed := uint64(1); seed <= 4; seed++ {
+		g, err := graph.GNP(40+int(seed)*13, 0.15, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst, err := graph.DegPlus1Instance(g, 512, seed+8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		adj := make([][]int32, g.N())
+		for v := range adj {
+			adj[v] = g.Neighbors(int32(v))
+		}
+		r.Build(adj, inst.Palettes)
+		want := buildNaive(inst)
+		if !slices.Equal(r.owner, want.owner) || !slices.Equal(r.colorOf, want.colorOf) {
+			t.Fatalf("seed %d: reused build diverges from reference", seed)
+		}
+		for x := int32(0); x < int32(r.N()); x++ {
+			wantL := append([]int32(nil), want.adj[x]...)
+			slices.Sort(wantL)
+			if gotL := reductionNeighbors(&r, x); !slices.Equal(gotL, wantL) {
+				t.Fatalf("seed %d node %d: neighbors = %v, want %v", seed, x, gotL, wantL)
+			}
+		}
+	}
+}

@@ -122,6 +122,36 @@ func NewLinear(n int, nodeWeight func(v int) int64, spaceFactor int, opts ...Opt
 // Workers returns the number of virtual workers.
 func (c *Cluster) Workers() int { return c.virtual }
 
+// Reset re-initializes the cluster in place for a new solve: a fresh
+// virtual-worker → machine assignment, machine count, and per-machine space,
+// with resident data, the ledger, and the peak-space watermark cleared. The
+// assignment and resident scratch are reused (no allocation once the
+// cluster has seen its largest configuration), which is what lets one MIS
+// cluster be recycled across every pool of a low-space solve instead of
+// building a new cluster per pool. Options (parallelism, total budget) and
+// any live round arena carry over; the arena is simply recycled by the next
+// round as usual.
+func (c *Cluster) Reset(assign []int, machines int, space int64) error {
+	for w, m := range assign {
+		if m < 0 || m >= machines {
+			return fmt.Errorf("mpc: worker %d assigned to invalid machine %d", w, m)
+		}
+	}
+	c.virtual = len(assign)
+	c.machines = machines
+	c.space = space
+	c.assign = append(c.assign[:0], assign...)
+	if cap(c.resident) < machines {
+		c.resident = make([]int64, machines)
+	} else {
+		c.resident = c.resident[:machines]
+		clear(c.resident)
+	}
+	c.ledger.Reset()
+	c.peakSpace = 0
+	return nil
+}
+
 // Release returns the cluster's round arenas to the shared pool for reuse
 // by other fabrics. Call it once the solve is done; the last round's
 // inboxes become invalid. The cluster remains usable — the next round

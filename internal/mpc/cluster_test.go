@@ -125,6 +125,75 @@ func TestNewLinearPacking(t *testing.T) {
 	}
 }
 
+func TestResetRecyclesCluster(t *testing.T) {
+	c, err := New([]int{0, 1}, 2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AdjustResident(0, 17); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Round(func(w int) []fabric.Msg {
+		if w != 0 {
+			return nil
+		}
+		return []fabric.Msg{{To: 1, Words: make([]uint64, 30)}}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Ledger().Rounds() != 1 || c.Ledger().WordsMoved() != 30 {
+		t.Fatalf("pre-reset ledger: rounds=%d words=%d", c.Ledger().Rounds(), c.Ledger().WordsMoved())
+	}
+	if c.PeakMachineSpace() != 30 {
+		t.Fatalf("pre-reset peak = %d, want 30", c.PeakMachineSpace())
+	}
+
+	// Reset into a different shape: ledger, peak, and resident must read as
+	// a fresh cluster's, and the old telemetry must not bleed through.
+	if err := c.Reset([]int{0, 0, 1, 2}, 3, 50); err != nil {
+		t.Fatal(err)
+	}
+	if c.Workers() != 4 || c.Machines() != 3 || c.Space() != 50 {
+		t.Fatalf("post-reset shape: workers=%d machines=%d space=%d", c.Workers(), c.Machines(), c.Space())
+	}
+	if c.Ledger().Rounds() != 0 || c.Ledger().WordsMoved() != 0 {
+		t.Fatalf("ledger not reset: rounds=%d words=%d", c.Ledger().Rounds(), c.Ledger().WordsMoved())
+	}
+	if len(c.Ledger().ByPhase()) != 0 {
+		t.Fatal("phase attribution not reset")
+	}
+	if c.PeakMachineSpace() != 0 {
+		t.Fatalf("peak not reset: %d", c.PeakMachineSpace())
+	}
+	if c.TotalResident() != 0 {
+		t.Fatalf("resident not reset: %d", c.TotalResident())
+	}
+	if c.MachineOf(1) != 0 || c.MachineOf(3) != 2 {
+		t.Fatal("post-reset assignment wrong")
+	}
+
+	// The recycled cluster must charge rounds from zero.
+	if _, err := c.Round(func(w int) []fabric.Msg {
+		if w != 3 {
+			return nil
+		}
+		return []fabric.Msg{{To: 0, Words: []uint64{1, 2}}}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Ledger().Rounds() != 1 || c.Ledger().WordsMoved() != 2 {
+		t.Fatalf("post-reset round: rounds=%d words=%d", c.Ledger().Rounds(), c.Ledger().WordsMoved())
+	}
+	if c.PeakMachineSpace() != 2 {
+		t.Fatalf("post-reset peak = %d, want 2", c.PeakMachineSpace())
+	}
+
+	// Invalid assignments are rejected exactly as New rejects them.
+	if err := c.Reset([]int{0, 5}, 2, 10); err == nil {
+		t.Fatal("invalid machine assignment accepted by Reset")
+	}
+}
+
 func TestPeakTracksTraffic(t *testing.T) {
 	c, err := New([]int{0, 1}, 2, 100)
 	if err != nil {

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -11,6 +12,35 @@ import (
 // latencyWindow is the per-model sliding window used for percentile
 // estimates; old samples fall out once the ring wraps.
 const latencyWindow = 4096
+
+// latWindow is one latency ring buffer (len ≤ latencyWindow).
+type latWindow struct {
+	lat  []time.Duration
+	next int
+}
+
+func (w *latWindow) observe(lat time.Duration) {
+	if len(w.lat) < latencyWindow {
+		w.lat = append(w.lat, lat)
+		return
+	}
+	w.lat[w.next] = lat
+	w.next = (w.next + 1) % latencyWindow
+}
+
+func (w *latWindow) summary() LatencySummary {
+	sorted := append([]time.Duration(nil), w.lat...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	out := LatencySummary{Samples: len(sorted)}
+	if len(sorted) == 0 {
+		return out
+	}
+	out.P50 = percentile(sorted, 0.50)
+	out.P90 = percentile(sorted, 0.90)
+	out.P99 = percentile(sorted, 0.99)
+	out.Max = sorted[len(sorted)-1]
+	return out
+}
 
 // modelStats accumulates per-model counters; guarded by Metrics.mu.
 type modelStats struct {
@@ -24,17 +54,11 @@ type modelStats struct {
 	// RoundsByPhase rolls up ledger phase attribution across jobs.
 	RoundsByPhase map[string]uint64
 
-	lat  []time.Duration // ring buffer, len ≤ latencyWindow
-	next int
-}
-
-func (m *modelStats) observe(lat time.Duration) {
-	if len(m.lat) < latencyWindow {
-		m.lat = append(m.lat, lat)
-		return
-	}
-	m.lat[m.next] = lat
-	m.next = (m.next + 1) % latencyWindow
+	// Completed and errored jobs keep separate latency windows: an errored
+	// job's latency (often a fast rejection or a slow timeout, neither
+	// representative of serving) must not skew the success percentiles.
+	okLat  latWindow
+	errLat latWindow
 }
 
 // LatencySummary holds percentile estimates over the recent-sample window.
@@ -46,7 +70,8 @@ type LatencySummary struct {
 	Max     time.Duration `json:"max_ns"`
 }
 
-// ModelSnapshot is the exported per-model view.
+// ModelSnapshot is the exported per-model view. Latency covers successful
+// jobs only; ErrorLatency covers errored jobs.
 type ModelSnapshot struct {
 	Jobs          uint64            `json:"jobs"`
 	Errors        uint64            `json:"errors"`
@@ -56,6 +81,7 @@ type ModelSnapshot struct {
 	WordsTotal    uint64            `json:"words_total"`
 	RoundsByPhase map[string]uint64 `json:"rounds_by_phase,omitempty"`
 	Latency       LatencySummary    `json:"latency"`
+	ErrorLatency  LatencySummary    `json:"error_latency"`
 }
 
 // Snapshot is one consistent view of the whole service's metrics.
@@ -108,11 +134,12 @@ func (m *Metrics) RecordJob(model ccolor.Model, res *Result, err error, lat time
 	defer m.mu.Unlock()
 	s := m.model(model)
 	s.Jobs++
-	s.observe(lat)
 	if err != nil {
 		s.Errors++
+		s.errLat.observe(lat)
 		return
 	}
+	s.okLat.observe(lat)
 	if res.Cached {
 		s.CacheHits++
 		return
@@ -124,26 +151,22 @@ func (m *Metrics) RecordJob(model ccolor.Model, res *Result, err error, lat time
 	}
 }
 
+// percentile returns the nearest-rank percentile: the ⌈q·N⌉-th smallest
+// sample. Rounding the rank up (not truncating an index) keeps P90/P99
+// honest on partially filled windows — with 10 samples, P99 is the maximum,
+// not the 9th value.
 func percentile(sorted []time.Duration, q float64) time.Duration {
 	if len(sorted) == 0 {
 		return 0
 	}
-	i := int(q * float64(len(sorted)-1))
-	return sorted[i]
-}
-
-func (s *modelStats) latencySummary() LatencySummary {
-	sorted := append([]time.Duration(nil), s.lat...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	out := LatencySummary{Samples: len(sorted)}
-	if len(sorted) == 0 {
-		return out
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
 	}
-	out.P50 = percentile(sorted, 0.50)
-	out.P90 = percentile(sorted, 0.90)
-	out.P99 = percentile(sorted, 0.99)
-	out.Max = sorted[len(sorted)-1]
-	return out
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
 }
 
 func (m *Metrics) snapshot(now time.Time) Snapshot {
@@ -156,12 +179,13 @@ func (m *Metrics) snapshot(now time.Time) Snapshot {
 	}
 	for model, s := range m.models {
 		ms := ModelSnapshot{
-			Jobs:        s.Jobs,
-			Errors:      s.Errors,
-			CacheHits:   s.CacheHits,
-			RoundsTotal: s.RoundsTotal,
-			WordsTotal:  s.WordsTotal,
-			Latency:     s.latencySummary(),
+			Jobs:         s.Jobs,
+			Errors:       s.Errors,
+			CacheHits:    s.CacheHits,
+			RoundsTotal:  s.RoundsTotal,
+			WordsTotal:   s.WordsTotal,
+			Latency:      s.okLat.summary(),
+			ErrorLatency: s.errLat.summary(),
 		}
 		if s.Jobs > 0 {
 			ms.CacheHitRate = float64(s.CacheHits) / float64(s.Jobs)

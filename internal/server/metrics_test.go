@@ -1,0 +1,80 @@
+package server
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"ccolor"
+)
+
+func TestPercentileNearestRank(t *testing.T) {
+	w := latWindow{}
+	for i := 1; i <= 5; i++ {
+		w.observe(time.Duration(i))
+	}
+	sum := w.summary()
+	// Nearest-rank (⌈q·N⌉-th smallest) on N=5: P50 is the 3rd sample, P90
+	// and P99 are the 5th (the max). The truncating index int(q·(N−1))
+	// would have reported P90 = 4 — biased low on a partially filled
+	// window.
+	if sum.Samples != 5 {
+		t.Fatalf("samples = %d, want 5", sum.Samples)
+	}
+	if sum.P50 != 3 {
+		t.Errorf("P50 = %d, want 3", sum.P50)
+	}
+	if sum.P90 != 5 {
+		t.Errorf("P90 = %d, want 5 (nearest rank rounds up)", sum.P90)
+	}
+	if sum.P99 != 5 {
+		t.Errorf("P99 = %d, want 5", sum.P99)
+	}
+	if sum.Max != 5 {
+		t.Errorf("Max = %d, want 5", sum.Max)
+	}
+}
+
+func TestPercentileSingleSampleAndEmpty(t *testing.T) {
+	var w latWindow
+	if got := w.summary(); got.Samples != 0 || got.P99 != 0 {
+		t.Fatalf("empty window summary = %+v, want zeros", got)
+	}
+	w.observe(7 * time.Millisecond)
+	sum := w.summary()
+	if sum.P50 != 7*time.Millisecond || sum.P90 != 7*time.Millisecond ||
+		sum.P99 != 7*time.Millisecond || sum.Max != 7*time.Millisecond {
+		t.Fatalf("single-sample summary = %+v, want all 7ms", sum)
+	}
+}
+
+func TestLatencyWindowWraps(t *testing.T) {
+	var w latWindow
+	for i := 0; i < latencyWindow+10; i++ {
+		w.observe(time.Duration(i))
+	}
+	if len(w.lat) != latencyWindow {
+		t.Fatalf("window holds %d samples, want %d", len(w.lat), latencyWindow)
+	}
+}
+
+func TestErrorLatenciesTrackedSeparately(t *testing.T) {
+	m := newMetrics(time.Now())
+	m.RecordJob(ccolor.ModelCClique, &Result{Cached: true}, nil, 10*time.Millisecond)
+	// A slow erroring job must not leak into the success percentiles.
+	m.RecordJob(ccolor.ModelCClique, nil, errors.New("boom"), 10*time.Second)
+	snap := m.snapshot(time.Now())
+	ms, ok := snap.PerModel[string(ccolor.ModelCClique)]
+	if !ok {
+		t.Fatal("model snapshot missing")
+	}
+	if ms.Jobs != 2 || ms.Errors != 1 {
+		t.Fatalf("jobs=%d errors=%d, want 2/1", ms.Jobs, ms.Errors)
+	}
+	if ms.Latency.Samples != 1 || ms.Latency.Max != 10*time.Millisecond {
+		t.Errorf("success latency = %+v, want 1 sample of 10ms", ms.Latency)
+	}
+	if ms.ErrorLatency.Samples != 1 || ms.ErrorLatency.Max != 10*time.Second {
+		t.Errorf("error latency = %+v, want 1 sample of 10s", ms.ErrorLatency)
+	}
+}
