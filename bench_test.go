@@ -25,6 +25,7 @@ import (
 	"ccolor/internal/graph"
 	"ccolor/internal/lowspace"
 	"ccolor/internal/mis"
+	"ccolor/internal/scenario"
 	"ccolor/internal/server"
 	"ccolor/internal/verify"
 )
@@ -234,6 +235,25 @@ func BenchmarkSolveLowSpace(b *testing.B) {
 	b.Run("powerlaw256", func(b *testing.B) {
 		benchSolveModel(b, ccolor.ModelLowSpace, solvePowerLawInstance(256, 4, 12, true))
 	})
+	// Registry-scenario workloads extend the alloc gate to the golden
+	// families: ring-of-cliques is the implicit-clique MIS reduction's
+	// native shape; rmat is the degree-skew adversary.
+	b.Run("ring256", func(b *testing.B) {
+		benchSolveModel(b, ccolor.ModelLowSpace, solveScenarioInstance("ring-of-cliques", 256, 11))
+	})
+	b.Run("rmat256", func(b *testing.B) {
+		benchSolveModel(b, ccolor.ModelLowSpace, solveScenarioInstance("rmat", 256, 11))
+	})
+}
+
+func solveScenarioInstance(name string, n int, seed uint64) func() (*graph.Instance, error) {
+	return func() (*graph.Instance, error) {
+		spec, err := scenario.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		return spec.Instance(n, seed)
+	}
 }
 
 // --- serving-layer throughput (internal/server; baseline in BENCH_serve.json) ---

@@ -6,10 +6,14 @@
 //	go test -run NONE -bench 'BenchmarkSolveLowSpace' -benchmem -benchtime 5x . |
 //	    go run ./cmd/benchguard -baseline BENCH_solve.json -threshold 0.20
 //
-// Benchmarks present in the input but absent from the baseline are reported
-// and skipped; matching at least one baseline entry is required (a filter
-// typo must not pass vacuously). Use -require to insist specific benchmarks
-// were both run and checked.
+// Benchmarks present in the input but absent from the baseline are
+// tolerated by default — reported, counted, and skipped — so freshly added
+// workloads (e.g. new golden scenario families) can land before their
+// baselines without loosening the gate on the guarded set. Pass
+// -unknown=fail to turn stragglers into errors once every workload is
+// baselined. Matching at least one baseline entry is always required (a
+// filter typo must not pass vacuously); use -require to insist specific
+// benchmarks were both run and checked.
 package main
 
 import (
@@ -53,7 +57,11 @@ func main() {
 	baselinePath := flag.String("baseline", "BENCH_solve.json", "baseline JSON with results.<name>.allocs_per_op")
 	threshold := flag.Float64("threshold", 0.20, "maximum tolerated fractional allocs/op regression")
 	require := flag.String("require", "", "comma-separated benchmark name substrings that must be checked")
+	unknown := flag.String("unknown", "skip", "benchmarks absent from the baseline: 'skip' (tolerate, report) or 'fail'")
 	flag.Parse()
+	if *unknown != "skip" && *unknown != "fail" {
+		fatalf("-unknown must be 'skip' or 'fail', got %q", *unknown)
+	}
 
 	raw, err := os.ReadFile(*baselinePath)
 	if err != nil {
@@ -65,7 +73,7 @@ func main() {
 	}
 
 	checked := make([]string, 0, len(base.Results))
-	var regressions []string
+	var regressions, unknowns []string
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
@@ -87,6 +95,7 @@ func main() {
 		entry, ok := base.Results[name]
 		if !ok || entry.AllocsPerOp <= 0 {
 			fmt.Printf("benchguard: %s not in baseline, skipped\n", name)
+			unknowns = append(unknowns, name)
 			continue
 		}
 		limit := entry.AllocsPerOp * (1 + *threshold)
@@ -124,11 +133,16 @@ func main() {
 			fatalf("required benchmark %q was not checked (ran: %s)", want, strings.Join(checked, ", "))
 		}
 	}
+	if *unknown == "fail" && len(unknowns) > 0 {
+		fatalf("%d benchmark(s) missing from the baseline (-unknown=fail): %s",
+			len(unknowns), strings.Join(unknowns, ", "))
+	}
 	if len(regressions) > 0 {
 		fatalf("allocs/op regressions beyond %.0f%%:\n  %s",
 			*threshold*100, strings.Join(regressions, "\n  "))
 	}
-	fmt.Printf("benchguard: %d benchmark(s) within %.0f%% of baseline\n", len(checked), *threshold*100)
+	fmt.Printf("benchguard: %d benchmark(s) within %.0f%% of baseline, %d unknown skipped\n",
+		len(checked), *threshold*100, len(unknowns))
 }
 
 func fatalf(format string, args ...any) {

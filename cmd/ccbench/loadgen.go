@@ -12,62 +12,28 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"ccolor/internal/scenario"
 )
 
 // Load-generator mode: with -serve-url set, ccbench stops being a table
 // reproducer and becomes a closed-loop client fleet for cmd/ccserve —
 // -concurrency workers each issue POST /v1/color requests drawn from a
-// weighted scenario mix (GNP / regular / power-law across the three
-// execution models) until -duration elapses, then a latency/throughput/
-// cache summary prints. Workload generation is seeded, so a fixed
-// (-seed, -concurrency) pair replays the same request stream and exercises
-// the server's content-addressed cache deterministically.
+// weighted scenario mix (any internal/scenario registry name, across the
+// three execution models) until -duration elapses, then a latency/
+// throughput/cache summary prints. Workload generation is seeded, so a
+// fixed (-seed, -concurrency) pair replays the same request stream and
+// exercises the server's content-addressed cache deterministically.
 
 type loadConfig struct {
 	URL         string
 	Concurrency int
 	Duration    time.Duration
-	Mix         string // scenario weights, e.g. "gnp=2,regular=1,powerlaw=1"
+	Mix         string // registry scenario weights, e.g. "gnp=2,rmat=1", or "all"
 	Models      string // comma-separated model rotation
 	Sizes       string // comma-separated node counts to sample
 	Distinct    int    // distinct seeds per scenario shape (cache churn knob)
 	Seed        uint64
-}
-
-type scenario struct {
-	name   string
-	weight int
-}
-
-func parseMix(mix string) ([]scenario, error) {
-	var out []scenario
-	for _, part := range strings.Split(mix, ",") {
-		part = strings.TrimSpace(part)
-		if part == "" {
-			continue
-		}
-		name, weightText, found := strings.Cut(part, "=")
-		weight := 1
-		if found {
-			w, err := strconv.Atoi(weightText)
-			if err != nil || w < 0 {
-				return nil, fmt.Errorf("bad mix weight %q", part)
-			}
-			weight = w
-		}
-		switch name {
-		case "gnp", "regular", "powerlaw":
-		default:
-			return nil, fmt.Errorf("unknown scenario %q (want gnp, regular, powerlaw)", name)
-		}
-		if weight > 0 {
-			out = append(out, scenario{name: name, weight: weight})
-		}
-	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("empty scenario mix %q", mix)
-	}
-	return out, nil
 }
 
 func parseSizes(s string) ([]int, error) {
@@ -89,46 +55,34 @@ func parseSizes(s string) ([]int, error) {
 	return out, nil
 }
 
-// pick returns a weighted random scenario.
-func pick(rng *rand.Rand, mix []scenario) string {
+// pick returns a weighted random scenario from the mix.
+func pick(rng *rand.Rand, mix []scenario.MixEntry) *scenario.Spec {
 	total := 0
-	for _, s := range mix {
-		total += s.weight
+	for _, e := range mix {
+		total += e.Weight
 	}
 	r := rng.Intn(total)
-	for _, s := range mix {
-		if r < s.weight {
-			return s.name
+	for _, e := range mix {
+		if r < e.Weight {
+			return e.Spec
 		}
-		r -= s.weight
+		r -= e.Weight
 	}
-	return mix[len(mix)-1].name
+	return mix[len(mix)-1].Spec
 }
 
-// buildRequest renders one /v1/color body for the drawn scenario.
-func buildRequest(rng *rand.Rand, scenarioName, model string, sizes []int, distinct int) map[string]any {
+// buildRequest renders one /v1/color body for the drawn scenario. The body
+// uses the server's "scenario" graph kind, so the instance the server
+// builds is the registry-canonical one — identical (name, n, seed) draws
+// land on the same content-addressed cache entry regardless of which
+// client generated them.
+func buildRequest(rng *rand.Rand, spec *scenario.Spec, model string, sizes []int, distinct int) map[string]any {
 	n := sizes[rng.Intn(len(sizes))]
 	seed := uint64(rng.Intn(distinct))
-	graph := map[string]any{"kind": scenarioName, "n": n, "seed": seed}
-	switch scenarioName {
-	case "gnp":
-		graph["p"] = float64(8) / float64(n) // keep E[deg] flat across sizes
-	case "regular":
-		d := 8
-		if d >= n {
-			d = n - 1
-		}
-		if d%2 == 1 && n%2 == 1 {
-			d-- // n·d must be even
-		}
-		graph["d"] = d
-	case "powerlaw":
-		graph["attach"] = 3
-	}
 	return map[string]any{
 		"model":         model,
-		"graph":         graph,
-		"scenario":      scenarioName,
+		"graph":         map[string]any{"kind": "scenario", "name": spec.Name, "n": n, "seed": seed},
+		"scenario":      spec.Name,
 		"omit_coloring": true,
 	}
 }
@@ -164,13 +118,18 @@ func (s *loadStats) record(lat time.Duration, status int, cacheHit bool, rounds 
 }
 
 func runLoad(cfg loadConfig) error {
-	mix, err := parseMix(cfg.Mix)
+	mix, err := scenario.ParseMix(cfg.Mix)
 	if err != nil {
 		return err
 	}
 	sizes, err := parseSizes(cfg.Sizes)
 	if err != nil {
 		return err
+	}
+	for _, n := range sizes {
+		if n < scenario.MinNodes {
+			return fmt.Errorf("size %d below the scenario minimum %d", n, scenario.MinNodes)
+		}
 	}
 	models := strings.Split(cfg.Models, ",")
 	for i := range models {

@@ -10,8 +10,8 @@
 //
 //	ccbench -serve-url http://localhost:8080 \
 //	        -concurrency 64 -duration 30s \
-//	        -mix gnp=2,regular=1,powerlaw=1 \
-//	        -models cclique,mpc,lowspace   # drive a running ccserve
+//	        -mix all \
+//	        -models cclique,mpc,lowspace   # drive a running ccserve with every registry scenario
 package main
 
 import (
@@ -42,7 +42,7 @@ func run() error {
 		serveURL    = flag.String("serve-url", "", "ccserve base URL; set to run in load-generator mode")
 		concurrency = flag.Int("concurrency", 64, "load mode: concurrent client workers")
 		duration    = flag.Duration("duration", 10*time.Second, "load mode: run length")
-		mix         = flag.String("mix", "gnp=2,regular=1,powerlaw=1", "load mode: weighted scenario mix")
+		mix         = flag.String("mix", "gnp=2,regular=1,powerlaw=1", "load mode: weighted registry-scenario mix (any internal/scenario name, or 'all')")
 		models      = flag.String("models", "cclique,mpc,lowspace", "load mode: model rotation")
 		sizes       = flag.String("sizes", "64,128,256", "load mode: node counts to sample")
 		distinct    = flag.Int("distinct", 32, "load mode: distinct seeds per scenario shape (cache churn)")

@@ -7,6 +7,11 @@
 //	ccolor -family regular -n 2048 -d 32 -list         # (Δ+1)-list coloring
 //	ccolor -family powerlaw -n 4096 -d 4 -model lowspace  # (deg+1)-list, low-space MPC
 //	ccolor -family grid -n 900 -model mpc              # linear-space MPC
+//
+// Registry scenarios and the cross-model differential report:
+//
+//	ccolor -scenario ring-of-cliques -n 512            # canonical registry instance
+//	ccolor -scenario rmat -n 512 -model all            # all three backends + agreement report
 package main
 
 import (
@@ -14,12 +19,15 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"strings"
 
+	"ccolor"
 	"ccolor/internal/cclique"
 	"ccolor/internal/core"
 	"ccolor/internal/graph"
 	"ccolor/internal/lowspace"
 	"ccolor/internal/mpc"
+	"ccolor/internal/scenario"
 	"ccolor/internal/verify"
 )
 
@@ -32,34 +40,54 @@ func main() {
 
 func run() error {
 	var (
-		family  = flag.String("family", "gnp", "graph family: gnp|regular|powerlaw|grid|cycle|complete|bipartite")
-		n       = flag.Int("n", 1000, "number of nodes")
-		d       = flag.Int("d", 16, "degree parameter (regular/powerlaw)")
-		p       = flag.Float64("p", 0.02, "edge probability (gnp)")
-		seed    = flag.Uint64("seed", 1, "workload seed")
-		list    = flag.Bool("list", false, "use random (Δ+1)-list palettes instead of {1..Δ+1}")
-		model   = flag.String("model", "clique", "execution model: clique|mpc|lowspace")
-		file    = flag.String("file", "", "read the graph from an edge-list file instead of generating (format: first line n, then 'u v' lines)")
-		dotOut  = flag.String("dot", "", "write the colored graph in Graphviz DOT format to this file")
-		verbose = flag.Bool("v", false, "print the per-depth recursion trace")
+		family   = flag.String("family", "gnp", "graph family: gnp|regular|powerlaw|grid|cycle|complete|bipartite")
+		scenName = flag.String("scenario", "", "registry scenario ("+strings.Join(scenario.Names(), "|")+"); overrides -family/-p/-d/-list")
+		n        = flag.Int("n", 1000, "number of nodes")
+		d        = flag.Int("d", 16, "degree parameter (regular/powerlaw)")
+		p        = flag.Float64("p", 0.02, "edge probability (gnp)")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		list     = flag.Bool("list", false, "use random (Δ+1)-list palettes instead of {1..Δ+1}")
+		model    = flag.String("model", "clique", "execution model: clique|mpc|lowspace|all (all prints the cross-model agreement report)")
+		file     = flag.String("file", "", "read the graph from an edge-list file instead of generating (format: first line n, then 'u v' lines)")
+		dotOut   = flag.String("dot", "", "write the colored graph in Graphviz DOT format to this file")
+		verbose  = flag.Bool("v", false, "print the per-depth recursion trace")
 	)
 	flag.Parse()
 
-	var g *graph.Graph
-	var err error
-	if *file != "" {
-		f, ferr := os.Open(*file)
-		if ferr != nil {
-			return ferr
-		}
-		defer f.Close()
-		g, err = graph.ReadEdgeList(f)
-		*family = *file
-	} else {
-		g, err = makeGraph(*family, *n, *d, *p, *seed)
+	if *scenName != "" && *file != "" {
+		return fmt.Errorf("-scenario and -file are mutually exclusive")
 	}
+	if *scenName != "" || *model == "all" {
+		// Registry/differential path. With no -scenario the instance comes
+		// from the legacy flags (-file or -family, -list), same as below.
+		var inst *graph.Instance
+		label := *family
+		if *scenName == "" {
+			g, err := legacyGraph(*file, *family, *n, *d, *p, *seed)
+			if err != nil {
+				return err
+			}
+			if *file != "" {
+				label = *file
+			}
+			if *list {
+				inst, err = graph.ListInstance(g, int64(g.N())*int64(g.N()), *seed)
+				if err != nil {
+					return err
+				}
+			} else {
+				inst = graph.DeltaPlus1Instance(g)
+			}
+		}
+		return runRegistry(*scenName, label, inst, *n, *seed, *model, *dotOut, *verbose)
+	}
+
+	g, err := legacyGraph(*file, *family, *n, *d, *p, *seed)
 	if err != nil {
 		return err
+	}
+	if *file != "" {
+		*family = *file
 	}
 	fmt.Printf("graph: %s n=%d m=%d Δ=%d\n", *family, g.N(), g.M(), g.MaxDegree())
 
@@ -146,6 +174,84 @@ func run() error {
 		return fmt.Errorf("unknown model %q", *model)
 	}
 	return nil
+}
+
+// legacyGraph builds the input graph from the pre-registry flags: an
+// edge-list file when path is set, a generated family otherwise.
+func legacyGraph(path, family string, n, d int, p float64, seed uint64) (*graph.Graph, error) {
+	if path == "" {
+		return makeGraph(family, n, d, p, seed)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return graph.ReadEdgeList(f)
+}
+
+// runRegistry is the scenario/differential path: build one canonical
+// instance (from the registry when scenName is set; the caller supplies it
+// from the legacy flags otherwise) and solve it on the selected backend(s)
+// through the unified Solve facade, finishing with the verifier's
+// cross-model agreement report.
+func runRegistry(scenName, label string, inst *graph.Instance, n int, seed uint64, model, dotOut string, verbose bool) error {
+	if scenName != "" {
+		spec, err := scenario.Lookup(scenName)
+		if err != nil {
+			return err
+		}
+		inst, err = spec.Instance(n, seed)
+		if err != nil {
+			return err
+		}
+		label = spec.Name
+		fmt.Printf("scenario: %s (%s; %s)\n", spec.Name, spec.Family, spec.Params)
+		fmt.Printf("stress: %s\n", spec.Stress)
+	}
+	fmt.Printf("graph: %s n=%d m=%d Δ=%d\n", label, inst.G.N(), inst.G.M(), inst.G.MaxDegree())
+
+	var models []ccolor.Model
+	switch model {
+	case "all":
+		models = []ccolor.Model{ccolor.ModelCClique, ccolor.ModelMPC, ccolor.ModelLowSpace}
+	case "clique", string(ccolor.ModelCClique):
+		models = []ccolor.Model{ccolor.ModelCClique}
+	case string(ccolor.ModelMPC):
+		models = []ccolor.Model{ccolor.ModelMPC}
+	case string(ccolor.ModelLowSpace):
+		models = []ccolor.Model{ccolor.ModelLowSpace}
+	default:
+		return fmt.Errorf("unknown model %q (want clique, mpc, lowspace, or all)", model)
+	}
+
+	runs := make([]verify.ModelColoring, 0, len(models))
+	var firstColoring graph.Coloring
+	for _, m := range models {
+		rep, err := ccolor.Solve(inst, &ccolor.Options{Model: m})
+		if err != nil {
+			return fmt.Errorf("%s: %w", m, err)
+		}
+		fmt.Printf("%-9s rounds=%d words=%d max-load=%d colors=%d",
+			m, rep.Rounds, rep.WordsMoved, rep.MaxNodeLoad, rep.ColorsUsed)
+		if rep.Machines > 0 {
+			fmt.Printf(" machines=%d peak-space=%d", rep.Machines, rep.PeakSpace)
+		}
+		fmt.Println()
+		if verbose && rep.Trace != nil {
+			fmt.Println(rep.Trace)
+		}
+		runs = append(runs, verify.ModelColoring{Model: string(m), Coloring: rep.Coloring})
+		if firstColoring == nil {
+			firstColoring = rep.Coloring
+		}
+	}
+	a := verify.CrossModel(inst, runs)
+	fmt.Print(a)
+	if !a.Clean() {
+		return fmt.Errorf("verification failed on %d model(s)", len(a.Failures))
+	}
+	return maybeDOT(dotOut, inst.G, firstColoring)
 }
 
 // maybeDOT writes the colored graph as Graphviz DOT when path is set.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ccolor"
+	"ccolor/internal/scenario"
 	"ccolor/internal/server"
 )
 
@@ -16,8 +17,11 @@ import (
 
 // GraphSpec describes the input graph.
 type GraphSpec struct {
-	// Kind is one of "gnp", "regular", "powerlaw", "edges".
+	// Kind is one of "gnp", "regular", "powerlaw", "edges", or "scenario"
+	// (a named workload from the internal/scenario registry).
 	Kind string `json:"kind"`
+	// Name selects the registry scenario for kind "scenario".
+	Name string `json:"name,omitempty"`
 	N    int    `json:"n"`
 	// P is the G(n,p) edge probability.
 	P float64 `json:"p,omitempty"`
@@ -36,6 +40,10 @@ type GraphSpec struct {
 const (
 	maxRequestNodes = 1 << 20
 	maxRequestEdges = 4 << 20
+	// maxScenarioNodes bounds registry-scenario requests: the densest
+	// family (hub-spoke's hub clique, ~(n/16)²/2 edges) stays under
+	// maxRequestEdges at this size.
+	maxScenarioNodes = 1 << 15
 )
 
 // Build materializes the graph.
@@ -70,8 +78,26 @@ func (gs *GraphSpec) Build() (*ccolor.Graph, error) {
 		return ccolor.PowerLaw(gs.N, gs.Attach, gs.Seed)
 	case "edges":
 		return ccolor.FromEdges(gs.N, gs.Edges)
+	case "scenario":
+		spec, err := gs.scenario()
+		if err != nil {
+			return nil, err
+		}
+		return spec.Graph(gs.N, gs.Seed)
 	}
-	return nil, fmt.Errorf("unknown graph kind %q (want gnp, regular, powerlaw, or edges)", gs.Kind)
+	return nil, fmt.Errorf("unknown graph kind %q (want gnp, regular, powerlaw, edges, or scenario)", gs.Kind)
+}
+
+// scenario resolves and bounds a kind "scenario" spec.
+func (gs *GraphSpec) scenario() (*scenario.Spec, error) {
+	spec, err := scenario.Lookup(gs.Name)
+	if err != nil {
+		return nil, err
+	}
+	if gs.N > maxScenarioNodes {
+		return nil, fmt.Errorf("scenario n=%d over the %d limit", gs.N, maxScenarioNodes)
+	}
+	return spec, nil
 }
 
 // PaletteSpec describes how node palettes are assigned.
@@ -149,13 +175,29 @@ func (cr *ColorRequest) Spec() (server.Spec, error) {
 		}
 		model = m
 	}
-	g, err := cr.Graph.Build()
-	if err != nil {
-		return server.Spec{}, fmt.Errorf("graph: %w", err)
-	}
-	inst, err := cr.Palette.Build(g, model)
-	if err != nil {
-		return server.Spec{}, fmt.Errorf("palette: %w", err)
+	var inst *ccolor.Instance
+	if cr.Graph.Kind == "scenario" && cr.Palette.Kind == "" && len(cr.Palette.Palettes) == 0 {
+		// Registry scenarios carry their own palette discipline; with no
+		// palette override the request resolves to the scenario's canonical
+		// instance — the same one the golden ledgers and the differential
+		// harness pin, so its content address is shared across clients.
+		spec, err := cr.Graph.scenario()
+		if err != nil {
+			return server.Spec{}, fmt.Errorf("graph: %w", err)
+		}
+		inst, err = spec.Instance(cr.Graph.N, cr.Graph.Seed)
+		if err != nil {
+			return server.Spec{}, fmt.Errorf("graph: %w", err)
+		}
+	} else {
+		g, err := cr.Graph.Build()
+		if err != nil {
+			return server.Spec{}, fmt.Errorf("graph: %w", err)
+		}
+		inst, err = cr.Palette.Build(g, model)
+		if err != nil {
+			return server.Spec{}, fmt.Errorf("palette: %w", err)
+		}
 	}
 	return server.Spec{
 		Model:          model,

@@ -47,14 +47,16 @@ func main() {
 		cacheSize    = flag.Int("cache", 1024, "result-cache entries (negative disables)")
 		retainJobs   = flag.Int("retain", 4096, "finished async jobs kept queryable")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful drain bound")
+		verifyMode   = flag.Bool("verify", false, "verify-on-solve debug mode: re-check every fresh solve through the independent coloring oracle (counts in /metrics)")
 	)
 	flag.Parse()
 
 	srv := server.New(server.Config{
-		Workers:      *workers,
-		QueueDepth:   *queueDepth,
-		CacheEntries: *cacheSize,
-		RetainJobs:   *retainJobs,
+		Workers:       *workers,
+		QueueDepth:    *queueDepth,
+		CacheEntries:  *cacheSize,
+		RetainJobs:    *retainJobs,
+		VerifyOnSolve: *verifyMode,
 	})
 	h := newHandler(srv, *queueDepth, *workers)
 	httpSrv := &http.Server{Addr: *addr, Handler: h.routes()}

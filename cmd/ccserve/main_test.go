@@ -237,6 +237,60 @@ func TestMetricsAndHealth(t *testing.T) {
 	}
 }
 
+// TestScenarioGraphKind drives the registry through the wire format: a
+// scenario request resolves to the canonical instance (cache-hit across
+// repeats), unknown names fail with the catalog in the error, and the
+// verify-on-solve mode is surfaced in /metrics.
+func TestScenarioGraphKind(t *testing.T) {
+	h, _ := newTestHandler(t, server.Config{Workers: 2, QueueDepth: 16, VerifyOnSolve: true})
+
+	body := `{"model":"lowspace","graph":{"kind":"scenario","name":"ring-of-cliques","n":64,"seed":9}}`
+	first := post(t, h, "/v1/color", body)
+	if first.Code != http.StatusOK {
+		t.Fatalf("scenario request: %d %s", first.Code, first.Body)
+	}
+	second := post(t, h, "/v1/color", body)
+	if got := second.Header().Get("X-CCServe-Cache"); got != "hit" {
+		t.Fatalf("repeat scenario request cache header %q, want hit", got)
+	}
+	if !bytes.Equal(first.Body.Bytes(), second.Body.Bytes()) {
+		t.Fatal("scenario responses not byte-identical")
+	}
+	var resp ColorResponse
+	if err := json.Unmarshal(first.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.N != 64 || resp.Rounds <= 0 {
+		t.Fatalf("scenario response shape: %+v", resp)
+	}
+
+	// Unknown scenario: 400 with the full catalog named.
+	rec := post(t, h, "/v1/color", `{"graph":{"kind":"scenario","name":"nonesuch","n":64}}`)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("unknown scenario: %d %s", rec.Code, rec.Body)
+	}
+	if !bytes.Contains(rec.Body.Bytes(), []byte("ring-of-cliques")) {
+		t.Fatalf("error does not list the catalog: %s", rec.Body)
+	}
+
+	// Oversized scenario: bounded before generation.
+	rec = post(t, h, "/v1/color", `{"graph":{"kind":"scenario","name":"gnp","n":1000000}}`)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("oversized scenario: %d %s", rec.Code, rec.Body)
+	}
+
+	// The fresh solve above was verified once; the cache hit was not.
+	mrec := get(t, h, "/metrics")
+	var snap server.Snapshot
+	if err := json.Unmarshal(mrec.Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	ls := snap.PerModel["lowspace"]
+	if ls.Verified != 1 || ls.VerifyFailures != 0 {
+		t.Fatalf("verify counters = %d/%d, want 1/0: %s", ls.Verified, ls.VerifyFailures, mrec.Body)
+	}
+}
+
 func TestBadRequests(t *testing.T) {
 	h, _ := newTestHandler(t, server.Config{Workers: 1, QueueDepth: 4})
 	cases := []string{

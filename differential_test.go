@@ -1,0 +1,117 @@
+package ccolor_test
+
+// The property/differential harness. The paper's core claim is that one
+// deterministic coloring procedure works across three execution models;
+// these tests check it on the whole scenario registry rather than the
+// hand-picked golden instances:
+//
+//   - every scenario instance is canonical (two builds are bit-identical),
+//   - every backend's coloring passes the full verify oracle,
+//   - every backend is run-to-run deterministic (coloring and ledger),
+//   - the congested-clique and linear-MPC backends — the same algorithm on
+//     different substrates — produce the *identical* coloring,
+//   - the low-space backend, a different algorithm, is allowed to differ
+//     but must still verify on the same instance.
+//
+// FuzzScenarioDifferential widens the corpus beyond fixed seeds: any
+// (scenario, n, seed) the fuzzer reaches must uphold the same properties.
+
+import (
+	"testing"
+
+	"ccolor"
+	"ccolor/internal/scenario"
+	"ccolor/internal/verify"
+)
+
+var allModels = []ccolor.Model{ccolor.ModelCClique, ccolor.ModelMPC, ccolor.ModelLowSpace}
+
+// solveAll runs one instance through every backend, asserting per-model
+// verification and run-to-run determinism, and returns the agreement.
+func solveAll(t *testing.T, spec *scenario.Spec, n int, seed uint64) *verify.Agreement {
+	t.Helper()
+	inst, err := spec.Instance(n, seed)
+	if err != nil {
+		t.Fatalf("%s(n=%d, seed=%d): %v", spec.Name, n, seed, err)
+	}
+	inst2, err := spec.Instance(n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if verify.InstanceFingerprint(inst) != verify.InstanceFingerprint(inst2) {
+		t.Fatalf("%s(n=%d, seed=%d): rebuild changed the canonical encoding",
+			spec.Name, n, seed)
+	}
+
+	runs := make([]verify.ModelColoring, 0, len(allModels))
+	for _, m := range allModels {
+		// Space factor 16 keeps the MPC run genuinely distributed at these
+		// sizes; the other models ignore the knob.
+		opts := &ccolor.Options{Model: m, MPCSpaceFactor: 16}
+		rep, err := ccolor.Solve(inst, opts)
+		if err != nil {
+			t.Fatalf("%s(n=%d, seed=%d) on %s: %v", spec.Name, n, seed, m, err)
+		}
+		rep2, err := ccolor.Solve(inst, opts)
+		if err != nil {
+			t.Fatalf("%s re-solve on %s: %v", spec.Name, m, err)
+		}
+		if verify.ColoringFingerprint(rep.Coloring) != verify.ColoringFingerprint(rep2.Coloring) {
+			t.Errorf("%s(n=%d, seed=%d) on %s: re-solve produced a different coloring",
+				spec.Name, n, seed, m)
+		}
+		if rep.Rounds != rep2.Rounds || rep.WordsMoved != rep2.WordsMoved {
+			t.Errorf("%s(n=%d, seed=%d) on %s: ledger drifted between runs (%d/%d vs %d/%d)",
+				spec.Name, n, seed, m, rep.Rounds, rep.WordsMoved, rep2.Rounds, rep2.WordsMoved)
+		}
+		runs = append(runs, verify.ModelColoring{Model: string(m), Coloring: rep.Coloring})
+	}
+
+	a := verify.CrossModel(inst, runs)
+	if verify.InstanceFingerprint(inst) != a.InstanceFP {
+		t.Errorf("%s: solving mutated the instance", spec.Name)
+	}
+	if !a.Clean() {
+		t.Errorf("%s(n=%d, seed=%d): verifier failures:\n%s", spec.Name, n, seed, a)
+	}
+	if a.ColoringFP[string(ccolor.ModelCClique)] != a.ColoringFP[string(ccolor.ModelMPC)] {
+		t.Errorf("%s(n=%d, seed=%d): cclique and mpc disagree — same algorithm, different substrate:\n%s",
+			spec.Name, n, seed, a)
+	}
+	return a
+}
+
+func TestScenarioDifferential(t *testing.T) {
+	for _, spec := range scenario.All() {
+		t.Run(spec.Name, func(t *testing.T) {
+			for _, tc := range []struct {
+				n    int
+				seed uint64
+			}{{48, 1}, {80, 2}} {
+				solveAll(t, spec, tc.n, tc.seed)
+			}
+		})
+	}
+}
+
+// FuzzScenarioDifferential seeds the corpus with every registry scenario;
+// the fuzzer then explores (scenario, n, seed) space. Under `go test` only
+// the seed corpus runs (smoke mode, deterministic); under -fuzz it hunts
+// for instances that break verification, determinism, or agreement.
+func FuzzScenarioDifferential(f *testing.F) {
+	for i, name := range scenario.Names() {
+		f.Add(i, uint16(40+4*i), uint64(i)+1)
+		_ = name
+	}
+	specs := scenario.All()
+	f.Fuzz(func(t *testing.T, which int, rawN uint16, seed uint64) {
+		if which < 0 {
+			which = -(which + 1)
+		}
+		spec := specs[which%len(specs)]
+		// Clamp to small instances: each exec runs six solves (three
+		// models, twice each); the properties are size-independent.
+		n := scenario.MinNodes + int(rawN)%81
+		solveAll(t, spec, n, seed)
+	})
+}

@@ -19,7 +19,8 @@ import (
 
 	"ccolor"
 	"ccolor/internal/graph"
-	"ccolor/internal/hashing"
+	"ccolor/internal/scenario"
+	"ccolor/internal/verify"
 )
 
 type goldenCase struct {
@@ -87,11 +88,108 @@ var goldenCases = []goldenCase{
 // coloringFP fingerprints a color vector (NoColor is impossible in a
 // verified report, but is folded in defensively as-is).
 func coloringFP(c ccolor.Coloring) uint64 {
-	words := make([]uint64, len(c))
-	for i, x := range c {
-		words[i] = uint64(x)
+	return verify.ColoringFingerprint(c)
+}
+
+// --- scenario-registry golden ledger -----------------------------------
+//
+// Every scenario in internal/scenario is pinned on every backend: coloring
+// fingerprint, executed model rounds, and words moved at the canonical
+// size/seed below. The test *iterates the registry*, so adding a scenario
+// without adding its three ledger entries fails loudly — regenerate with:
+//
+//	GOLDEN_DUMP=1 go test -run TestScenarioGolden -v
+
+const (
+	scenarioGoldenN    = 96
+	scenarioGoldenSeed = 1
+)
+
+type scenarioLedger struct {
+	wantColoringFP uint64
+	wantRounds     int
+	wantWordsMoved int64
+}
+
+// scenarioGolden is keyed by "scenario/model". A zero wantWordsMoved is
+// legitimate where the instance fits a single MPC machine even at space
+// factor 16 (the layout, too, is deterministic and pinned).
+var scenarioGolden = map[string]scenarioLedger{
+	"gnp/cclique":               {wantColoringFP: 0xd39df289486c5a4, wantRounds: 27, wantWordsMoved: 12688},
+	"gnp/mpc":                   {wantColoringFP: 0xd39df289486c5a4, wantRounds: 24, wantWordsMoved: 3391},
+	"gnp/lowspace":              {wantColoringFP: 0x947776ed943707f, wantRounds: 34, wantWordsMoved: 1750},
+	"regular/cclique":           {wantColoringFP: 0x1c7c029f7e6cd4b0, wantRounds: 17, wantWordsMoved: 10348},
+	"regular/mpc":               {wantColoringFP: 0x1c7c029f7e6cd4b0, wantRounds: 12, wantWordsMoved: 2326},
+	"regular/lowspace":          {wantColoringFP: 0x1e9fcb5fce7df684, wantRounds: 28, wantWordsMoved: 736},
+	"powerlaw/cclique":          {wantColoringFP: 0x1fc75fb987233929, wantRounds: 25, wantWordsMoved: 10799},
+	"powerlaw/mpc":              {wantColoringFP: 0x1fc75fb987233929, wantRounds: 23, wantWordsMoved: 3356},
+	"powerlaw/lowspace":         {wantColoringFP: 0x12becbf59a0ccc59, wantRounds: 32, wantWordsMoved: 1883},
+	"bipartite-blocks/cclique":  {wantColoringFP: 0x1ef99589d4577c2b, wantRounds: 11, wantWordsMoved: 4192},
+	"bipartite-blocks/mpc":      {wantColoringFP: 0x1ef99589d4577c2b, wantRounds: 7, wantWordsMoved: 0},
+	"bipartite-blocks/lowspace": {wantColoringFP: 0x6745a6fa27b61d5, wantRounds: 13, wantWordsMoved: 170},
+	"ring-of-cliques/cclique":   {wantColoringFP: 0x3f5b95603aec78a, wantRounds: 16, wantWordsMoved: 9576},
+	"ring-of-cliques/mpc":       {wantColoringFP: 0x3f5b95603aec78a, wantRounds: 12, wantWordsMoved: 1590},
+	"ring-of-cliques/lowspace":  {wantColoringFP: 0x5c5743f357edd0, wantRounds: 19, wantWordsMoved: 390},
+	"geometric/cclique":         {wantColoringFP: 0x1ea513c0f255fdb4, wantRounds: 26, wantWordsMoved: 11382},
+	"geometric/mpc":             {wantColoringFP: 0x1ea513c0f255fdb4, wantRounds: 24, wantWordsMoved: 2074},
+	"geometric/lowspace":        {wantColoringFP: 0xdd947e294415c1a, wantRounds: 39, wantWordsMoved: 1351},
+	"rmat/cclique":              {wantColoringFP: 0x11d58106d4c8a6c6, wantRounds: 27, wantWordsMoved: 12300},
+	"rmat/mpc":                  {wantColoringFP: 0x11d58106d4c8a6c6, wantRounds: 24, wantWordsMoved: 5705},
+	"rmat/lowspace":             {wantColoringFP: 0x549fde6b4006212, wantRounds: 57, wantWordsMoved: 5546},
+	"torus/cclique":             {wantColoringFP: 0x1d827153ad9fdb0e, wantRounds: 13, wantWordsMoved: 5204},
+	"torus/mpc":                 {wantColoringFP: 0x1d827153ad9fdb0e, wantRounds: 8, wantWordsMoved: 0},
+	"torus/lowspace":            {wantColoringFP: 0x14311a1abae36899, wantRounds: 25, wantWordsMoved: 200},
+	"hub-spoke/cclique":         {wantColoringFP: 0x164f9368fa951fde, wantRounds: 25, wantWordsMoved: 11014},
+	"hub-spoke/mpc":             {wantColoringFP: 0x164f9368fa951fde, wantRounds: 23, wantWordsMoved: 3531},
+	"hub-spoke/lowspace":        {wantColoringFP: 0x13c21cae7f8ddc7, wantRounds: 40, wantWordsMoved: 1906},
+}
+
+func TestScenarioGolden(t *testing.T) {
+	dump := os.Getenv("GOLDEN_DUMP") != ""
+	models := []ccolor.Model{ccolor.ModelCClique, ccolor.ModelMPC, ccolor.ModelLowSpace}
+	for _, spec := range scenario.All() {
+		for _, model := range models {
+			key := spec.Name + "/" + string(model)
+			t.Run(key, func(t *testing.T) {
+				inst, err := spec.Instance(scenarioGoldenN, scenarioGoldenSeed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Space factor 16 forces a real multi-machine MPC layout at
+				// this size (the default of 64 fits n=96 on one machine and
+				// the ledger would pin a communication-free run).
+				rep, err := ccolor.Solve(inst, &ccolor.Options{Model: model, MPCSpaceFactor: 16})
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Golden entries are only meaningful for verifier-clean
+				// colorings; check through the full oracle, not just the
+				// solver's internal ListColoring pass.
+				if err := verify.Full(inst, rep.Coloring); err != nil {
+					t.Fatalf("verify: %v", err)
+				}
+				fp := coloringFP(rep.Coloring)
+				if dump {
+					fmt.Printf("\t%q: {wantColoringFP: %#x, wantRounds: %d, wantWordsMoved: %d},\n",
+						key, fp, rep.Rounds, rep.WordsMoved)
+					return
+				}
+				want, ok := scenarioGolden[key]
+				if !ok {
+					t.Fatalf("no golden ledger entry for %s — every registry scenario must be pinned on every backend (GOLDEN_DUMP=1 to generate)", key)
+				}
+				if fp != want.wantColoringFP {
+					t.Errorf("coloring fingerprint = %#x, want %#x", fp, want.wantColoringFP)
+				}
+				if rep.Rounds != want.wantRounds {
+					t.Errorf("Rounds = %d, want %d", rep.Rounds, want.wantRounds)
+				}
+				if rep.WordsMoved != want.wantWordsMoved {
+					t.Errorf("WordsMoved = %d, want %d", rep.WordsMoved, want.wantWordsMoved)
+				}
+			})
+		}
 	}
-	return hashing.Fingerprint(words)
 }
 
 func TestSolveGolden(t *testing.T) {

@@ -1,0 +1,326 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+)
+
+// Additional deterministic workload families for the scenario registry
+// (internal/scenario). Like generators.go, every generator here is a pure
+// function of its parameters and seed: the serving layer's content-addressed
+// cache and the golden differential tests depend on bit-stable output across
+// runs, Go releases, and platforms. Randomized families draw only from the
+// splitmix64 Rand; geometry uses integer lattice arithmetic so no
+// platform-dependent floating-point contraction can change an edge decision.
+
+// BipartiteBlocks returns a union of `blocks` random bipartite blocks
+// chained into one component. The n nodes are split into near-equal blocks;
+// each block is split into a left and right half and each left–right pair is
+// an edge with probability p; consecutive blocks are joined by one bridge
+// edge (a cut edge, so 2-colorability is preserved). The family stresses
+// the solver with χ = 2 structure under palettes of size Δ+1 — maximal
+// palette slack with non-trivial degree.
+func BipartiteBlocks(n, blocks int, p float64, seed uint64) (*Graph, error) {
+	if blocks < 1 {
+		return nil, fmt.Errorf("graph: bipartite blocks %d < 1", blocks)
+	}
+	if blocks > n {
+		return nil, fmt.Errorf("graph: bipartite blocks %d > n %d", blocks, n)
+	}
+	if p < 0 || p > 1 {
+		return nil, fmt.Errorf("graph: bipartite probability %v out of [0,1]", p)
+	}
+	rng := NewRand(seed)
+	var edges [][2]int32
+	start := 0
+	prevRight := -1 // a right-side node of the previous block, for bridging
+	for b := 0; b < blocks; b++ {
+		size := n / blocks
+		if b < n%blocks {
+			size++
+		}
+		left := size / 2
+		for i := 0; i < left; i++ {
+			for j := left; j < size; j++ {
+				if rng.Float64() < p {
+					edges = append(edges, [2]int32{int32(start + i), int32(start + j)})
+				}
+			}
+		}
+		if prevRight >= 0 {
+			// Bridge to this block's first node. Each bridge is a cut edge
+			// between consecutive blocks, so bipartiteness is preserved even
+			// for 1-node blocks (whose lone node sits on the right side).
+			edges = append(edges, [2]int32{int32(prevRight), int32(start)})
+		}
+		// The block's last node is always on the right side (left < size).
+		prevRight = start + size - 1
+		start += size
+	}
+	return FromEdges(n, edges)
+}
+
+// RingOfCliques returns ⌈n/cliqueSize⌉ cliques covering nodes 0..n-1 in
+// contiguous runs, with consecutive cliques joined ring-wise by one bridge
+// edge (last node of clique i to first node of clique i+1). The final clique
+// absorbs the remainder and may be smaller. The family stresses the
+// low-space pool path: maximal local density with minimal expansion, the
+// exact shape the implicit-clique MIS reduction is built for.
+func RingOfCliques(n, cliqueSize int) (*Graph, error) {
+	if cliqueSize < 1 {
+		return nil, fmt.Errorf("graph: clique size %d < 1", cliqueSize)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("graph: ring of cliques needs n ≥ 1, got %d", n)
+	}
+	k := (n + cliqueSize - 1) / cliqueSize
+	var edges [][2]int32
+	for c := 0; c < k; c++ {
+		lo := c * cliqueSize
+		hi := lo + cliqueSize
+		if hi > n {
+			hi = n
+		}
+		for u := lo; u < hi; u++ {
+			for v := u + 1; v < hi; v++ {
+				edges = append(edges, [2]int32{int32(u), int32(v)})
+			}
+		}
+	}
+	if k > 1 {
+		for c := 0; c < k; c++ {
+			lo := c * cliqueSize
+			hi := lo + cliqueSize
+			if hi > n {
+				hi = n
+			}
+			nextLo := ((c + 1) % k) * cliqueSize
+			u, v := int32(hi-1), int32(nextLo)
+			// With exactly two 1-node cliques the forward and wrap bridges
+			// are the same undirected edge; emit it once.
+			if k == 2 && c == 1 {
+				prev := edges[len(edges)-1]
+				if (prev[0] == u && prev[1] == v) || (prev[0] == v && prev[1] == u) {
+					continue
+				}
+			}
+			edges = append(edges, [2]int32{u, v})
+		}
+	}
+	return FromEdges(n, edges)
+}
+
+// geomScaleBits is the lattice resolution for RandomGeometric coordinates.
+const geomScaleBits = 20
+
+// RandomGeometric returns a random geometric graph: n points on the unit
+// square, an edge whenever two points are within distance radius. Points
+// live on a 2^20 integer lattice and the threshold comparison is pure int64
+// arithmetic, so edge decisions are bit-stable everywhere. Neighbor search
+// is cell-bucketed (cells of side ≥ radius), keeping generation near-linear
+// in n for bounded expected degree. The family stresses locality: degrees
+// concentrate, but the conflict graph has high clustering and no shortcuts.
+func RandomGeometric(n int, radius float64, seed uint64) (*Graph, error) {
+	if radius < 0 || radius > 1 {
+		return nil, fmt.Errorf("graph: geometric radius %v out of [0,1]", radius)
+	}
+	rng := NewRand(seed)
+	scale := int64(1) << geomScaleBits
+	r := int64(radius * float64(scale)) // lattice-unit radius, truncated
+	r2 := r * r
+	xs := make([]int64, n)
+	ys := make([]int64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = rng.Intn(scale)
+		ys[i] = rng.Intn(scale)
+	}
+	var edges [][2]int32
+	if r <= 0 {
+		return FromEdges(n, edges)
+	}
+	// Bucket points into cells of side r; a node's neighbors live in its
+	// 3×3 cell block. Iterating nodes in ID order with a u<v guard emits
+	// each edge once, deterministically.
+	cells := scale / r
+	if cells < 1 {
+		cells = 1
+	}
+	cellOf := func(i int) (int64, int64) {
+		cx, cy := xs[i]/r, ys[i]/r
+		if cx >= cells {
+			cx = cells - 1
+		}
+		if cy >= cells {
+			cy = cells - 1
+		}
+		return cx, cy
+	}
+	bucket := make(map[int64][]int32)
+	for i := 0; i < n; i++ {
+		cx, cy := cellOf(i)
+		key := cx*cells + cy
+		bucket[key] = append(bucket[key], int32(i))
+	}
+	for v := 0; v < n; v++ {
+		cx, cy := cellOf(v)
+		for dx := int64(-1); dx <= 1; dx++ {
+			for dy := int64(-1); dy <= 1; dy++ {
+				nx, ny := cx+dx, cy+dy
+				if nx < 0 || nx >= cells || ny < 0 || ny >= cells {
+					continue
+				}
+				for _, u := range bucket[nx*cells+ny] {
+					if int(u) <= v {
+						continue
+					}
+					ddx, ddy := xs[u]-xs[v], ys[u]-ys[v]
+					if ddx*ddx+ddy*ddy <= r2 {
+						edges = append(edges, [2]int32{int32(v), u})
+					}
+				}
+			}
+		}
+	}
+	return FromEdges(n, edges)
+}
+
+// RMAT returns a recursive-matrix (Kronecker) graph: targetEdges distinct
+// edges drawn by recursively descending into quadrants of the adjacency
+// matrix with probabilities (a, b, c, 1-a-b-c). Self-loops, duplicates, and
+// endpoints ≥ n are redrawn, with a bounded attempt budget, so the emitted
+// edge count can fall short of the target on tiny or dense inputs. The
+// family stresses skew: a heavy-tailed degree sequence with community
+// structure, the classic adversary for degree-balanced partitioning.
+func RMAT(n, targetEdges int, a, b, c float64, seed uint64) (*Graph, error) {
+	if a < 0 || b < 0 || c < 0 || a+b+c > 1 {
+		return nil, fmt.Errorf("graph: rmat quadrant probabilities (%v,%v,%v) invalid", a, b, c)
+	}
+	if n < 2 {
+		if targetEdges > 0 {
+			return nil, fmt.Errorf("graph: rmat needs n ≥ 2 for edges, got n=%d", n)
+		}
+		return FromEdges(n, nil)
+	}
+	levels := 0
+	for 1<<levels < n {
+		levels++
+	}
+	rng := NewRand(seed)
+	seen := make(map[uint64]struct{}, targetEdges)
+	edges := make([][2]int32, 0, targetEdges)
+	attempts := 0
+	maxAttempts := 20*targetEdges + 100
+	for len(edges) < targetEdges && attempts < maxAttempts {
+		attempts++
+		u, v := 0, 0
+		for l := 0; l < levels; l++ {
+			x := rng.Float64()
+			u <<= 1
+			v <<= 1
+			switch {
+			case x < a:
+				// top-left: both bits 0
+			case x < a+b:
+				v |= 1
+			case x < a+b+c:
+				u |= 1
+			default:
+				u |= 1
+				v |= 1
+			}
+		}
+		if u == v || u >= n || v >= n {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		key := uint64(u)<<32 | uint64(uint32(v))
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		edges = append(edges, [2]int32{int32(u), int32(v)})
+	}
+	return FromEdges(n, edges)
+}
+
+// Torus returns the rows×cols torus (grid with wraparound): every node has
+// degree exactly 4. Both dimensions must be ≥ 3 so wrap edges never
+// duplicate grid edges. The family stresses the flat end of the spectrum:
+// bounded degree, huge diameter, palettes barely larger than degree.
+func Torus(rows, cols int) (*Graph, error) {
+	if rows < 3 || cols < 3 {
+		return nil, fmt.Errorf("graph: torus needs rows, cols ≥ 3, got %d×%d", rows, cols)
+	}
+	id := func(r, c int) int32 { return int32(r*cols + c) }
+	edges := make([][2]int32, 0, 2*rows*cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			edges = append(edges, [2]int32{id(r, c), id(r, (c+1)%cols)})
+			edges = append(edges, [2]int32{id(r, c), id((r+1)%rows, c)})
+		}
+	}
+	return FromEdges(rows*cols, edges)
+}
+
+// HubAndSpoke returns a power-law variant with an explicit core: nodes
+// 0..hubs-1 form a clique; every spoke node v ≥ hubs connects to the hub
+// v mod hubs plus attach-1 random distinct earlier nodes. Hub degrees grow
+// like n/hubs while spokes stay at attach, an extreme degree skew that
+// stresses the high/low-degree split of the partitioning phase.
+func HubAndSpoke(n, hubs, attach int, seed uint64) (*Graph, error) {
+	if hubs < 1 || hubs > n {
+		return nil, fmt.Errorf("graph: hubs %d out of range for n=%d", hubs, n)
+	}
+	if attach < 1 {
+		return nil, fmt.Errorf("graph: attach %d < 1", attach)
+	}
+	rng := NewRand(seed)
+	var edges [][2]int32
+	for u := 0; u < hubs; u++ {
+		for v := u + 1; v < hubs; v++ {
+			edges = append(edges, [2]int32{int32(u), int32(v)})
+		}
+	}
+	chosen := make([]int32, 0, attach)
+	for v := hubs; v < n; v++ {
+		chosen = append(chosen[:0], int32(v%hubs))
+		// Remaining attachments: random distinct earlier nodes. v earlier
+		// nodes exist, so want ≤ v choices always terminates.
+		want := attach
+		if want > v {
+			want = v
+		}
+		for len(chosen) < want {
+			t := int32(rng.Intn(int64(v)))
+			dup := false
+			for _, c := range chosen {
+				if c == t {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				chosen = append(chosen, t)
+			}
+		}
+		for _, t := range chosen {
+			edges = append(edges, [2]int32{int32(v), t})
+		}
+	}
+	return FromEdges(n, edges)
+}
+
+// GeometricRadiusForDegree returns the lattice-safe radius giving expected
+// degree ≈ target on n uniform points (π r² n = target, clamped to [0,1]).
+func GeometricRadiusForDegree(n, target int) float64 {
+	if n < 1 {
+		return 0
+	}
+	r := math.Sqrt(float64(target) / (math.Pi * float64(n)))
+	if r > 1 {
+		r = 1
+	}
+	return r
+}

@@ -66,6 +66,13 @@ type Hash struct {
 // candidate order the derandomization engine (internal/derand) searches.
 func (f Family) Member(index uint64) Hash {
 	coeffs := make([]uint64, f.C)
+	fillCoeffs(index, coeffs)
+	return Hash{fam: f, coeffs: coeffs}
+}
+
+// fillCoeffs expands a member index into coefficients by the fixed
+// splitmix64 stream — the single definition Member and MemberInto share.
+func fillCoeffs(index uint64, coeffs []uint64) {
 	state := index
 	for i := range coeffs {
 		state += 0x9e3779b97f4a7c15
@@ -75,7 +82,27 @@ func (f Family) Member(index uint64) Hash {
 		z ^= z >> 31
 		coeffs[i] = field.Reduce(z)
 	}
-	return Hash{fam: f, coeffs: coeffs}
+}
+
+// MemberInto is Member writing the coefficients into buf, reusing its
+// storage when the capacity suffices (one allocation only when it does
+// not). It returns the member and the buffer backing it for the caller to
+// keep for the next call.
+//
+// Aliasing contract: the returned Hash shares buf — it is valid only until
+// the next MemberInto on the same buffer, which overwrites the
+// coefficients in place. The derandomization engine's batch loops are the
+// intended caller: every candidate in a batch is fully evaluated before
+// its slot's buffer is reused (see internal/derand's buffer-reuse tests,
+// which pin this contract).
+func (f Family) MemberInto(index uint64, buf []uint64) (Hash, []uint64) {
+	if cap(buf) < f.C {
+		buf = make([]uint64, f.C)
+	} else {
+		buf = buf[:f.C]
+	}
+	fillCoeffs(index, buf)
+	return Hash{fam: f, coeffs: buf}, buf
 }
 
 // FromCoefficients returns the member with explicit coefficients (each

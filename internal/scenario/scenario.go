@@ -1,0 +1,291 @@
+// Package scenario is ccolor's deterministic workload registry: a fixed
+// catalog of named graph families, each emitting a canonical list-coloring
+// instance as a pure function of (n, seed). Everything downstream — the
+// golden differential ledgers, the property/fuzz harness, cmd/ccolor's
+// scenario mode, ccbench's load-generator mixes, and cmd/ccserve's
+// "scenario" graph kind — selects workloads by registry name, so a new
+// family added here is automatically exercised by all of them.
+//
+// Canonicality is the contract: two builds of the same (name, n, seed) are
+// bit-identical under the canonical instance encoding (graph.
+// AppendInstanceWords), across runs, platforms, and Go releases. The
+// serving layer's content-addressed cache and the run-to-run fingerprint
+// tests depend on it.
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"ccolor/internal/graph"
+)
+
+// PaletteKind selects how a scenario assigns per-node palettes. Every kind
+// yields instances valid on all three execution models (each palette is
+// strictly larger than its node's degree, so the instance is in particular
+// a (deg+1)-list instance for the low-space backend).
+type PaletteKind string
+
+const (
+	// PaletteDeltaPlus1 gives every node the shared palette {1..Δ+1} — the
+	// classic (Δ+1)-coloring problem.
+	PaletteDeltaPlus1 PaletteKind = "delta+1"
+	// PaletteList gives every node Δ+1 distinct colors drawn from a
+	// universe of size 4n — the (Δ+1)-list coloring problem.
+	PaletteList PaletteKind = "list"
+)
+
+// Spec is one registry entry: a named, documented, deterministic workload.
+type Spec struct {
+	// Name is the registry key ("ring-of-cliques").
+	Name string
+	// Family names the underlying generator ("RingOfCliques").
+	Family string
+	// Params documents how the generator is parameterized at size n.
+	Params string
+	// Stress documents why the family stresses the solver.
+	Stress string
+	// Palette is the palette discipline of emitted instances.
+	Palette PaletteKind
+	// Seeded reports whether the emitted instance depends on the seed
+	// (structured families like the torus ignore it).
+	Seeded bool
+
+	build func(n int, seed uint64) (*graph.Graph, error)
+}
+
+// Graph builds just the scenario's graph at size n.
+func (s *Spec) Graph(n int, seed uint64) (*graph.Graph, error) {
+	if n < MinNodes {
+		return nil, fmt.Errorf("scenario %s: n=%d below minimum %d", s.Name, n, MinNodes)
+	}
+	g, err := s.build(n, seed)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	return g, nil
+}
+
+// Instance builds the scenario's canonical list-coloring instance. Palette
+// randomness (for PaletteList) derives from seed+1, mirroring the golden
+// workload convention, so one seed pins the whole instance.
+func (s *Spec) Instance(n int, seed uint64) (*graph.Instance, error) {
+	g, err := s.Graph(n, seed)
+	if err != nil {
+		return nil, err
+	}
+	switch s.Palette {
+	case PaletteList:
+		inst, err := graph.ListInstance(g, Universe(n), seed+1)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+		return inst, nil
+	default:
+		return graph.DeltaPlus1Instance(g), nil
+	}
+}
+
+// MinNodes is the smallest instance any scenario supports: large enough
+// that every family's structural parameters (degree 8 targets, clique size
+// 8, torus side ≥ 4, power-law seed clique) are valid.
+const MinNodes = 16
+
+// Universe returns the list-coloring color universe used at size n: 4n
+// comfortably exceeds Δ+1 for every family while keeping palettes sparse
+// in the universe (the regime that stresses palette intersection logic).
+func Universe(n int) int64 { return int64(4 * n) }
+
+// registry is the fixed catalog, in presentation order. Keep the three
+// legacy families first — existing tooling defaults reference them by name.
+var registry = []*Spec{
+	{
+		Name:    "gnp",
+		Family:  "GNP",
+		Params:  "p = 8/n (expected degree 8, clamped to 1)",
+		Stress:  "the unstructured baseline: near-uniform degrees, no locality, palettes of size Δ+1 with moderate slack",
+		Palette: PaletteDeltaPlus1,
+		Seeded:  true,
+		build: func(n int, seed uint64) (*graph.Graph, error) {
+			p := 8.0 / float64(n)
+			if p > 1 {
+				p = 1
+			}
+			return graph.GNP(n, p, seed)
+		},
+	},
+	{
+		Name:    "regular",
+		Family:  "RandomRegular",
+		Params:  "d = 8 (configuration model with rewiring)",
+		Stress:  "zero degree variance: every node has exactly d candidates and d+1 colors — the tightest uniform palette slack",
+		Palette: PaletteDeltaPlus1,
+		Seeded:  true,
+		build: func(n int, seed uint64) (*graph.Graph, error) {
+			return graph.RandomRegular(n, 8, seed)
+		},
+	},
+	{
+		Name:    "powerlaw",
+		Family:  "PowerLaw",
+		Params:  "attach = 3 (preferential attachment)",
+		Stress:  "heavy-tailed degrees under list palettes: hubs exhaust palette slack while leaves have huge relative slack",
+		Palette: PaletteList,
+		Seeded:  true,
+		build: func(n int, seed uint64) (*graph.Graph, error) {
+			return graph.PowerLaw(n, 3, seed)
+		},
+	},
+	{
+		Name:    "bipartite-blocks",
+		Family:  "BipartiteBlocks",
+		Params:  "blocks = max(1, n/16), p = 0.25, chained by bridges",
+		Stress:  "χ = 2 structure under Δ+1 palettes: maximal palette slack with non-trivial degree, probing that the solver does not waste colors",
+		Palette: PaletteDeltaPlus1,
+		Seeded:  true,
+		build: func(n int, seed uint64) (*graph.Graph, error) {
+			blocks := n / 16
+			if blocks < 1 {
+				blocks = 1
+			}
+			return graph.BipartiteBlocks(n, blocks, 0.25, seed)
+		},
+	},
+	{
+		Name:    "ring-of-cliques",
+		Family:  "RingOfCliques",
+		Params:  "clique size 8, consecutive cliques bridged ring-wise",
+		Stress:  "maximal local density with minimal expansion — the shape the low-space implicit-clique MIS reduction is built for",
+		Palette: PaletteList,
+		Seeded:  true, // the graph is unseeded; the list palettes are seeded
+		build: func(n int, seed uint64) (*graph.Graph, error) {
+			return graph.RingOfCliques(n, 8)
+		},
+	},
+	{
+		Name:    "geometric",
+		Family:  "RandomGeometric",
+		Params:  "radius for expected degree 8 on the unit square (integer lattice)",
+		Stress:  "high clustering and pure locality: dense triangle neighborhoods with no shortcuts, the adversary for bin-scattering hashes",
+		Palette: PaletteDeltaPlus1,
+		Seeded:  true,
+		build: func(n int, seed uint64) (*graph.Graph, error) {
+			return graph.RandomGeometric(n, graph.GeometricRadiusForDegree(n, 8), seed)
+		},
+	},
+	{
+		Name:    "rmat",
+		Family:  "RMAT",
+		Params:  "4n target edges, quadrant probabilities (0.57, 0.19, 0.19)",
+		Stress:  "Kronecker skew: heavy-tailed degrees with community structure, the classic adversary for degree-balanced partitioning",
+		Palette: PaletteList,
+		Seeded:  true,
+		build: func(n int, seed uint64) (*graph.Graph, error) {
+			return graph.RMAT(n, 4*n, 0.57, 0.19, 0.19, seed)
+		},
+	},
+	{
+		Name:    "torus",
+		Family:  "Torus",
+		Params:  "⌊√n⌋ × ⌊√n⌋ with wraparound (node count is the nearest square)",
+		Stress:  "the flat end of the spectrum: degree exactly 4, huge diameter, palettes barely larger than degree",
+		Palette: PaletteDeltaPlus1,
+		Seeded:  false,
+		build: func(n int, seed uint64) (*graph.Graph, error) {
+			side := int(math.Sqrt(float64(n)))
+			if side < 3 {
+				side = 3
+			}
+			return graph.Torus(side, side)
+		},
+	},
+	{
+		Name:    "hub-spoke",
+		Family:  "HubAndSpoke",
+		Params:  "hubs = max(2, n/16) forming a clique, spokes attach to 3 earlier nodes",
+		Stress:  "extreme degree skew with an explicit dense core: hubs of degree ~n/hubs against degree-3 spokes stress the high/low-degree split",
+		Palette: PaletteDeltaPlus1,
+		Seeded:  true,
+		build: func(n int, seed uint64) (*graph.Graph, error) {
+			hubs := n / 16
+			if hubs < 2 {
+				hubs = 2
+			}
+			return graph.HubAndSpoke(n, hubs, 3, seed)
+		},
+	},
+}
+
+// All returns the registry in its fixed presentation order. The returned
+// slice is shared; treat it as read-only.
+func All() []*Spec { return registry }
+
+// Names returns every registry name in presentation order.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, s := range registry {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// Lookup finds a scenario by name. Unknown names produce an error that
+// lists the full catalog, so callers can surface it verbatim.
+func Lookup(name string) (*Spec, error) {
+	for _, s := range registry {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("scenario: unknown scenario %q (known: %s)",
+		name, strings.Join(Names(), ", "))
+}
+
+// MixEntry is one weighted scenario in a load-generator mix.
+type MixEntry struct {
+	Spec   *Spec
+	Weight int
+}
+
+// ParseMix parses a weighted mix like "gnp=2,ring-of-cliques=1,torus" (a
+// bare name means weight 1). The shorthand "all" expands to every registry
+// scenario with weight 1. Every name is validated against the registry;
+// zero-weight entries are dropped, and an all-zero or empty mix is an error.
+func ParseMix(mix string) ([]MixEntry, error) {
+	if strings.TrimSpace(mix) == "all" {
+		out := make([]MixEntry, len(registry))
+		for i, s := range registry {
+			out[i] = MixEntry{Spec: s, Weight: 1}
+		}
+		return out, nil
+	}
+	var out []MixEntry
+	for _, part := range strings.Split(mix, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, weightText, found := strings.Cut(part, "=")
+		weight := 1
+		if found {
+			w, err := strconv.Atoi(weightText)
+			if err != nil || w < 0 {
+				return nil, fmt.Errorf("scenario: bad mix weight %q", part)
+			}
+			weight = w
+		}
+		spec, err := Lookup(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		if weight > 0 {
+			out = append(out, MixEntry{Spec: spec, Weight: weight})
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("scenario: empty mix %q", mix)
+	}
+	return out, nil
+}

@@ -1,0 +1,137 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"ccolor/internal/graph"
+	"ccolor/internal/hashing"
+)
+
+func instFP(t *testing.T, inst *graph.Instance) uint64 {
+	t.Helper()
+	return hashing.Fingerprint(graph.AppendInstanceWords(nil, inst))
+}
+
+// TestEveryScenarioBuildsCanonically is the registry's core contract: every
+// entry builds a valid instance at a range of sizes, two builds of the same
+// (name, n, seed) are bit-identical, and seeded scenarios diverge across
+// seeds.
+func TestEveryScenarioBuildsCanonically(t *testing.T) {
+	for _, s := range All() {
+		t.Run(s.Name, func(t *testing.T) {
+			for _, n := range []int{MinNodes, 50, 96} {
+				a, err := s.Instance(n, 7)
+				if err != nil {
+					t.Fatalf("n=%d: %v", n, err)
+				}
+				// Instances satisfy p(v) > d(v) by NewInstance (list kind);
+				// delta+1 shares one palette — check the invariant directly.
+				for v := 0; v < a.G.N(); v++ {
+					if len(a.Palettes[v]) <= a.G.Degree(int32(v)) {
+						t.Fatalf("n=%d node %d: palette %d ≤ degree %d",
+							n, v, len(a.Palettes[v]), a.G.Degree(int32(v)))
+					}
+				}
+				b, err := s.Instance(n, 7)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if instFP(t, a) != instFP(t, b) {
+					t.Fatalf("n=%d: same (n, seed) built different instances", n)
+				}
+			}
+			if s.Seeded {
+				a, err := s.Instance(64, 7)
+				if err != nil {
+					t.Fatal(err)
+				}
+				c, err := s.Instance(64, 8)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if instFP(t, a) == instFP(t, c) {
+					t.Error("marked Seeded but seeds 7 and 8 built identical instances")
+				}
+			}
+			if s.Params == "" || s.Stress == "" || s.Family == "" {
+				t.Error("catalog entry is missing documentation fields")
+			}
+		})
+	}
+}
+
+func TestScenarioRejectsTinyN(t *testing.T) {
+	for _, s := range All() {
+		if _, err := s.Instance(MinNodes-1, 1); err == nil {
+			t.Errorf("%s: n below MinNodes accepted", s.Name)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	s, err := Lookup("ring-of-cliques")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "ring-of-cliques" {
+		t.Fatalf("looked up %q", s.Name)
+	}
+	_, err = Lookup("mobius-strip")
+	if err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	// The error must teach the caller the catalog.
+	for _, name := range Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("lookup error does not list %q: %v", name, err)
+		}
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	mix, err := ParseMix("gnp=2, torus , rmat=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mix) != 2 {
+		t.Fatalf("got %d entries, want 2 (zero weights dropped)", len(mix))
+	}
+	if mix[0].Spec.Name != "gnp" || mix[0].Weight != 2 {
+		t.Fatalf("first entry = %s/%d", mix[0].Spec.Name, mix[0].Weight)
+	}
+	if mix[1].Spec.Name != "torus" || mix[1].Weight != 1 {
+		t.Fatalf("second entry = %s/%d", mix[1].Spec.Name, mix[1].Weight)
+	}
+
+	all, err := ParseMix("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(All()) {
+		t.Fatalf("'all' expanded to %d entries, want %d", len(all), len(All()))
+	}
+
+	if _, err := ParseMix("gnp=x"); err == nil {
+		t.Error("bad weight accepted")
+	}
+	if _, err := ParseMix("nonesuch=1"); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+	if _, err := ParseMix("gnp=0"); err == nil {
+		t.Error("all-zero mix accepted")
+	}
+	if _, err := ParseMix(""); err == nil {
+		t.Error("empty mix accepted")
+	}
+}
+
+func TestNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, name := range Names() {
+		if seen[name] {
+			t.Fatalf("duplicate registry name %q", name)
+		}
+		seen[name] = true
+	}
+}

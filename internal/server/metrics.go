@@ -53,6 +53,10 @@ type modelStats struct {
 	WordsTotal  uint64
 	// RoundsByPhase rolls up ledger phase attribution across jobs.
 	RoundsByPhase map[string]uint64
+	// Verified / VerifyFailed count verify-on-solve oracle outcomes for
+	// fresh solves (zero unless Config.VerifyOnSolve is set).
+	Verified     uint64
+	VerifyFailed uint64
 
 	// Completed and errored jobs keep separate latency windows: an errored
 	// job's latency (often a fast rejection or a slow timeout, neither
@@ -80,8 +84,13 @@ type ModelSnapshot struct {
 	RoundsTotal   uint64            `json:"rounds_total"`
 	WordsTotal    uint64            `json:"words_total"`
 	RoundsByPhase map[string]uint64 `json:"rounds_by_phase,omitempty"`
-	Latency       LatencySummary    `json:"latency"`
-	ErrorLatency  LatencySummary    `json:"error_latency"`
+	// Verified / VerifyFailures report the verify-on-solve oracle: fresh
+	// solves re-checked (and rejected) by internal/verify. Both stay zero
+	// when the mode is off.
+	Verified       uint64         `json:"verified"`
+	VerifyFailures uint64         `json:"verify_failures"`
+	Latency        LatencySummary `json:"latency"`
+	ErrorLatency   LatencySummary `json:"error_latency"`
 }
 
 // Snapshot is one consistent view of the whole service's metrics.
@@ -119,6 +128,18 @@ func (m *Metrics) model(model ccolor.Model) *modelStats {
 		m.models[model] = s
 	}
 	return s
+}
+
+// RecordVerify counts one verify-on-solve oracle outcome.
+func (m *Metrics) RecordVerify(model ccolor.Model, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.model(model)
+	if ok {
+		s.Verified++
+	} else {
+		s.VerifyFailed++
+	}
 }
 
 // RecordRejected counts a queue-full rejection.
@@ -179,13 +200,15 @@ func (m *Metrics) snapshot(now time.Time) Snapshot {
 	}
 	for model, s := range m.models {
 		ms := ModelSnapshot{
-			Jobs:         s.Jobs,
-			Errors:       s.Errors,
-			CacheHits:    s.CacheHits,
-			RoundsTotal:  s.RoundsTotal,
-			WordsTotal:   s.WordsTotal,
-			Latency:      s.okLat.summary(),
-			ErrorLatency: s.errLat.summary(),
+			Jobs:           s.Jobs,
+			Errors:         s.Errors,
+			CacheHits:      s.CacheHits,
+			RoundsTotal:    s.RoundsTotal,
+			WordsTotal:     s.WordsTotal,
+			Verified:       s.Verified,
+			VerifyFailures: s.VerifyFailed,
+			Latency:        s.okLat.summary(),
+			ErrorLatency:   s.errLat.summary(),
 		}
 		if s.Jobs > 0 {
 			ms.CacheHitRate = float64(s.CacheHits) / float64(s.Jobs)

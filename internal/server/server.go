@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"ccolor"
+	"ccolor/internal/verify"
 )
 
 // Errors returned by the admission path.
@@ -52,6 +53,14 @@ type Config struct {
 	// RetainWords additionally bounds retained async results by total
 	// coloring words; 0 means 1<<24.
 	RetainWords int64
+	// VerifyOnSolve re-checks every fresh (non-cached) solve through the
+	// independent internal/verify oracle — properness, palette membership,
+	// and the Δ+1/deg+1 bound the instance implies — before the result is
+	// cached or published. A failure fails the job and counts in the
+	// per-model VerifyFailures metric. This is the debug/canary mode for
+	// soak tests and staged rollouts; the solver already self-verifies, so
+	// production serving normally leaves it off.
+	VerifyOnSolve bool
 }
 
 func (c Config) withDefaults() Config {
@@ -279,6 +288,17 @@ func (s *Server) run(job *Job) bool {
 	s.flightMu.Unlock()
 
 	rep, err := ccolor.Solve(job.Spec.Inst, job.Spec.options())
+	if err == nil && s.cfg.VerifyOnSolve {
+		// The instance is still attached here (it is only released when the
+		// job finishes), so the oracle can re-derive every claim from it.
+		if verr := verify.Full(job.Spec.Inst, rep.Coloring); verr != nil {
+			err = fmt.Errorf("server: verify-on-solve rejected the coloring: %w", verr)
+			rep = nil
+			s.metrics.RecordVerify(job.Spec.model(), false)
+		} else {
+			s.metrics.RecordVerify(job.Spec.model(), true)
+		}
+	}
 	if err == nil {
 		s.cache.Put(key, rep)
 	}

@@ -415,6 +415,48 @@ func TestMetricsSnapshotJSONStable(t *testing.T) {
 	}
 }
 
+// TestVerifyOnSolve exercises the opt-in oracle mode: fresh solves are
+// re-verified (and counted), cache hits are not re-verified (the cached
+// report was already checked), and the mode is off by default.
+func TestVerifyOnSolve(t *testing.T) {
+	srv := New(Config{Workers: 2, QueueDepth: 8, VerifyOnSolve: true})
+	defer srv.Drain(context.Background())
+	spec := gnpSpec(t, ccolor.ModelCClique, 48, 0.1, 5)
+	for i := 0; i < 2; i++ { // miss, then hit
+		res, err := srv.Do(context.Background(), gnpSpec(t, ccolor.ModelCClique, 48, 0.1, 5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := i == 1; res.Cached != want {
+			t.Fatalf("request %d: cached = %v, want %v", i, res.Cached, want)
+		}
+	}
+	// A second model exercises per-model attribution.
+	if _, err := srv.Do(context.Background(), gnpSpec(t, ccolor.ModelLowSpace, 48, 0.1, 5)); err != nil {
+		t.Fatal(err)
+	}
+	snap := srv.Metrics()
+	cc := snap.PerModel[string(ccolor.ModelCClique)]
+	if cc.Verified != 1 || cc.VerifyFailures != 0 {
+		t.Fatalf("cclique verified/failures = %d/%d, want 1/0 (cache hits are not re-verified)",
+			cc.Verified, cc.VerifyFailures)
+	}
+	ls := snap.PerModel[string(ccolor.ModelLowSpace)]
+	if ls.Verified != 1 || ls.VerifyFailures != 0 {
+		t.Fatalf("lowspace verified/failures = %d/%d, want 1/0", ls.Verified, ls.VerifyFailures)
+	}
+
+	// Default config: the oracle never runs.
+	off := New(Config{Workers: 1, QueueDepth: 4})
+	defer off.Drain(context.Background())
+	if _, err := off.Do(context.Background(), spec); err != nil {
+		t.Fatal(err)
+	}
+	if ms := off.Metrics().PerModel[string(ccolor.ModelCClique)]; ms.Verified != 0 || ms.VerifyFailures != 0 {
+		t.Fatalf("verify counters moved with the mode off: %+v", ms)
+	}
+}
+
 func BenchmarkDoCacheHit(b *testing.B) {
 	srv := New(Config{Workers: 1, QueueDepth: 8})
 	defer srv.Drain(context.Background())
