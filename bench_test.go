@@ -246,6 +246,76 @@ func BenchmarkSolveLowSpace(b *testing.B) {
 	})
 }
 
+// --- warm-solve path (one solver session reused across iterations) ---
+
+// benchSolveWarm drives a single pinned ccolor.SolverSession — the exact
+// path a steady-state ccserve worker takes after its first job of a model —
+// on the same instances as the cold benchmarks. The delta between
+// BenchmarkSolveX and BenchmarkSolveWarmX is the per-solve construction
+// cost the session engine amortizes away; BENCH_solve.json pins both and
+// cmd/benchguard holds the warm allocs/op line in CI.
+func benchSolveWarm(b *testing.B, model ccolor.Model, build func() (*graph.Instance, error)) {
+	b.Helper()
+	inst, err := build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess, err := ccolor.NewSolverSession(model)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := &ccolor.Options{Model: model}
+	// One priming solve sizes the session's workspaces; the timed loop
+	// measures the steady state.
+	if _, err := sess.Solve(inst, opts); err != nil {
+		b.Fatal(err)
+	}
+	var rounds int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := sess.Solve(inst, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds = rep.Rounds
+	}
+	b.ReportMetric(float64(rounds), "model-rounds")
+}
+
+func BenchmarkSolveWarmCClique(b *testing.B) {
+	b.Run("gnp256", func(b *testing.B) {
+		benchSolveWarm(b, ccolor.ModelCClique, solveGNPInstance(256, 0.05, 11))
+	})
+	b.Run("powerlaw256", func(b *testing.B) {
+		benchSolveWarm(b, ccolor.ModelCClique, solvePowerLawInstance(256, 4, 12, false))
+	})
+}
+
+func BenchmarkSolveWarmMPC(b *testing.B) {
+	b.Run("gnp256", func(b *testing.B) {
+		benchSolveWarm(b, ccolor.ModelMPC, solveGNPInstance(256, 0.05, 11))
+	})
+	b.Run("powerlaw256", func(b *testing.B) {
+		benchSolveWarm(b, ccolor.ModelMPC, solvePowerLawInstance(256, 4, 12, false))
+	})
+}
+
+func BenchmarkSolveWarmLowSpace(b *testing.B) {
+	b.Run("gnp256", func(b *testing.B) {
+		benchSolveWarm(b, ccolor.ModelLowSpace, func() (*graph.Instance, error) {
+			g, err := graph.GNP(256, 0.05, 11)
+			if err != nil {
+				return nil, err
+			}
+			return graph.DegPlus1Instance(g, 1<<20, 13)
+		})
+	})
+	b.Run("powerlaw256", func(b *testing.B) {
+		benchSolveWarm(b, ccolor.ModelLowSpace, solvePowerLawInstance(256, 4, 12, true))
+	})
+}
+
 func solveScenarioInstance(name string, n int, seed uint64) func() (*graph.Instance, error) {
 	return func() (*graph.Instance, error) {
 		spec, err := scenario.Lookup(name)

@@ -228,6 +228,12 @@ func runRegistry(scenName, label string, inst *graph.Instance, n int, seed uint6
 	runs := make([]verify.ModelColoring, 0, len(models))
 	var firstColoring graph.Coloring
 	for _, m := range models {
+		// Solve goes through the pooled session facade: every model's solve
+		// checks a warm solver session out of the package-level pool, so
+		// -model all (and any repeated solving in one process) pays
+		// simulator/workspace construction at most once per model. Warm
+		// results are byte-identical to cold, so the agreement report is
+		// unaffected.
 		rep, err := ccolor.Solve(inst, &ccolor.Options{Model: m})
 		if err != nil {
 			return fmt.Errorf("%s: %w", m, err)

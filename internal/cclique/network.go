@@ -73,6 +73,17 @@ func New(n int, opts ...Option) *Network {
 // Workers returns 𝔫, the number of nodes.
 func (nw *Network) Workers() int { return nw.n }
 
+// Reset re-arms the network for a new solve on n nodes: the node count is
+// re-dimensioned and the ledger cleared, while the configured options
+// (word budget, parallelism) and any live round arena carry over — the
+// next round simply recycles it at the new width, exactly as rounds always
+// do. This is what lets a solver session reuse one Network across solves
+// instead of paying cclique.New per call; it mirrors mpc.Cluster.Reset.
+func (nw *Network) Reset(n int) {
+	nw.n = n
+	nw.ledger.Reset()
+}
+
 // Release returns the network's round arenas to the shared pool for reuse
 // by other fabrics. Call it once the solve is done; the last round's
 // inboxes become invalid. The network remains usable — the next round

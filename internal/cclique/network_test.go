@@ -124,3 +124,56 @@ func TestParallelExecutionMatchesSerial(t *testing.T) {
 		}
 	}
 }
+
+// TestResetRecyclesNetwork: Reset re-dimensions the node count and clears
+// the ledger while the configured options survive — a session's second
+// solve must be indistinguishable from one on a fresh network.
+func TestResetRecyclesNetwork(t *testing.T) {
+	nw := New(4, WithMsgWords(2), WithParallelism(1))
+	run := func(n int) (rounds int, words int64, inboxes int) {
+		in, err := nw.Round(func(w int) []fabric.Msg {
+			if w == 0 {
+				return []fabric.Msg{{To: n - 1, Words: []uint64{uint64(n)}}}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return nw.Ledger().Rounds(), nw.Ledger().WordsMoved(), len(in)
+	}
+	r1, w1, in1 := run(4)
+	if r1 != 1 || w1 != 1 || in1 != 4 {
+		t.Fatalf("first run: rounds=%d words=%d inboxes=%d", r1, w1, in1)
+	}
+
+	// Grow to 7 nodes: the ledger must restart from zero and the round
+	// width must follow the new n.
+	nw.Reset(7)
+	if nw.Workers() != 7 {
+		t.Fatalf("Workers() = %d after Reset(7)", nw.Workers())
+	}
+	if nw.Ledger().Rounds() != 0 || nw.Ledger().WordsMoved() != 0 {
+		t.Fatal("Reset did not clear the ledger")
+	}
+	if nw.MsgWords() != 2 {
+		t.Fatalf("Reset dropped WithMsgWords: %d", nw.MsgWords())
+	}
+	r2, w2, in2 := run(7)
+	if r2 != 1 || w2 != 1 || in2 != 7 {
+		t.Fatalf("post-reset run: rounds=%d words=%d inboxes=%d", r2, w2, in2)
+	}
+
+	// Shrink below the original size: destinations beyond the new n must be
+	// rejected, proving the old width is gone.
+	nw.Reset(2)
+	if _, err := nw.Round(func(w int) []fabric.Msg {
+		if w == 0 {
+			return []fabric.Msg{{To: 5, Words: []uint64{1}}}
+		}
+		return nil
+	}); err == nil {
+		t.Fatal("send to node 5 succeeded on a 2-node reset network")
+	}
+	nw.Release()
+}

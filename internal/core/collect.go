@@ -12,9 +12,16 @@ import (
 // (Lenzen-style routing, O(1) rounds for O(𝔫)-size instances), color it
 // locally by greedy list coloring, scatter colors back, and notify
 // neighbors so palettes stay current.
+//
+// The wave-level lookup tables (call → target/live set, node → assigned
+// color, the per-node taken-color set) live in the session workspace and
+// are cleared per wave, so repeated collect waves allocate only what the
+// gather itself must retain (the per-sender payload blocks).
 func (s *solver) collectAndColor(calls []*call) error {
-	targetOf := make(map[int32]int32, len(calls)) // call id → target node
-	liveOf := make(map[int32][]int32, len(calls))
+	targetOf := s.wsp.targetOf // call id → target node
+	liveOf := s.wsp.liveOf
+	clear(targetOf)
+	clear(liveOf)
 	var active []*call
 	for _, c := range calls {
 		var live []int32
@@ -43,9 +50,10 @@ func (s *solver) collectAndColor(calls []*call) error {
 	// Gather: each member ships [d, neighbors…, p, colors…] to its
 	// instance's target machine. Palettes are truncated to d+1 colors
 	// (§3.6), keeping every gathered instance at O(size) words. The payload
-	// callback runs serially per worker, so the neighbor scratch is shared.
+	// callback runs serially per worker, so the neighbor and palette
+	// scratch are shared; the words block itself is retained by the gather
+	// and stays per-node.
 	s.fab.Ledger().SetPhase("collect:gather")
-	var nbrs []int32
 	blocks, err := fabric.GatherMany(s.fab, s.pw, func(w int) (int, []uint64) {
 		v := int32(w)
 		cid := s.callOf[v]
@@ -56,13 +64,14 @@ func (s *solver) collectAndColor(calls []*call) error {
 		if !ok {
 			return -1, nil
 		}
-		nbrs = nbrs[:0]
+		nbrs := s.wsp.nbrs[:0]
 		for _, u := range s.g.Neighbors(v) {
 			if s.callOf[u] == cid && s.color[u] == graph.NoColor {
 				nbrs = append(nbrs, u)
 			}
 		}
-		pal := s.palFirstK(v, len(nbrs)+1)
+		s.wsp.nbrs = nbrs
+		pal := s.palFirstKInto(v, len(nbrs)+1)
 		words := make([]uint64, 0, 2+len(nbrs)+len(pal))
 		words = append(words, uint64(len(nbrs)))
 		for _, u := range nbrs {
@@ -79,7 +88,8 @@ func (s *solver) collectAndColor(calls []*call) error {
 	}
 
 	// Local coloring at each target (the target machine's local step).
-	assigned := make(map[int32]graph.Color)
+	assigned := s.wsp.assigned
+	clear(assigned)
 	for _, c := range active {
 		target := targetOf[int32(c.id)]
 		got := blocks[int(target)]
@@ -90,14 +100,10 @@ func (s *solver) collectAndColor(calls []*call) error {
 		if size > s.trace.MaxCollectedSize {
 			s.trace.MaxCollectedSize = size
 		}
-		local, err := decodeGathered(got)
-		if err != nil {
+		if err := s.greedyListColor(got); err != nil {
 			return fmt.Errorf("call %d at target %d: %w", c.id, target, err)
 		}
-		if err := greedyListColor(local, assigned); err != nil {
-			return fmt.Errorf("call %d greedy: %w", c.id, err)
-		}
-		s.trace.LocalColoredNodes += len(local)
+		s.trace.LocalColoredNodes += len(got)
 	}
 
 	// Scatter: each target sends every member its color (one word/pair).
@@ -164,65 +170,45 @@ func (s *solver) collectAndColor(calls []*call) error {
 	return nil
 }
 
-// localNode is one node of a gathered instance.
-type localNode struct {
-	id      int32 // global node ID
-	nbrs    []int32
-	palette []graph.Color
-}
-
-// decodeGathered unpacks sender blocks into local nodes.
-func decodeGathered(blocks []fabric.SenderBlock) ([]localNode, error) {
-	out := make([]localNode, 0, len(blocks))
+// greedyListColor colors one gathered instance in sender order, reading
+// each sender's [d, neighbors…, p, colors…] block in place (no per-node
+// decode allocations): a node takes the first palette color no
+// already-colored in-instance neighbor holds, recorded in the workspace
+// assigned map. With p(v) > d(v) (maintained by the invariant and the
+// runtime demotion net), a free color always exists.
+func (s *solver) greedyListColor(blocks []fabric.SenderBlock) error {
+	assigned, taken := s.wsp.assigned, s.wsp.taken
 	for _, b := range blocks {
 		w := b.Words
 		if len(w) < 2 {
-			return nil, fmt.Errorf("short block from %d", b.From)
+			return fmt.Errorf("short block from %d", b.From)
 		}
 		d := int(w[0])
 		if len(w) < 1+d+1 {
-			return nil, fmt.Errorf("truncated neighbor list from %d", b.From)
-		}
-		nbrs := make([]int32, d)
-		for i := 0; i < d; i++ {
-			nbrs[i] = int32(w[1+i])
+			return fmt.Errorf("truncated neighbor list from %d", b.From)
 		}
 		p := int(w[1+d])
 		if len(w) != 2+d+p {
-			return nil, fmt.Errorf("bad block length from %d: %d words for d=%d p=%d", b.From, len(w), d, p)
+			return fmt.Errorf("bad block length from %d: %d words for d=%d p=%d", b.From, len(w), d, p)
 		}
-		pal := make([]graph.Color, p)
-		for i := 0; i < p; i++ {
-			pal[i] = graph.Color(w[2+d+i])
-		}
-		out = append(out, localNode{id: int32(b.From), nbrs: nbrs, palette: pal})
-	}
-	return out, nil
-}
-
-// greedyListColor colors a gathered instance in sender order: each node
-// takes the first palette color no already-colored in-instance neighbor
-// holds. With p(v) > d(v) (maintained by the invariant and the runtime
-// demotion net), a free color always exists.
-func greedyListColor(nodes []localNode, assigned map[int32]graph.Color) error {
-	for _, nd := range nodes {
-		taken := make(map[graph.Color]struct{}, len(nd.nbrs))
-		for _, u := range nd.nbrs {
-			if c, ok := assigned[u]; ok {
+		clear(taken)
+		for i := 0; i < d; i++ {
+			if c, ok := assigned[int32(w[1+i])]; ok {
 				taken[c] = struct{}{}
 			}
 		}
 		picked := false
-		for _, c := range nd.palette {
+		for i := 0; i < p; i++ {
+			c := graph.Color(w[2+d+i])
 			if _, hit := taken[c]; !hit {
-				assigned[nd.id] = c
+				assigned[int32(b.From)] = c
 				picked = true
 				break
 			}
 		}
 		if !picked {
 			return fmt.Errorf("node %d: no free color among %d palette entries with %d neighbors",
-				nd.id, len(nd.palette), len(nd.nbrs))
+				b.From, p, d)
 		}
 	}
 	return nil

@@ -137,6 +137,19 @@ func (s *solver) palFirstK(v int32, k int) []graph.Color {
 	return out
 }
 
+// palFirstKInto is palFirstK on the workspace truncation scratch — the
+// collect gather copies the result into its payload block before the next
+// node is visited, so one shared buffer serves the whole wave.
+func (s *solver) palFirstKInto(v int32, k int) []graph.Color {
+	out := s.wsp.firstK[:0]
+	s.palForEach(v, func(c graph.Color) bool {
+		out = append(out, c)
+		return len(out) < k
+	})
+	s.wsp.firstK = out
+	return out
+}
+
 // palWords returns the number of words node v's palette state occupies —
 // the quantity the space ledgers charge. Compact mode charges the chain and
 // used set (Theorem 1.3); materialized mode charges the list (Theorem 1.2).

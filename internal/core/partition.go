@@ -81,6 +81,7 @@ func (s *solver) partition(x *call) error {
 		BatchWidth: s.p.BatchWidth,
 		MaxBatches: s.p.MaxBatches,
 		Salt:       uint64(x.id) * 0x9e3779b9,
+		WS:         &s.wsp.sel,
 	}
 	binThresh := 2*float64(nX)/float64(b) + math.Pow(float64(s.bign), s.p.BinSizeSlackExp)
 	score := func(totals []int64) int64 {
@@ -98,18 +99,16 @@ func (s *solver) partition(x *call) error {
 		target = 1<<62 - 1 // ablation A1: candidate 0 always wins
 	}
 	s.fab.Ledger().SetPhase("partition:select")
-	res, err := sel.Select(s.fab, s.pw, target, func(w int, p derand.Pair) []int64 {
-		vec := make([]int64, 1+b)
+	res, err := sel.Select(s.fab, s.pw, target, func(w int, p derand.Pair, vec []int64) {
 		v := int32(w)
 		if s.callOf[v] != int32(x.id) || s.color[v] != graph.NoColor {
-			return vec
+			return
 		}
 		myBin, bad := isBad(v, p.H1, p.H2)
 		vec[1+myBin] = 1
 		if bad {
 			vec[0] = 1
 		}
-		return vec
 	}, score)
 	if err != nil {
 		return err

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"ccolor/internal/derand"
 	"ccolor/internal/fabric"
 	"ccolor/internal/graph"
 )
@@ -41,6 +42,50 @@ type call struct {
 // condition).
 var errNoProgress = errors.New("core: scheduler wave made no progress")
 
+// Workspace holds the per-run scratch a solver session retains across
+// Solve calls: palette state (with the materialized palettes carved out of
+// one slab), per-node call stamps, the call registry, the derandomization
+// engine's candidate/aggregation buffers, and the collect-wave scratch.
+// Buffers grow to the largest instance seen and are then reused as-is; the
+// zero value is ready. Everything a caller can retain from a solve — the
+// coloring, the trace — is freshly allocated per run, so two solves
+// through one workspace never share observable state.
+type Workspace struct {
+	pal     []palState
+	callOf  []int32
+	palSlab []graph.Color // materialized palettes, one slab per run
+	calls   map[int]*call
+
+	sel     derand.Workspace  // partition seed selection
+	agg     fabric.VecScratch // wave-barrier aggregation
+	barrier []int64           // per-worker barrier contribution slab
+
+	// Collect-wave scratch (see collectAndColor).
+	targetOf map[int32]int32
+	liveOf   map[int32][]int32
+	assigned map[int32]graph.Color
+	taken    map[graph.Color]struct{}
+	firstK   []graph.Color
+	nbrs     []int32
+}
+
+func (ws *Workspace) ensure(n int) {
+	ws.pal = graph.Grow(ws.pal, n)
+	ws.callOf = graph.Grow(ws.callOf, n)
+	ws.barrier = graph.Grow(ws.barrier, n)
+	if ws.calls == nil {
+		ws.calls = make(map[int]*call)
+	} else {
+		clear(ws.calls)
+	}
+	if ws.targetOf == nil {
+		ws.targetOf = make(map[int32]int32)
+		ws.liveOf = make(map[int32][]int32)
+		ws.assigned = make(map[int32]graph.Color)
+		ws.taken = make(map[graph.Color]struct{})
+	}
+}
+
 // solver carries all run state for one Solve invocation.
 type solver struct {
 	p    Params
@@ -60,6 +105,7 @@ type solver struct {
 	runnable []*call
 	colored  int
 
+	wsp   *Workspace
 	trace *Trace
 }
 
@@ -68,6 +114,15 @@ type solver struct {
 // full telemetry. pairWords is the fabric's per-ordered-pair word budget
 // (the congested clique's O(log 𝔫) bits).
 func Solve(f fabric.Fabric, pairWords int, inst *graph.Instance, p Params) (graph.Coloring, *Trace, error) {
+	return SolveWS(f, pairWords, inst, p, nil)
+}
+
+// SolveWS is Solve drawing its per-run scratch from ws (nil for a
+// transient workspace). A solver session passes the same workspace on
+// every call so warm solves skip the per-run setup allocations; results
+// are byte-identical to a cold Solve on the same (fabric, instance,
+// params).
+func SolveWS(f fabric.Fabric, pairWords int, inst *graph.Instance, p Params, ws *Workspace) (graph.Coloring, *Trace, error) {
 	n := inst.G.N()
 	if f.Workers() != n {
 		return nil, nil, fmt.Errorf("core: fabric has %d workers for %d nodes", f.Workers(), n)
@@ -83,6 +138,10 @@ func Solve(f fabric.Fabric, pairWords int, inst *graph.Instance, p Params) (grap
 				v, len(inst.Palettes[v]), delta)
 		}
 	}
+	if ws == nil {
+		ws = &Workspace{}
+	}
+	ws.ensure(n)
 	s := &solver{
 		p:      p,
 		fab:    f,
@@ -90,11 +149,22 @@ func Solve(f fabric.Fabric, pairWords int, inst *graph.Instance, p Params) (grap
 		g:      inst.G,
 		bign:   n,
 		color:  graph.NewColoring(n),
-		pal:    make([]palState, n),
-		callOf: make([]int32, n),
-		calls:  make(map[int]*call),
+		pal:    ws.pal[:n],
+		callOf: ws.callOf[:n],
+		calls:  ws.calls,
+		wsp:    ws,
 		trace:  &Trace{InputN: n, InputDelta: inst.G.MaxDegree()},
 	}
+	// The materialized palette copies are carved out of one workspace slab
+	// (they only ever shrink in place — sorted prune / splice — so per-node
+	// views never reallocate); capacity is reserved up front because append
+	// growth mid-loop would detach earlier views.
+	if !p.CompactPalettes {
+		if mass := inst.PaletteMass(); cap(ws.palSlab) < mass {
+			ws.palSlab = make([]graph.Color, 0, mass)
+		}
+	}
+	slab := ws.palSlab[:0]
 	maxColor := graph.Color(0)
 	for v := 0; v < n; v++ {
 		if p.CompactPalettes {
@@ -107,8 +177,9 @@ func Solve(f fabric.Fabric, pairWords int, inst *graph.Instance, p Params) (grap
 				maxColor = hi
 			}
 		} else {
-			mat := make(graph.Palette, len(inst.Palettes[v]))
-			copy(mat, inst.Palettes[v])
+			lo := len(slab)
+			slab = append(slab, inst.Palettes[v]...)
+			mat := graph.Palette(slab[lo:len(slab):len(slab)])
 			s.pal[v] = palState{mat: mat}
 			if len(mat) > 0 && mat[len(mat)-1] > maxColor {
 				maxColor = mat[len(mat)-1]
@@ -186,13 +257,18 @@ func (s *solver) wave() error {
 	}
 
 	// Wave barrier: a real 2-round aggregate of the uncolored count keeps
-	// the control plane honest in the round ledger.
+	// the control plane honest in the round ledger. Contributions come out
+	// of the workspace slab — one word per worker, no per-callback slices.
 	s.fab.Ledger().SetPhase("control")
-	tot, err := fabric.AggregateVec(s.fab, s.pw, 1, func(w int) []int64 {
+	barrier := s.wsp.barrier[:s.bign]
+	tot, err := s.wsp.agg.AggregateVec(s.fab, s.pw, 1, func(w int) []int64 {
+		out := barrier[w : w+1]
 		if s.color[w] == graph.NoColor {
-			return []int64{1}
+			out[0] = 1
+		} else {
+			out[0] = 0
 		}
-		return []int64{0}
+		return out
 	})
 	if err != nil {
 		return fmt.Errorf("core: wave barrier: %w", err)

@@ -51,6 +51,72 @@ type Selector struct {
 	BatchWidth int // candidates evaluated per aggregation batch (𝔫^δ)
 	MaxBatches int // search horizon; 0 means DefaultMaxBatches
 	Salt       uint64
+	// WS, when set, backs candidate enumeration and cost aggregation with
+	// session-reusable buffers; nil falls back to per-call transients.
+	WS *Workspace
+}
+
+// Workspace holds the selection engine's reusable buffers: the batch's
+// candidate pairs (hashing.MemberInto slots — zero coefficient allocation
+// after warmup), the per-worker local cost slab, and the fabric
+// aggregation scratch. One workspace serves any number of Selector /
+// VecSelector runs sequentially; solver sessions retain one per solve
+// stack so the derandomization hot path stops allocating in steady state.
+//
+// Candidate hashes alias workspace slots and are valid only until the next
+// batch on the same workspace (the hashing.MemberInto contract); winning
+// pairs are re-materialized with owned coefficients before they are
+// returned, so callers may retain them freely.
+type Workspace struct {
+	cands []Pair
+	coeff []uint64 // coefficient slab, one MemberInto slot per hash
+	vals  []int64  // workers×vlen local-contribution slab
+	agg   fabric.VecScratch
+}
+
+// fillCandidates enumerates the batch's candidates [base, base+width) into
+// the workspace slots, in the same fixed order Member-based enumeration
+// walks.
+func (ws *Workspace) fillCandidates(f1, f2 hashing.Family, base uint64, width int) []Pair {
+	c1, c2 := f1.C, f2.C
+	need := width * (c1 + c2)
+	if cap(ws.coeff) < need {
+		ws.coeff = make([]uint64, need)
+	}
+	ws.coeff = ws.coeff[:need]
+	if cap(ws.cands) < width {
+		ws.cands = make([]Pair, width)
+	}
+	ws.cands = ws.cands[:width]
+	off := 0
+	for i := 0; i < width; i++ {
+		idx := base + uint64(i)
+		h1, _ := f1.MemberInto(mix(idx, 1), ws.coeff[off:off:off+c1])
+		off += c1
+		h2, _ := f2.MemberInto(mix(idx, 2), ws.coeff[off:off:off+c2])
+		off += c2
+		ws.cands[i] = Pair{H1: h1, H2: h2, Index: idx}
+	}
+	return ws.cands
+}
+
+// workerVals returns the workers×vlen slab; worker w's window is
+// [w·vlen, (w+1)·vlen). Distinct windows keep the ungrouped fabrics'
+// concurrent local callbacks race-free without per-call allocation.
+func (ws *Workspace) workerVals(workers, vlen int) []int64 {
+	need := workers * vlen
+	if cap(ws.vals) < need {
+		ws.vals = make([]int64, need)
+	}
+	ws.vals = ws.vals[:need]
+	return ws.vals
+}
+
+// materialize rebuilds candidate idx with owned coefficient storage: the
+// winner outlives the batch buffers (partition stores h₂ in palette
+// restriction chains), so it must not alias workspace slots.
+func materialize(f1, f2 hashing.Family, idx uint64) Pair {
+	return Pair{H1: f1.Member(mix(idx, 1)), H2: f2.Member(mix(idx, 2)), Index: idx}
 }
 
 // DefaultMaxBatches bounds the search; expected batches is ~1 when the
@@ -80,22 +146,15 @@ func (s *Selector) Select(f fabric.Fabric, pairWords int, target int64, cost Loc
 		maxBatches = DefaultMaxBatches
 	}
 	var st Stats
-	shared := sharedCostScratch(f, width)
+	ws := s.WS
+	if ws == nil {
+		ws = &Workspace{}
+	}
+	slab := ws.workerVals(f.Workers(), width)
 	for batch := 0; batch < maxBatches; batch++ {
-		cands := make([]Pair, width)
-		for i := range cands {
-			idx := uint64(batch*width+i) + s.Salt
-			cands[i] = Pair{
-				H1:    s.F1.Member(mix(idx, 1)),
-				H2:    s.F2.Member(mix(idx, 2)),
-				Index: idx,
-			}
-		}
-		totals, err := fabric.AggregateVec(f, pairWords, width, func(w int) []int64 {
-			vals := shared
-			if vals == nil {
-				vals = make([]int64, width)
-			}
+		cands := ws.fillCandidates(s.F1, s.F2, uint64(batch*width)+s.Salt, width)
+		totals, err := ws.agg.AggregateVec(f, pairWords, width, func(w int) []int64 {
+			vals := slab[w*width : (w+1)*width]
 			for i, p := range cands {
 				vals[i] = cost(w, p)
 			}
@@ -109,7 +168,7 @@ func (s *Selector) Select(f fabric.Fabric, pairWords int, target int64, cost Loc
 			st.Candidates++
 			if total <= target {
 				st.Cost = total
-				winner := cands[i]
+				winner := materialize(s.F1, s.F2, cands[i].Index)
 				if err := fabric.Broadcast(f, pairWords, 0, []uint64{winner.Index}); err != nil {
 					return Pair{}, st, fmt.Errorf("derand: broadcast winner: %w", err)
 				}
@@ -138,25 +197,18 @@ func (s *Selector) SelectBest(f fabric.Fabric, pairWords int, budgetBatches int,
 		budgetBatches = 1
 	}
 	var st Stats
-	var best Pair
+	var bestIdx uint64
 	bestCost := int64(1<<62 - 1)
 	haveBest := false
-	shared := sharedCostScratch(f, width)
+	ws := s.WS
+	if ws == nil {
+		ws = &Workspace{}
+	}
+	slab := ws.workerVals(f.Workers(), width)
 	for batch := 0; batch < budgetBatches; batch++ {
-		cands := make([]Pair, width)
-		for i := range cands {
-			idx := uint64(batch*width+i) + s.Salt
-			cands[i] = Pair{
-				H1:    s.F1.Member(mix(idx, 1)),
-				H2:    s.F2.Member(mix(idx, 2)),
-				Index: idx,
-			}
-		}
-		totals, err := fabric.AggregateVec(f, pairWords, width, func(w int) []int64 {
-			vals := shared
-			if vals == nil {
-				vals = make([]int64, width)
-			}
+		cands := ws.fillCandidates(s.F1, s.F2, uint64(batch*width)+s.Salt, width)
+		totals, err := ws.agg.AggregateVec(f, pairWords, width, func(w int) []int64 {
+			vals := slab[w*width : (w+1)*width]
 			for i, p := range cands {
 				vals[i] = cost(w, p)
 			}
@@ -170,12 +222,13 @@ func (s *Selector) SelectBest(f fabric.Fabric, pairWords int, budgetBatches int,
 			st.Candidates++
 			if !haveBest || total < bestCost {
 				bestCost = total
-				best = cands[i]
+				bestIdx = cands[i].Index
 				haveBest = true
 			}
 		}
 	}
 	st.Cost = bestCost
+	best := materialize(s.F1, s.F2, bestIdx)
 	if err := fabric.Broadcast(f, pairWords, 0, []uint64{best.Index}); err != nil {
 		return Pair{}, st, fmt.Errorf("derand: broadcast winner: %w", err)
 	}
@@ -207,17 +260,6 @@ func (s *Selector) SelectLocal(target int64, cost func(p Pair) int64) (Pair, Sta
 	}
 	st.Batches = maxBatches
 	return Pair{}, st, fmt.Errorf("%w (target %d after %d candidates)", ErrExhausted, target, st.Candidates)
-}
-
-// sharedCostScratch returns a single reusable local-cost vector when the
-// fabric invokes AggregateVec's local callback serially (grouped fabrics —
-// see the AggregateVec contract), or nil when callbacks may run
-// concurrently and each invocation must allocate its own.
-func sharedCostScratch(f fabric.Fabric, width int) []int64 {
-	if _, ok := f.(fabric.Grouped); ok {
-		return make([]int64, width)
-	}
-	return nil
 }
 
 // mix derives independent sub-streams for the two families from a candidate

@@ -19,10 +19,15 @@ type VecSelector struct {
 	BatchWidth int
 	MaxBatches int
 	Salt       uint64
+	// WS, when set, backs candidate enumeration and cost aggregation with
+	// session-reusable buffers; nil falls back to per-call transients.
+	WS *Workspace
 }
 
-// LocalVec computes worker w's perCand-length contribution for a candidate.
-type LocalVec func(w int, p Pair) []int64
+// LocalVec fills worker w's perCand-length contribution for a candidate
+// into out, which arrives zeroed. Writing in place (instead of returning a
+// fresh slice) keeps the per-(worker, candidate) hot path allocation-free.
+type LocalVec func(w int, p Pair, out []int64)
 
 // Score condenses a candidate's aggregated totals into its cost.
 type Score func(totals []int64) int64
@@ -53,25 +58,19 @@ func (s *VecSelector) Select(f fabric.Fabric, pairWords int, target int64, local
 		maxBatches = DefaultMaxBatches
 	}
 	var st Stats
+	ws := s.WS
+	if ws == nil {
+		ws = &Workspace{}
+	}
+	vlen := width * s.PerCand
+	slab := ws.workerVals(f.Workers(), vlen)
 	for batch := 0; batch < maxBatches; batch++ {
-		cands := make([]Pair, width)
-		for i := range cands {
-			idx := uint64(batch*width+i) + s.Salt
-			cands[i] = Pair{
-				H1:    s.F1.Member(mix(idx, 1)),
-				H2:    s.F2.Member(mix(idx, 2)),
-				Index: idx,
-			}
-		}
-		vlen := width * s.PerCand
-		totals, err := fabric.AggregateVec(f, pairWords, vlen, func(w int) []int64 {
-			vals := make([]int64, 0, vlen)
-			for _, p := range cands {
-				part := local(w, p)
-				if len(part) != s.PerCand {
-					panic(fmt.Sprintf("derand: local vector length %d != perCand %d", len(part), s.PerCand))
-				}
-				vals = append(vals, part...)
+		cands := ws.fillCandidates(s.F1, s.F2, uint64(batch*width)+s.Salt, width)
+		totals, err := ws.agg.AggregateVec(f, pairWords, vlen, func(w int) []int64 {
+			vals := slab[w*vlen : (w+1)*vlen]
+			clear(vals)
+			for i, p := range cands {
+				local(w, p, vals[i*s.PerCand:(i+1)*s.PerCand])
 			}
 			return vals
 		})
@@ -84,12 +83,13 @@ func (s *VecSelector) Select(f fabric.Fabric, pairWords int, target int64, local
 			candTotals := totals[i*s.PerCand : (i+1)*s.PerCand]
 			if c := score(candTotals); c <= target {
 				st.Cost = c
-				if err := fabric.Broadcast(f, pairWords, 0, []uint64{cands[i].Index}); err != nil {
+				winner := materialize(s.F1, s.F2, cands[i].Index)
+				if err := fabric.Broadcast(f, pairWords, 0, []uint64{winner.Index}); err != nil {
 					return Result{}, fmt.Errorf("derand: broadcast winner: %w", err)
 				}
 				out := make([]int64, s.PerCand)
 				copy(out, candTotals)
-				return Result{Pair: cands[i], Totals: out, Stats: st}, nil
+				return Result{Pair: winner, Totals: out, Stats: st}, nil
 			}
 		}
 	}

@@ -1,0 +1,340 @@
+// Package engine is the reusable solver-session layer between the public
+// ccolor facade and the model backends. A Session owns one model's
+// long-lived simulator state — the congested-clique Network or MPC Cluster
+// (re-armed in place via Reset/ResetLinear instead of rebuilt), the core
+// solver workspace (palette slabs, call registry, collect scratch, the
+// derandomization engine's candidate and aggregation buffers), or the
+// low-space solver session — and runs any number of solves sequentially on
+// top of it.
+//
+// The contract that makes sessions safe to pool and to pin in serving
+// workers is: a warm solve is byte-identical to a cold one. Every solve
+// fully re-dimensions the retained state from its instance, and everything
+// a caller can retain from a Report (coloring, traces, phase maps) is
+// freshly allocated per run. The golden-ledger and cross-instance
+// isolation tests pin this equivalence for every scenario family on every
+// backend.
+package engine
+
+import (
+	"fmt"
+	"slices"
+
+	"ccolor/internal/cclique"
+	"ccolor/internal/core"
+	"ccolor/internal/graph"
+	"ccolor/internal/lowspace"
+	"ccolor/internal/mpc"
+	"ccolor/internal/verify"
+)
+
+// Model selects which of the paper's execution models runs a job.
+type Model string
+
+const (
+	// ModelCClique is the CONGESTED CLIQUE (Theorem 1.1).
+	ModelCClique Model = "cclique"
+	// ModelMPC is linear/low-space MPC (Theorems 1.2–1.3).
+	ModelMPC Model = "mpc"
+	// ModelLowSpace is sublinear-space MPC (Theorem 1.4); instances must be
+	// (deg+1)-list instances.
+	ModelLowSpace Model = "lowspace"
+)
+
+// Models lists the supported execution models in canonical order.
+func Models() []Model { return []Model{ModelCClique, ModelMPC, ModelLowSpace} }
+
+// ParseModel validates a model name.
+func ParseModel(s string) (Model, error) {
+	switch Model(s) {
+	case ModelCClique, ModelMPC, ModelLowSpace:
+		return Model(s), nil
+	}
+	return "", fmt.Errorf("ccolor: unknown model %q (want %q, %q, or %q)",
+		s, ModelCClique, ModelMPC, ModelLowSpace)
+}
+
+// Options configures a Solve call. The zero value (and nil) means
+// ModelCClique with paper-faithful defaults.
+type Options struct {
+	// Model picks the execution model; empty means ModelCClique.
+	Model Model
+	// Params overrides the core-algorithm knobs for ModelCClique / ModelMPC;
+	// nil means core.DefaultParams.
+	Params *core.Params
+	// LowSpace overrides the Theorem 1.4 knobs for ModelLowSpace; nil means
+	// lowspace.DefaultParams.
+	LowSpace *lowspace.Params
+	// MPCSpaceFactor scales per-machine space for ModelMPC (words per unit
+	// of node weight); 0 means the default of 64.
+	MPCSpaceFactor int
+}
+
+// Report is the unified, model-independent result of a Solve call: the
+// verified coloring plus the full cost ledger of the run. Every field is a
+// deterministic function of (instance, options) — the serving layer relies
+// on this to cache and replay results byte-for-byte — and none of it
+// aliases session state, so a Report outlives the session that produced it.
+type Report struct {
+	Model    Model
+	Coloring graph.Coloring
+	// Rounds is the model round count: executed simulator rounds for
+	// ModelCClique/ModelMPC, the parallel-composition critical path for
+	// ModelLowSpace.
+	Rounds int
+	// WordsMoved is the total message traffic of the run in machine words.
+	WordsMoved int64
+	// MaxNodeLoad is the maximum words any worker sent or received in one
+	// round.
+	MaxNodeLoad int64
+	// RoundsByPhase attributes executed rounds to algorithm phases
+	// (ModelCClique / ModelMPC only).
+	RoundsByPhase map[string]int
+
+	// Machines / Space / PeakSpace are MPC-family telemetry (zero for
+	// ModelCClique).
+	Machines  int
+	Space     int64
+	PeakSpace int64
+
+	// ColorsUsed is the number of distinct colors in the coloring,
+	// precomputed at solve time so serving a cached Report stays O(1).
+	ColorsUsed int
+
+	// Trace is the recursion telemetry for ModelCClique / ModelMPC runs.
+	Trace *core.Trace
+	// LowTrace is the telemetry for ModelLowSpace runs.
+	LowTrace *lowspace.Trace
+}
+
+// Session is a reusable per-model solver. It is not safe for concurrent
+// use; pool it (engine.Solve does) or pin one per worker goroutine.
+type Session struct {
+	model Model
+
+	// cclique / mpc keep one simulator each, re-armed in place per solve;
+	// both share the core solver workspace.
+	nw *cclique.Network
+	cl *mpc.Cluster
+	cw core.Workspace
+
+	// lowspace keeps its own session (solver-persistent slabs, pool
+	// workspace, recycled clusters).
+	ls *lowspace.Session
+
+	colorScratch []graph.Color // countColors sort buffer
+
+	solves uint64
+}
+
+// NewSession returns an empty session for the model; the first Solve sizes
+// it.
+func NewSession(model Model) (*Session, error) {
+	if model == "" {
+		model = ModelCClique
+	}
+	if _, err := ParseModel(string(model)); err != nil {
+		return nil, err
+	}
+	return &Session{model: model}, nil
+}
+
+// Model returns the execution model this session runs.
+func (s *Session) Model() Model { return s.model }
+
+// Solves returns how many solves the session has executed — solves beyond
+// the first ran warm, paying no simulator or workspace construction.
+func (s *Session) Solves() uint64 { return s.solves }
+
+// Reset re-arms the session explicitly after an aborted or failed solve.
+// It is never required between successful solves — Solve re-dimensions all
+// retained state from its instance — but gives callers recovering from an
+// error a way to assert a clean slate: simulator ledgers are cleared and
+// the next solve behaves exactly like the first on a fresh session.
+func (s *Session) Reset() {
+	if s.nw != nil {
+		s.nw.Reset(s.nw.Workers())
+	}
+	if s.cl != nil {
+		s.cl.Ledger().Reset()
+	}
+}
+
+// Release returns the session's pooled round arenas to the shared fabric
+// pool. Each solve already releases its arenas on completion, so this is
+// only needed when retiring a session that failed mid-solve.
+func (s *Session) Release() {
+	if s.nw != nil {
+		s.nw.Release()
+	}
+	if s.cl != nil {
+		s.cl.Release()
+	}
+	if s.ls != nil {
+		s.ls.Release()
+	}
+}
+
+// Solve runs the session's model on a list-coloring instance and returns a
+// verified coloring with full cost accounting. opts.Model must be empty or
+// match the session's model.
+func (s *Session) Solve(inst *graph.Instance, opts *Options) (*Report, error) {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	if o.Model != "" && o.Model != s.model {
+		return nil, fmt.Errorf("ccolor: session runs %q, options request %q", s.model, o.Model)
+	}
+	s.solves++
+	switch s.model {
+	case ModelCClique:
+		return s.solveCClique(inst, &o)
+	case ModelMPC:
+		return s.solveMPC(inst, &o)
+	case ModelLowSpace:
+		return s.solveLowSpace(inst, &o)
+	}
+	return nil, fmt.Errorf("ccolor: unknown model %q", s.model)
+}
+
+func (s *Session) solveCClique(inst *graph.Instance, o *Options) (*Report, error) {
+	p := core.DefaultParams()
+	if o.Params != nil {
+		p = *o.Params
+	}
+	n := inst.G.N()
+	if s.nw == nil {
+		s.nw = cclique.New(n)
+	} else {
+		s.nw.Reset(n)
+	}
+	nw := s.nw
+	defer nw.Release() // return round arenas to the shared pool
+	col, tr, err := core.SolveWS(nw, nw.MsgWords(), inst, p, &s.cw)
+	if err != nil {
+		return nil, err
+	}
+	if err := verify.ListColoring(inst, col); err != nil {
+		return nil, fmt.Errorf("ccolor: internal verification failed: %w", err)
+	}
+	led := nw.Ledger()
+	return &Report{
+		Model:         ModelCClique,
+		Coloring:      col,
+		ColorsUsed:    s.countColors(col),
+		Rounds:        led.Rounds(),
+		WordsMoved:    led.WordsMoved(),
+		MaxNodeLoad:   maxLoad(led.MaxSendLoad(), led.MaxRecvLoad()),
+		RoundsByPhase: led.ByPhase(),
+		Trace:         tr,
+	}, nil
+}
+
+func (s *Session) solveMPC(inst *graph.Instance, o *Options) (*Report, error) {
+	p := core.DefaultParams()
+	if o.Params != nil {
+		p = *o.Params
+	}
+	factor := o.MPCSpaceFactor
+	if factor <= 0 {
+		factor = 64
+	}
+	g := inst.G
+	weight := func(v int) int64 {
+		return int64(g.Degree(int32(v)) + len(inst.Palettes[v]) + 2)
+	}
+	if s.cl == nil {
+		cl, err := mpc.NewLinear(g.N(), weight, factor)
+		if err != nil {
+			return nil, err
+		}
+		s.cl = cl
+	} else if err := s.cl.ResetLinear(g.N(), weight, factor); err != nil {
+		return nil, err
+	}
+	cl := s.cl
+	defer cl.Release() // return round arenas to the shared pool
+	col, tr, err := core.SolveWS(cl, 8, inst, p, &s.cw)
+	if err != nil {
+		return nil, err
+	}
+	if err := verify.ListColoring(inst, col); err != nil {
+		return nil, fmt.Errorf("ccolor: internal verification failed: %w", err)
+	}
+	led := cl.Ledger()
+	return &Report{
+		Model:         ModelMPC,
+		Coloring:      col,
+		ColorsUsed:    s.countColors(col),
+		Rounds:        led.Rounds(),
+		WordsMoved:    led.WordsMoved(),
+		MaxNodeLoad:   maxLoad(led.MaxSendLoad(), led.MaxRecvLoad()),
+		RoundsByPhase: led.ByPhase(),
+		Machines:      cl.Machines(),
+		Space:         cl.Space(),
+		PeakSpace:     cl.PeakMachineSpace(),
+		Trace:         tr,
+	}, nil
+}
+
+func (s *Session) solveLowSpace(inst *graph.Instance, o *Options) (*Report, error) {
+	p := lowspace.DefaultParams()
+	if o.LowSpace != nil {
+		p = *o.LowSpace
+	}
+	if s.ls == nil {
+		s.ls = lowspace.NewSession()
+	}
+	col, tr, err := s.ls.Solve(inst, p)
+	if err != nil {
+		return nil, err
+	}
+	if err := verify.ListColoring(inst, col); err != nil {
+		return nil, fmt.Errorf("ccolor: internal verification failed: %w", err)
+	}
+	return &Report{
+		Model:       ModelLowSpace,
+		Coloring:    col,
+		ColorsUsed:  s.countColors(col),
+		Rounds:      tr.CriticalRounds,
+		WordsMoved:  tr.WordsMoved,
+		MaxNodeLoad: tr.PeakMachineWords,
+		Machines:    tr.Machines,
+		Space:       tr.SpaceWords,
+		PeakSpace:   tr.PeakMachineWords,
+		LowTrace:    tr,
+	}, nil
+}
+
+// countColors counts distinct colors by sorting a session-retained scratch
+// copy — zero allocation on the warm report path instead of a per-solve
+// slice or map.
+func (s *Session) countColors(c graph.Coloring) int {
+	scratch := s.colorScratch
+	if cap(scratch) < len(c) {
+		scratch = make([]graph.Color, 0, len(c))
+	}
+	scratch = scratch[:0]
+	for _, x := range c {
+		if x != graph.NoColor {
+			scratch = append(scratch, x)
+		}
+	}
+	slices.Sort(scratch)
+	n := 0
+	for i, x := range scratch {
+		if i == 0 || x != scratch[i-1] {
+			n++
+		}
+	}
+	s.colorScratch = scratch
+	return n
+}
+
+func maxLoad(send, recv int64) int64 {
+	if send > recv {
+		return send
+	}
+	return recv
+}

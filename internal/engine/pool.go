@@ -1,0 +1,57 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"ccolor/internal/graph"
+)
+
+// Per-model session pools behind the package-level Solve: a solve checks a
+// warm session out, runs, and returns it, so any caller hammering the
+// facade — the ccolor CLI's -model all loop, tests, benchmarks — gets
+// warm-path solves without managing sessions itself. (The serving layer
+// pins sessions per worker instead of going through this pool; see
+// internal/server.) sync.Pool lets idle sessions fall to the GC under
+// memory pressure.
+var sessionPools = map[Model]*sync.Pool{
+	ModelCClique:  newSessionPool(ModelCClique),
+	ModelMPC:      newSessionPool(ModelMPC),
+	ModelLowSpace: newSessionPool(ModelLowSpace),
+}
+
+func newSessionPool(model Model) *sync.Pool {
+	return &sync.Pool{New: func() any {
+		s, _ := NewSession(model) // the model constant is always valid
+		return s
+	}}
+}
+
+// Solve runs one instance through a pooled session of the requested model:
+// the single entry point the ccolor facade wraps. Deterministically
+// identical to a fresh-session solve — warm reuse changes allocation
+// behavior only.
+func Solve(inst *graph.Instance, opts *Options) (*Report, error) {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	model := o.Model
+	if model == "" {
+		model = ModelCClique
+	}
+	pool, ok := sessionPools[model]
+	if !ok {
+		return nil, fmt.Errorf("ccolor: unknown model %q", model)
+	}
+	s := pool.Get().(*Session)
+	rep, err := s.Solve(inst, &o)
+	if err != nil {
+		// A failed solve may have died mid-round; release its arenas and
+		// retire the session instead of pooling half-built state.
+		s.Release()
+		return nil, err
+	}
+	pool.Put(s)
+	return rep, nil
+}

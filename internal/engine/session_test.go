@@ -1,0 +1,178 @@
+package engine_test
+
+import (
+	"maps"
+	"slices"
+	"testing"
+
+	"ccolor/internal/engine"
+	"ccolor/internal/graph"
+	"ccolor/internal/scenario"
+)
+
+// reports must match field-for-field: the session contract is that a warm
+// solve is byte-identical to a cold one, coloring and ledger included.
+func sameReport(t *testing.T, label string, got, want *engine.Report) {
+	t.Helper()
+	if !slices.Equal(got.Coloring, want.Coloring) {
+		t.Errorf("%s: coloring differs from fresh-session solve", label)
+	}
+	if got.Rounds != want.Rounds || got.WordsMoved != want.WordsMoved {
+		t.Errorf("%s: ledger (%d rounds, %d words) != fresh (%d rounds, %d words)",
+			label, got.Rounds, got.WordsMoved, want.Rounds, want.WordsMoved)
+	}
+	if got.MaxNodeLoad != want.MaxNodeLoad {
+		t.Errorf("%s: MaxNodeLoad %d != %d", label, got.MaxNodeLoad, want.MaxNodeLoad)
+	}
+	if got.ColorsUsed != want.ColorsUsed {
+		t.Errorf("%s: ColorsUsed %d != %d", label, got.ColorsUsed, want.ColorsUsed)
+	}
+	if got.Machines != want.Machines || got.Space != want.Space || got.PeakSpace != want.PeakSpace {
+		t.Errorf("%s: machine telemetry (%d, %d, %d) != (%d, %d, %d)", label,
+			got.Machines, got.Space, got.PeakSpace, want.Machines, want.Space, want.PeakSpace)
+	}
+	if !maps.Equal(got.RoundsByPhase, want.RoundsByPhase) {
+		t.Errorf("%s: RoundsByPhase %v != %v", label, got.RoundsByPhase, want.RoundsByPhase)
+	}
+}
+
+// TestSessionCrossInstanceIsolation is the stale-workspace leak detector:
+// solving scenario A, then B, then A again on ONE session must reproduce
+// fresh-session solves exactly, for every registry family on every
+// backend. Any retained state that survives re-dimensioning — a stale
+// stamp, an uncleared palette slab view, a leftover call registry entry —
+// shows up here as a coloring or ledger divergence.
+func TestSessionCrossInstanceIsolation(t *testing.T) {
+	for _, spec := range scenario.All() {
+		for _, model := range engine.Models() {
+			t.Run(spec.Name+"/"+string(model), func(t *testing.T) {
+				// B is both a different shape and a different size than A,
+				// so every per-node buffer gets re-dimensioned between the
+				// first and third solve.
+				instA, err := spec.Instance(64, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				instB, err := spec.Instance(48, 2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				opts := &engine.Options{Model: model, MPCSpaceFactor: 16}
+				fresh := func(inst *graph.Instance) *engine.Report {
+					s, err := engine.NewSession(model)
+					if err != nil {
+						t.Fatal(err)
+					}
+					rep, err := s.Solve(inst, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return rep
+				}
+				wantA, wantB := fresh(instA), fresh(instB)
+
+				sess, err := engine.NewSession(model)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i, step := range []struct {
+					inst *graph.Instance
+					want *engine.Report
+					name string
+				}{{instA, wantA, "A#1"}, {instB, wantB, "B"}, {instA, wantA, "A#2"}} {
+					got, err := sess.Solve(step.inst, opts)
+					if err != nil {
+						t.Fatalf("solve %d (%s): %v", i, step.name, err)
+					}
+					sameReport(t, step.name, got, step.want)
+				}
+				if sess.Solves() != 3 {
+					t.Errorf("session counted %d solves, want 3", sess.Solves())
+				}
+			})
+		}
+	}
+}
+
+// TestSessionModelMismatch: a session is bound to its model.
+func TestSessionModelMismatch(t *testing.T) {
+	s, err := engine.NewSession(engine.ModelCClique)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.GNP(16, 0.2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Solve(graph.DeltaPlus1Instance(g), &engine.Options{Model: engine.ModelMPC}); err == nil {
+		t.Fatal("cclique session accepted an mpc solve")
+	}
+}
+
+// TestPooledSolveMatchesSession: the package-level pooled Solve and an
+// explicit session produce identical reports (the facade contract).
+func TestPooledSolveMatchesSession(t *testing.T) {
+	g, err := graph.GNP(64, 0.1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := graph.DeltaPlus1Instance(g)
+	for _, model := range []engine.Model{engine.ModelCClique, engine.ModelMPC} {
+		opts := &engine.Options{Model: model, MPCSpaceFactor: 16}
+		sess, err := engine.NewSession(model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := sess.Solve(inst, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ { // repeated pooled solves reuse warm sessions
+			got, err := engine.Solve(inst, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameReport(t, string(model), got, want)
+		}
+	}
+}
+
+// TestSessionResetAfterError: a session survives a failed solve — Reset
+// re-arms it and the next solve matches a fresh session bit-for-bit.
+func TestSessionResetAfterError(t *testing.T) {
+	s, err := engine.NewSession(engine.ModelCClique)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.GNP(32, 0.2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := graph.DeltaPlus1Instance(g)
+	if _, err := s.Solve(good, nil); err != nil {
+		t.Fatal(err)
+	}
+	// A (deg+1)-list instance violates ColorReduce's (Δ+1)-list premise and
+	// must fail cleanly.
+	bad, err := graph.DegPlus1Instance(g, 1<<16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Solve(bad, nil); err == nil {
+		t.Fatal("expected the (deg+1)-list instance to be rejected")
+	}
+	s.Reset()
+	got, err := s.Solve(good, nil)
+	if err != nil {
+		t.Fatalf("post-reset solve: %v", err)
+	}
+	fresh, err := engine.NewSession(engine.ModelCClique)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fresh.Solve(good, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameReport(t, "post-reset", got, want)
+}

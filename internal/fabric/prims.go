@@ -55,15 +55,28 @@ func groupReps(f Fabric) (isRep []bool, reps []int) {
 		}
 		return isRep, reps
 	}
-	seen := make(map[int]int)
+	seen := make([]bool, maxGroupID(f.Workers(), g)+1)
 	for w := 0; w < n; w++ {
-		if _, dup := seen[g.GroupOf(w)]; !dup {
-			seen[g.GroupOf(w)] = w
+		if !seen[g.GroupOf(w)] {
+			seen[g.GroupOf(w)] = true
 			isRep[w] = true
 			reps = append(reps, w)
 		}
 	}
 	return isRep, reps
+}
+
+// maxGroupID scans the group ids so flat tables can replace maps (group ids
+// are machine indices on every in-tree fabric, so the scan is cheap and the
+// tables stay O(workers)).
+func maxGroupID(n int, g Grouped) int {
+	maxG := 0
+	for w := 0; w < n; w++ {
+		if id := g.GroupOf(w); id > maxG {
+			maxG = id
+		}
+	}
+	return maxG
 }
 
 // Broadcast sends words from worker src to all workers. For payloads of at
@@ -131,6 +144,26 @@ func Broadcast(f Fabric, pairWords int, src int, words []uint64) error {
 	return err
 }
 
+// VecScratch holds the flat worker/group tables, accumulator slab, and
+// reduction-tree state behind AggregateVec. The zero value is ready for
+// use; solver sessions retain one across solves (via derand.Workspace /
+// the core and lowspace workspaces) so the grouped aggregation path runs
+// without per-call map or accumulator allocation in steady state. The
+// returned totals are freshly allocated on every call either way, so the
+// caller-visible contract is unchanged.
+type VecScratch struct {
+	reps    []int   // group representatives, ascending worker order
+	slot    []int32 // worker -> dense group slot (valid for representatives)
+	gdense  []int32 // group id -> dense slot + 1 (0 = unseen)
+	moff    []int32 // CSR offsets into members, per slot (len slots+1)
+	mcur    []int32 // CSR fill cursors
+	members []int32 // group members, slot-major, ascending worker order
+	acc     []int64 // slots×vlen accumulator slab
+	have    []bool  // worker -> holds the result (tree distribution)
+	levels  []int   // flattened reduction-tree levels (level 0 = reps)
+	loff    []int32 // per-level offsets into levels
+}
+
 // AggregateVec computes the element-wise sum over all workers of the
 // length-vlen int64 vector local(w), and makes the result known to all
 // workers, in 2 rounds. Element j is owned by the j mod R-th group
@@ -145,24 +178,22 @@ func Broadcast(f Fabric, pairWords int, src int, words []uint64) error {
 // across invocations); on ungrouped fabrics it runs inside the round's
 // parallel staging and must be safe for concurrent calls with distinct w.
 func AggregateVec(f Fabric, pairWords int, vlen int, local func(w int) []int64) ([]int64, error) {
+	var ws VecScratch
+	return ws.AggregateVec(f, pairWords, vlen, local)
+}
+
+// AggregateVec is the scratch-reusing form: identical rounds, message
+// content, and result as the package-level function, with the internal
+// tables drawn from (and retained in) ws.
+func (ws *VecScratch) AggregateVec(f Fabric, pairWords int, vlen int, local func(w int) []int64) ([]int64, error) {
 	n := f.Workers()
 	if g, ok := f.(Grouped); ok {
 		// Space-bounded path: machine-local combine, then a fan-in-bounded
 		// reduction tree over representatives (Lemma 2.1 style).
-		_, reps := groupReps(f)
-		repOfGroup := make(map[int]int, len(reps))
-		for _, w := range reps {
-			repOfGroup[g.GroupOf(w)] = w
-		}
-		memberOfRep := make(map[int][]int, len(reps))
-		for w := 0; w < n; w++ {
-			rep := repOfGroup[g.GroupOf(w)]
-			memberOfRep[rep] = append(memberOfRep[rep], w)
-		}
-		return aggregateVecTree(f, reps, vlen, func(rep int) []int64 {
-			combined := make([]int64, vlen)
-			for _, member := range memberOfRep[rep] {
-				vals := local(member)
+		ws.groupTables(n, g)
+		return ws.aggregateTree(f, vlen, func(slot int, combined []int64) {
+			for _, member := range ws.members[ws.moff[slot]:ws.moff[slot+1]] {
+				vals := local(int(member))
 				if len(vals) != vlen {
 					panic(fmt.Sprintf("fabric: local vector length %d != %d", len(vals), vlen))
 				}
@@ -170,7 +201,6 @@ func AggregateVec(f Fabric, pairWords int, vlen int, local func(w int) []int64) 
 					combined[j] += x
 				}
 			}
-			return combined
 		})
 	}
 
@@ -310,22 +340,71 @@ func branchFactor(f Fabric, vlen int) int {
 	return b
 }
 
-// aggregateVecTree sums length-vlen vectors across group representatives
-// via a fan-in-bounded reduction tree, then redistributes the result down
-// the same tree — Lemma 2.1's constant-round, space-respecting pattern.
-func aggregateVecTree(f Fabric, reps []int, vlen int, combinedOf func(rep int) []int64) ([]int64, error) {
-	branch := branchFactor(f, vlen)
-	acc := make(map[int][]int64, len(reps))
-	for _, w := range reps {
-		acc[w] = combinedOf(w)
+// groupTables (re)builds the flat representative/member tables for a
+// grouped fabric: reps in ascending worker order, each group's dense slot
+// in first-appearance (= rep) order, and the member list as a CSR keyed by
+// slot, members ascending within each group — the exact iteration order the
+// old map-based path produced.
+func (ws *VecScratch) groupTables(n int, g Grouped) {
+	ws.gdense = growInt32(ws.gdense, maxGroupID(n, g)+1)
+	clear(ws.gdense)
+	ws.slot = growInt32(ws.slot, n)
+	reps := ws.reps[:0]
+	for w := 0; w < n; w++ {
+		if ws.gdense[g.GroupOf(w)] == 0 {
+			ws.gdense[g.GroupOf(w)] = int32(len(reps)) + 1
+			ws.slot[w] = int32(len(reps))
+			reps = append(reps, w)
+		}
 	}
-	// Reduce up: levels of blocks of `branch` representatives.
-	levels := [][]int{append([]int(nil), reps...)}
-	for len(levels[len(levels)-1]) > 1 {
-		cur := levels[len(levels)-1]
-		var next []int
-		for i := 0; i < len(cur); i += branch {
-			next = append(next, cur[i])
+	ws.reps = reps
+	r := len(reps)
+	ws.moff = growInt32(ws.moff, r+1)
+	clear(ws.moff)
+	for w := 0; w < n; w++ {
+		ws.moff[ws.gdense[g.GroupOf(w)]]++ // slot+1: counts land past the offset
+	}
+	for s := 0; s < r; s++ {
+		ws.moff[s+1] += ws.moff[s]
+	}
+	ws.mcur = growInt32(ws.mcur, r)
+	copy(ws.mcur, ws.moff[:r])
+	ws.members = growInt32(ws.members, n)
+	for w := 0; w < n; w++ {
+		s := ws.gdense[g.GroupOf(w)] - 1
+		ws.members[ws.mcur[s]] = int32(w)
+		ws.mcur[s]++
+	}
+}
+
+// aggregateTree sums length-vlen vectors across group representatives via a
+// fan-in-bounded reduction tree, then redistributes the result down the
+// same tree — Lemma 2.1's constant-round, space-respecting pattern.
+// combineInto fills slot's machine-locally combined vector into a zeroed
+// slab window.
+func (ws *VecScratch) aggregateTree(f Fabric, vlen int, combineInto func(slot int, combined []int64)) ([]int64, error) {
+	reps := ws.reps
+	r := len(reps)
+	branch := branchFactor(f, vlen)
+	ws.acc = growInt64(ws.acc, r*vlen)
+	for s := 0; s < r; s++ {
+		dst := ws.acc[s*vlen : (s+1)*vlen]
+		clear(dst)
+		combineInto(s, dst)
+	}
+	accOf := func(w int) []int64 {
+		s := ws.slot[w]
+		return ws.acc[int(s)*vlen : (int(s)+1)*vlen]
+	}
+	// Reduce up: levels of blocks of `branch` representatives, flattened
+	// into one levels buffer with per-level offsets.
+	ws.levels = append(ws.levels[:0], reps...)
+	ws.loff = append(ws.loff[:0], 0, int32(len(ws.levels)))
+	for {
+		lv := len(ws.loff) - 2
+		cur := ws.levels[ws.loff[lv]:ws.loff[lv+1]]
+		if len(cur) <= 1 {
+			break
 		}
 		in, err := RoundFrames(f, func(w int, sb *SendBuf) {
 			// Block members (non-leaders) send their accumulator to the
@@ -340,7 +419,7 @@ func aggregateVecTree(f Fabric, reps []int, vlen int, combinedOf func(rep int) [
 						continue
 					}
 					payload := sb.Begin(cur[i], vlen)
-					for k, x := range acc[w] {
+					for k, x := range accOf(w) {
 						payload[k] = uint64(x)
 					}
 					return
@@ -350,23 +429,28 @@ func aggregateVecTree(f Fabric, reps []int, vlen int, combinedOf func(rep int) [
 		if err != nil {
 			return nil, err
 		}
-		for _, leader := range next {
+		for i := 0; i < len(cur); i += branch {
+			leader := cur[i]
 			for _, m := range in[leader] {
+				dst := accOf(leader)
 				for k, x := range m.Words {
-					acc[leader][k] += int64(x)
+					dst[k] += int64(x)
 				}
 			}
+			ws.levels = append(ws.levels, leader)
 		}
-		levels = append(levels, next)
+		ws.loff = append(ws.loff, int32(len(ws.levels)))
 	}
 	// Distribute down: leaders push the final vector to their blocks.
-	root := levels[len(levels)-1][0]
-	result := append([]int64(nil), acc[root]...)
-	have := map[int]bool{root: true}
-	for li := len(levels) - 2; li >= 0; li-- {
-		cur := levels[li]
+	root := ws.levels[len(ws.levels)-1]
+	result := append([]int64(nil), accOf(root)...)
+	ws.have = growBool(ws.have, f.Workers())
+	clear(ws.have)
+	ws.have[root] = true
+	for li := len(ws.loff) - 3; li >= 0; li-- {
+		cur := ws.levels[ws.loff[li]:ws.loff[li+1]]
 		if _, err := RoundFrames(f, func(w int, sb *SendBuf) {
-			if !have[w] {
+			if !ws.have[w] {
 				return
 			}
 			for i := 0; i < len(cur); i += branch {
@@ -388,13 +472,13 @@ func aggregateVecTree(f Fabric, reps []int, vlen int, combinedOf func(rep int) [
 			return nil, err
 		}
 		for i := 0; i < len(cur); i += branch {
-			if have[cur[i]] {
+			if ws.have[cur[i]] {
 				end := i + branch
 				if end > len(cur) {
 					end = len(cur)
 				}
 				for j := i + 1; j < end; j++ {
-					have[cur[j]] = true
+					ws.have[cur[j]] = true
 				}
 			}
 		}

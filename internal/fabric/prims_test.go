@@ -199,3 +199,71 @@ func TestLedgerPhases(t *testing.T) {
 		t.Fatal("empty ledger string")
 	}
 }
+
+// TestAggregateVecScratchReuse: the scratch-reusing form must return the
+// identical totals and charge the identical rounds as the package-level
+// function, across repeated calls on one scratch, on both an ungrouped and
+// a grouped fabric — including a grouped layout change between calls
+// (tables fully rebuilt, nothing stale).
+func TestAggregateVecScratchReuse(t *testing.T) {
+	const n, vlen = 20, 5
+	local := func(salt int64) func(w int) []int64 {
+		return func(w int) []int64 {
+			out := make([]int64, vlen)
+			for j := range out {
+				out[j] = int64(w)*int64(j+1) + salt
+			}
+			return out
+		}
+	}
+	var ws fabric.VecScratch
+	for round := 0; round < 3; round++ {
+		salt := int64(round * 11)
+		for name, f := range testFabrics(t, n) {
+			ref := testFabrics(t, n)[name]
+			want, err := fabric.AggregateVec(ref, 4, vlen, local(salt))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := ws.AggregateVec(f, 4, vlen, local(salt))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("round %d %s: totals[%d] = %d, want %d", round, name, j, got[j], want[j])
+				}
+			}
+			if got, want := f.Ledger().Rounds(), ref.Ledger().Rounds(); got != want {
+				t.Fatalf("round %d %s: scratch form charged %d rounds, plain form %d", round, name, got, want)
+			}
+		}
+		// A different grouped layout on the same scratch: 7 workers per
+		// machine instead of 4.
+		assign := make([]int, n)
+		for i := range assign {
+			assign[i] = i / 7
+		}
+		cl, err := mpc.New(assign, (n+6)/7, 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl2, err := mpc.New(assign, (n+6)/7, 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := fabric.AggregateVec(cl2, 4, vlen, local(salt))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ws.AggregateVec(cl, 4, vlen, local(salt))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("round %d relayout: totals[%d] = %d, want %d", round, j, got[j], want[j])
+			}
+		}
+	}
+}

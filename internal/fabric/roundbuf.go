@@ -214,6 +214,13 @@ func growInt64(s []int64, n int) []int64 {
 	return s[:n]
 }
 
+func growBool(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}
+
 // Deliver validates and routes the staged frames, returning per-worker
 // inboxes sorted exactly as SortInbox orders them: by sender, then by
 // lexicographic payload. The counting sort over destinations visits senders

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math"
 
+	"ccolor/internal/derand"
 	"ccolor/internal/graph"
 	"ccolor/internal/mis"
 	"ccolor/internal/mpc"
@@ -111,6 +112,16 @@ type solver struct {
 	// so the steady-state pool path allocates (almost) nothing.
 	ws  poolScratch
 	mws mcastScratch
+	// sel backs partition's derandomized seed selection (candidate pairs,
+	// per-worker cost slabs, aggregation scratch).
+	sel derand.Workspace
+
+	// adjSlab/palSlab back the solver-owned adjacency and palette copies;
+	// perMachine is the chunk-placement scratch. All three persist across
+	// session solves.
+	adjSlab    []int32
+	palSlab    []graph.Color
+	perMachine []int64
 
 	colorDomain int64
 	trace       *Trace
@@ -139,9 +150,42 @@ type poolScratch struct {
 	misCluster *mpc.Cluster
 }
 
+// Session is a reusable low-space solver: one Session runs any number of
+// solves sequentially, retaining the solver's workspaces — per-node
+// adjacency/palette slabs, the pool and multicast scratch, the main and
+// MIS clusters (recycled via mpc.Cluster.Reset), and the derandomization
+// buffers — across calls. Everything a caller can retain from a solve (the
+// coloring, the trace) is freshly allocated per run, so warm solves are
+// byte-identical to cold ones. Sessions are not safe for concurrent use.
+type Session struct {
+	s solver
+}
+
+// NewSession returns an empty session; the first Solve sizes it.
+func NewSession() *Session { return &Session{} }
+
+// Release returns the session's retained round arenas (main cluster and
+// recycled MIS cluster) to the shared pool. The session remains usable —
+// the next solve simply acquires fresh buffers.
+func (ss *Session) Release() {
+	if ss.s.cluster != nil {
+		ss.s.cluster.Release()
+	}
+	if ss.s.ws.misCluster != nil {
+		ss.s.ws.misCluster.Release()
+	}
+}
+
 // Solve colors the instance in the low-space MPC model and returns the
-// coloring plus telemetry.
+// coloring plus telemetry. The package-level function runs on a transient
+// session; use a Session to amortize setup across repeated solves.
 func Solve(inst *graph.Instance, p Params) (graph.Coloring, *Trace, error) {
+	var ss Session
+	return ss.Solve(inst, p)
+}
+
+// Solve runs one instance on the session, reusing all retained state.
+func (ss *Session) Solve(inst *graph.Instance, p Params) (graph.Coloring, *Trace, error) {
 	n := inst.G.N()
 	if n == 0 {
 		return graph.Coloring{}, &Trace{}, nil
@@ -170,10 +214,12 @@ func Solve(inst *graph.Instance, p Params) (graph.Coloring, *Trace, error) {
 	// and palette split into pieces of ≤ 2τ words (the paper's M_v^N /
 	// M_v^C machine sets), packed first-fit. The node's home machine — its
 	// virtual worker's location for traffic accounting — is where its first
-	// chunk lands.
-	machineOf := make([]int, n)
+	// chunk lands. The assignment and per-machine totals live in session
+	// scratch.
+	s := &ss.s
+	machineOf := graph.Grow(s.machine, n)
 	m := 0
-	perMachine := []int64{0}
+	perMachine := append(s.perMachine[:0], 0)
 	for v := 0; v < n; v++ {
 		w := int64(inst.G.Degree(int32(v)) + len(inst.Palettes[v]) + 4)
 		first := true
@@ -194,41 +240,56 @@ func Solve(inst *graph.Instance, p Params) (graph.Coloring, *Trace, error) {
 			rem -= chunk
 		}
 	}
+	s.machine, s.perMachine = machineOf, perMachine
 	machines := m + 1
-	cluster, err := mpc.New(machineOf, machines, space)
-	if err != nil {
+	// One main cluster per session, recycled in place across solves.
+	if s.cluster == nil {
+		cluster, err := mpc.New(machineOf, machines, space)
+		if err != nil {
+			return nil, nil, fmt.Errorf("lowspace: cluster: %w", err)
+		}
+		s.cluster = cluster
+	} else if err := s.cluster.Reset(machineOf, machines, space); err != nil {
 		return nil, nil, fmt.Errorf("lowspace: cluster: %w", err)
 	}
+	cluster := s.cluster
 	for mm := 0; mm < machines; mm++ {
 		if err := cluster.AdjustResidentMachine(mm, perMachine[mm]); err != nil {
 			return nil, nil, fmt.Errorf("lowspace: resident: %w", err)
 		}
 	}
 
-	s := &solver{
-		p:       p,
-		g:       inst.G,
-		n:       n,
-		tau:     tau,
-		bins:    bins,
-		cluster: cluster,
-		adj:     make([][]int32, n),
-		pal:     make([]graph.Palette, n),
-		color:   graph.NewColoring(n),
-		machine: machineOf,
-		stamp:   make([]int64, n),
-		idxOf:   make([]int32, n),
-		trace: &Trace{
-			N: n, Delta: inst.G.MaxDegree(), Machines: machines,
-			SpaceWords: space, Tau: tau, Bins: bins,
-		},
+	s.p = p
+	s.g = inst.G
+	s.n = n
+	s.tau = tau
+	s.bins = bins
+	s.adj = graph.Grow(s.adj, n)
+	s.pal = graph.Grow(s.pal, n)
+	s.color = graph.NewColoring(n) // returned to the caller: fresh per solve
+	s.stamp = graph.Grow(s.stamp, n)
+	s.idxOf = graph.Grow(s.idxOf, n)
+	s.trace = &Trace{
+		N: n, Delta: inst.G.MaxDegree(), Machines: machines,
+		SpaceWords: space, Tau: tau, Bins: bins,
 	}
+	// Stale stamps from a previous solve can never collide: curStamp only
+	// ever grows, and every set membership test compares for equality
+	// against a stamp minted after this solve began.
+
 	// The solver-owned adjacency and palette copies are carved out of two
 	// flat slabs: neighbor lists are immutable views, palettes only ever
 	// shrink in place (sorted prune / splice), so per-node views never
-	// reallocate and the copies cost two allocations instead of 2n.
-	adjSlab := make([]int32, 0, inst.G.Size()-n) // Size() = |V| + 2|E|
-	palSlab := make([]graph.Color, 0, inst.PaletteMass())
+	// reallocate and the copies cost (at most) two allocations per solve.
+	// Capacity is reserved up front because append growth mid-loop would
+	// detach earlier views.
+	if need := inst.G.Size() - n; cap(s.adjSlab) < need { // Size() = |V| + 2|E|
+		s.adjSlab = make([]int32, 0, need)
+	}
+	if need := inst.PaletteMass(); cap(s.palSlab) < need {
+		s.palSlab = make([]graph.Color, 0, need)
+	}
+	adjSlab, palSlab := s.adjSlab[:0], s.palSlab[:0]
 	maxColor := graph.Color(0)
 	for v := 0; v < n; v++ {
 		lo := len(adjSlab)
@@ -247,14 +308,7 @@ func Solve(inst *graph.Instance, p Params) (graph.Coloring, *Trace, error) {
 	for i := range all {
 		all[i] = int32(i)
 	}
-	defer func() {
-		// Return round arenas to the shared pool: the main cluster's and,
-		// when any pool ran, the recycled MIS cluster's.
-		cluster.Release()
-		if s.ws.misCluster != nil {
-			s.ws.misCluster.Release()
-		}
-	}()
+	defer ss.Release() // return round arenas to the shared pool
 	crit, err := s.colorReduce(all, 0)
 	if err != nil {
 		return nil, s.trace, err

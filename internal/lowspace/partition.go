@@ -123,6 +123,7 @@ func (s *solver) partition(high []int32, depth int) ([][]int32, []int32, int, er
 		BatchWidth: s.p.BatchWidth,
 		MaxBatches: s.p.MaxBatches,
 		Salt:       uint64(depth)*0x9e3779b9 + uint64(len(high)),
+		WS:         &s.sel,
 	}
 	before := s.cluster.Ledger().Rounds()
 	s.cluster.Ledger().SetPhase("lowspace:select")

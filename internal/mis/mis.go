@@ -99,6 +99,7 @@ func (t graphTopo) Conflicts(v int32) []int32          { return t.g.Neighbors(v)
 // state. The zero value is ready for use.
 type Workspace struct {
 	in, live, joined []bool
+	sel              derand.Workspace // phase seed selection buffers
 }
 
 // SolveDet computes an MIS deterministically over the fabric (one virtual
@@ -208,6 +209,7 @@ func solveDet[T topology](f fabric.Fabric, pairWords int, t T, p Params, ws *Wor
 			BatchWidth: p.BatchWidth,
 			MaxBatches: p.MaxBatches,
 			Salt:       p.Salt + uint64(st.Phases)*0x9e3779b97f4a7c15,
+			WS:         &ws.sel,
 		}
 		f.Ledger().SetPhase("mis:select")
 		pair, stats, err := sel.SelectBest(f, pairWords, 1, func(w int, pr derand.Pair) int64 {

@@ -34,6 +34,12 @@ type Cluster struct {
 	peakSpace   int64 // max over machines and rounds of resident + inbound
 	totalBudget int64 // 0 = unchecked
 
+	// layoutAssign / layoutResident are ResetLinear's retained layout
+	// scratch, distinct from assign/resident so Reset's copy never aliases
+	// its own source.
+	layoutAssign   []int
+	layoutResident []int64
+
 	// live is the round buffer backing the most recent round's inboxes; it
 	// is recycled when the next round starts (see fabric.RoundBuffer's
 	// lifetime contract).
@@ -86,6 +92,28 @@ func New(assign []int, machines int, space int64, opts ...Option) (*Cluster, err
 	return c, nil
 }
 
+// linearLayout packs n nodes first-fit onto machines of space words,
+// appending the assignment and per-machine resident totals into the given
+// scratch (reused across calls once grown).
+func linearLayout(n int, nodeWeight func(v int) int64, space int64, assign []int, resident []int64) ([]int, []int64, error) {
+	assign = assign[:0]
+	resident = append(resident[:0], 0)
+	m := 0
+	for v := 0; v < n; v++ {
+		w := nodeWeight(v)
+		if w > space {
+			return nil, nil, fmt.Errorf("mpc: node %d weight %d exceeds machine space %d", v, w, space)
+		}
+		if resident[m]+w > space {
+			m++
+			resident = append(resident, 0)
+		}
+		assign = append(assign, m)
+		resident[m] += w
+	}
+	return assign, resident, nil
+}
+
 // NewLinear builds a linear-space cluster for an n-node input: machines of
 // space = spaceFactor·n words, with nodes packed onto machines so that the
 // given per-node weight (e.g. deg(v) + p(v)) fits. It returns the cluster
@@ -95,28 +123,42 @@ func NewLinear(n int, nodeWeight func(v int) int64, spaceFactor int, opts ...Opt
 		return nil, fmt.Errorf("mpc: space factor %d < 1", spaceFactor)
 	}
 	space := int64(spaceFactor) * int64(n)
-	assign := make([]int, n)
-	resident := []int64{0}
-	m := 0
-	for v := 0; v < n; v++ {
-		w := nodeWeight(v)
-		if w > space {
-			return nil, fmt.Errorf("mpc: node %d weight %d exceeds machine space %d", v, w, space)
-		}
-		if resident[m]+w > space {
-			m++
-			resident = append(resident, 0)
-		}
-		assign[v] = m
-		resident[m] += w
+	assign, resident, err := linearLayout(n, nodeWeight, space, nil, nil)
+	if err != nil {
+		return nil, err
 	}
-	c, err := New(assign, m+1, space, opts...)
+	c, err := New(assign, len(resident), space, opts...)
 	if err != nil {
 		return nil, err
 	}
 	copy(c.resident, resident)
 	c.observeSpace(0)
 	return c, nil
+}
+
+// ResetLinear is NewLinear's warm-path twin: it recomputes the linear
+// layout into the cluster's retained scratch and re-initializes the
+// cluster in place (Reset semantics — ledger, resident data, and the
+// peak-space watermark cleared; options and round arenas carried over).
+// A session reusing one cluster across solves pays no allocation once the
+// scratch has seen its largest instance; the resulting cluster state is
+// indistinguishable from a fresh NewLinear.
+func (c *Cluster) ResetLinear(n int, nodeWeight func(v int) int64, spaceFactor int) error {
+	if spaceFactor < 1 {
+		return fmt.Errorf("mpc: space factor %d < 1", spaceFactor)
+	}
+	space := int64(spaceFactor) * int64(n)
+	assign, resident, err := linearLayout(n, nodeWeight, space, c.layoutAssign, c.layoutResident)
+	if err != nil {
+		return err
+	}
+	c.layoutAssign, c.layoutResident = assign, resident
+	if err := c.Reset(assign, len(resident), space); err != nil {
+		return err
+	}
+	copy(c.resident, resident)
+	c.observeSpace(0)
+	return nil
 }
 
 // Workers returns the number of virtual workers.

@@ -211,3 +211,81 @@ func TestPeakTracksTraffic(t *testing.T) {
 		t.Fatalf("peak = %d, want 42", c.PeakMachineSpace())
 	}
 }
+
+// TestResetLinearMatchesNewLinear: the warm-path layout must be
+// indistinguishable from a fresh NewLinear — same machine count, space,
+// worker placement, resident totals, and peak watermark — across differing
+// instance shapes on one recycled cluster, including shrinking ones.
+func TestResetLinearMatchesNewLinear(t *testing.T) {
+	weights := func(seed int) func(int) int64 {
+		return func(v int) int64 { return int64((v*7+seed)%13 + 1) }
+	}
+	recycled, err := NewLinear(10, weights(1), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, shape := range []struct {
+		n      int
+		seed   int
+		factor int
+	}{{24, 3, 2}, {6, 5, 4}, {24, 3, 2}} {
+		if err := recycled.ResetLinear(shape.n, weights(shape.seed), shape.factor); err != nil {
+			t.Fatalf("shape %d: %v", i, err)
+		}
+		fresh, err := NewLinear(shape.n, weights(shape.seed), shape.factor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if recycled.Machines() != fresh.Machines() || recycled.Space() != fresh.Space() {
+			t.Fatalf("shape %d: machines/space (%d, %d) != fresh (%d, %d)",
+				i, recycled.Machines(), recycled.Space(), fresh.Machines(), fresh.Space())
+		}
+		for w := 0; w < shape.n; w++ {
+			if recycled.MachineOf(w) != fresh.MachineOf(w) {
+				t.Fatalf("shape %d: worker %d on machine %d, fresh says %d",
+					i, w, recycled.MachineOf(w), fresh.MachineOf(w))
+			}
+		}
+		if recycled.TotalResident() != fresh.TotalResident() {
+			t.Fatalf("shape %d: resident %d != fresh %d",
+				i, recycled.TotalResident(), fresh.TotalResident())
+		}
+		if recycled.PeakMachineSpace() != fresh.PeakMachineSpace() {
+			t.Fatalf("shape %d: peak %d != fresh %d",
+				i, recycled.PeakMachineSpace(), fresh.PeakMachineSpace())
+		}
+		if recycled.Ledger().Rounds() != 0 {
+			t.Fatalf("shape %d: ledger not cleared", i)
+		}
+		// One round on each must charge identically.
+		for _, c := range []*Cluster{recycled, fresh} {
+			if _, err := c.Round(func(w int) []fabric.Msg {
+				if w == 0 && shape.n > 1 {
+					return []fabric.Msg{{To: shape.n - 1, Words: []uint64{7}}}
+				}
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if recycled.Ledger().WordsMoved() != fresh.Ledger().WordsMoved() {
+			t.Fatalf("shape %d: round charges diverge", i)
+		}
+		fresh.Release()
+	}
+	recycled.Release()
+}
+
+// TestResetLinearRejectsBadInput mirrors NewLinear's validation.
+func TestResetLinearRejectsBadInput(t *testing.T) {
+	c, err := NewLinear(4, func(int) int64 { return 1 }, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ResetLinear(4, func(int) int64 { return 1 }, 0); err == nil {
+		t.Fatal("space factor 0 accepted")
+	}
+	if err := c.ResetLinear(4, func(int) int64 { return 1 << 40 }, 1); err == nil {
+		t.Fatal("oversized node weight accepted")
+	}
+}

@@ -58,6 +58,12 @@ type modelStats struct {
 	Verified     uint64
 	VerifyFailed uint64
 
+	// SessionsActive is the number of worker-pinned solver sessions
+	// currently alive for this model; SessionReuses counts solves that ran
+	// on an already-warm session (no simulator/workspace construction).
+	SessionsActive int64
+	SessionReuses  uint64
+
 	// Completed and errored jobs keep separate latency windows: an errored
 	// job's latency (often a fast rejection or a slow timeout, neither
 	// representative of serving) must not skew the success percentiles.
@@ -87,8 +93,15 @@ type ModelSnapshot struct {
 	// Verified / VerifyFailures report the verify-on-solve oracle: fresh
 	// solves re-checked (and rejected) by internal/verify. Both stay zero
 	// when the mode is off.
-	Verified       uint64         `json:"verified"`
-	VerifyFailures uint64         `json:"verify_failures"`
+	Verified       uint64 `json:"verified"`
+	VerifyFailures uint64 `json:"verify_failures"`
+	// SessionsActive / SessionReuses report worker-pinned solver sessions:
+	// how many are alive, and how many solves ran warm on one. In steady
+	// state SessionReuses tracks fresh (non-cached) solves minus the first
+	// per worker×model — construction cost is paid at most Workers times
+	// per model for the process lifetime.
+	SessionsActive int64          `json:"sessions_active"`
+	SessionReuses  uint64         `json:"session_reuses"`
 	Latency        LatencySummary `json:"latency"`
 	ErrorLatency   LatencySummary `json:"error_latency"`
 }
@@ -140,6 +153,20 @@ func (m *Metrics) RecordVerify(model ccolor.Model, ok bool) {
 	} else {
 		s.VerifyFailed++
 	}
+}
+
+// RecordSessionActive adjusts the model's live worker-session gauge.
+func (m *Metrics) RecordSessionActive(model ccolor.Model, delta int64) {
+	m.mu.Lock()
+	m.model(model).SessionsActive += delta
+	m.mu.Unlock()
+}
+
+// RecordSessionReuse counts one solve served by an already-warm session.
+func (m *Metrics) RecordSessionReuse(model ccolor.Model) {
+	m.mu.Lock()
+	m.model(model).SessionReuses++
+	m.mu.Unlock()
 }
 
 // RecordRejected counts a queue-full rejection.
@@ -207,6 +234,8 @@ func (m *Metrics) snapshot(now time.Time) Snapshot {
 			WordsTotal:     s.WordsTotal,
 			Verified:       s.Verified,
 			VerifyFailures: s.VerifyFailed,
+			SessionsActive: s.SessionsActive,
+			SessionReuses:  s.SessionReuses,
 			Latency:        s.okLat.summary(),
 			ErrorLatency:   s.errLat.summary(),
 		}

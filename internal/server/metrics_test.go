@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -76,5 +77,99 @@ func TestErrorLatenciesTrackedSeparately(t *testing.T) {
 	}
 	if ms.ErrorLatency.Samples != 1 || ms.ErrorLatency.Max != 10*time.Second {
 		t.Errorf("error latency = %+v, want 1 sample of 10s", ms.ErrorLatency)
+	}
+}
+
+// TestSessionTelemetry: worker-pinned solver sessions surface as a
+// per-model live gauge plus a warm-solve counter. One worker solving k
+// distinct (uncacheable) instances of one model creates exactly one
+// session and k−1 reuses; draining retires the session; a failing solve
+// retires it too.
+func TestSessionTelemetry(t *testing.T) {
+	srv := New(Config{Workers: 1, CacheEntries: -1})
+	mkInst := func(seed uint64) *ccolor.Instance {
+		g, err := ccolor.GNP(24, 0.3, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ccolor.DeltaPlus1Instance(g)
+	}
+	ctx := context.Background()
+	for seed := uint64(1); seed <= 3; seed++ {
+		if _, err := srv.Do(ctx, Spec{Model: ccolor.ModelCClique, Inst: mkInst(seed)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := srv.Metrics()
+	ms := snap.PerModel[string(ccolor.ModelCClique)]
+	if ms.SessionsActive != 1 {
+		t.Fatalf("SessionsActive = %d, want 1 (one worker, one model)", ms.SessionsActive)
+	}
+	if ms.SessionReuses != 2 {
+		t.Fatalf("SessionReuses = %d, want 2 (3 solves on one session)", ms.SessionReuses)
+	}
+
+	// A failing solve (a (deg+1)-list instance rejected by ColorReduce)
+	// retires the session: the gauge returns to zero, reuses stay.
+	g, err := ccolor.GNP(24, 0.3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	badInst, err := ccolor.DegPlus1Instance(g, 1<<16, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Do(ctx, Spec{Model: ccolor.ModelCClique, Inst: badInst}); err == nil {
+		t.Fatal("expected the (deg+1)-list instance to fail on cclique")
+	}
+	ms = srv.Metrics().PerModel[string(ccolor.ModelCClique)]
+	if ms.SessionsActive != 0 {
+		t.Fatalf("SessionsActive = %d after failed solve, want 0", ms.SessionsActive)
+	}
+	if ms.SessionReuses != 3 {
+		t.Fatalf("SessionReuses = %d, want 3 (failed solve still reused the warm session)", ms.SessionReuses)
+	}
+
+	// The next good solve rebuilds a session.
+	if _, err := srv.Do(ctx, Spec{Model: ccolor.ModelCClique, Inst: mkInst(4)}); err != nil {
+		t.Fatal(err)
+	}
+	ms = srv.Metrics().PerModel[string(ccolor.ModelCClique)]
+	if ms.SessionsActive != 1 {
+		t.Fatalf("SessionsActive = %d after recovery, want 1", ms.SessionsActive)
+	}
+
+	// Drain retires every pinned session.
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	ms = srv.Metrics().PerModel[string(ccolor.ModelCClique)]
+	if ms.SessionsActive != 0 {
+		t.Fatalf("SessionsActive = %d after drain, want 0", ms.SessionsActive)
+	}
+}
+
+// TestSessionTelemetryCacheHitsDontCount: cache hits never touch a solver
+// session, so they must not bump the reuse counter.
+func TestSessionTelemetryCacheHitsDontCount(t *testing.T) {
+	srv := New(Config{Workers: 1})
+	defer srv.Drain(context.Background())
+	g, err := ccolor.GNP(24, 0.3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := Spec{Model: ccolor.ModelCClique, Inst: ccolor.DeltaPlus1Instance(g)}
+	for i := 0; i < 3; i++ {
+		if _, err := srv.Do(context.Background(), spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ms := srv.Metrics().PerModel[string(ccolor.ModelCClique)]
+	if ms.SessionsActive != 1 || ms.SessionReuses != 0 {
+		t.Fatalf("gauge/reuses = %d/%d, want 1/0 (first solve cold, rest cached)",
+			ms.SessionsActive, ms.SessionReuses)
+	}
+	if ms.CacheHits != 2 {
+		t.Fatalf("CacheHits = %d, want 2", ms.CacheHits)
 	}
 }

@@ -246,12 +246,82 @@ func (s *Server) Drain(ctx context.Context) error {
 // worker is the pool loop: pop, execute (cache-first), publish. run reports
 // whether it completed the job itself; a parked job is finished — and its
 // in-flight slot released — by the leader of its flight.
+//
+// Each worker pins one solver session per model for its lifetime: after a
+// model's first job, every later solve on this worker runs warm — no
+// simulator or workspace construction — which is the steady-state serving
+// regime the session engine was built for. Sessions are single-threaded by
+// construction here (one owner goroutine), and warm solves are
+// byte-identical to cold ones, so cache entries stay deterministic.
 func (s *Server) worker() {
 	defer s.wg.Done()
+	sessions := workerSessions{}
+	defer sessions.release(s.metrics)
 	for job := range s.queue {
-		if s.run(job) {
+		if s.run(job, &sessions) {
 			s.inFlight.Add(-1)
 		}
+	}
+}
+
+// sessionModels fixes the model ↔ slot mapping for workerSessions; slot 0
+// doubles as the default for an empty model (ModelCClique, matching
+// Spec.model).
+var sessionModels = [...]ccolor.Model{ccolor.ModelCClique, ccolor.ModelMPC, ccolor.ModelLowSpace}
+
+// workerSessions is one worker's pinned per-model solver sessions.
+type workerSessions struct {
+	byModel [len(sessionModels)]*ccolor.SolverSession
+}
+
+// sessionSlot maps a model to its fixed array slot.
+func sessionSlot(model ccolor.Model) int {
+	for slot, m := range sessionModels {
+		if m == model {
+			return slot
+		}
+	}
+	return 0
+}
+
+// solve runs the spec on the worker's session for its model, creating the
+// session on the model's first job and counting every later solve as a
+// session reuse. A failed solve retires the session (arenas released, slot
+// cleared) so the next job starts from clean state.
+func (ws *workerSessions) solve(m *Metrics, spec *Spec) (*ccolor.Report, error) {
+	model := spec.model()
+	slot := sessionSlot(model)
+	sess := ws.byModel[slot]
+	if sess == nil {
+		var err error
+		sess, err = ccolor.NewSolverSession(model)
+		if err != nil {
+			return nil, err
+		}
+		ws.byModel[slot] = sess
+		m.RecordSessionActive(model, +1)
+	} else {
+		m.RecordSessionReuse(model)
+	}
+	rep, err := sess.Solve(spec.Inst, spec.options())
+	if err != nil {
+		sess.Release()
+		ws.byModel[slot] = nil
+		m.RecordSessionActive(model, -1)
+		return nil, err
+	}
+	return rep, nil
+}
+
+// release retires all pinned sessions when the worker exits (drain).
+func (ws *workerSessions) release(m *Metrics) {
+	for slot, sess := range ws.byModel {
+		if sess == nil {
+			continue
+		}
+		sess.Release()
+		m.RecordSessionActive(sessionModels[slot], -1)
+		ws.byModel[slot] = nil
 	}
 }
 
@@ -269,7 +339,7 @@ type parkedJob struct {
 
 // run executes one dequeued job. It returns false when the job was parked
 // on an in-progress identical solve — the flight's leader will complete it.
-func (s *Server) run(job *Job) bool {
+func (s *Server) run(job *Job, sessions *workerSessions) bool {
 	job.setRunning()
 	start := time.Now()
 	key := keyFor(&job.Spec)
@@ -287,7 +357,7 @@ func (s *Server) run(job *Job) bool {
 	s.flights[key] = f
 	s.flightMu.Unlock()
 
-	rep, err := ccolor.Solve(job.Spec.Inst, job.Spec.options())
+	rep, err := sessions.solve(s.metrics, &job.Spec)
 	if err == nil && s.cfg.VerifyOnSolve {
 		// The instance is still attached here (it is only released when the
 		// job finishes), so the oracle can re-derive every claim from it.

@@ -1,227 +1,60 @@
 package ccolor
 
 import (
-	"fmt"
-	"slices"
-
-	"ccolor/internal/cclique"
-	"ccolor/internal/core"
+	"ccolor/internal/engine"
 	"ccolor/internal/graph"
-	"ccolor/internal/lowspace"
-	"ccolor/internal/mpc"
-	"ccolor/internal/verify"
 )
 
 // Model selects which of the paper's execution models runs a job.
-type Model string
+type Model = engine.Model
 
 const (
 	// ModelCClique is the CONGESTED CLIQUE (Theorem 1.1).
-	ModelCClique Model = "cclique"
+	ModelCClique = engine.ModelCClique
 	// ModelMPC is linear-space MPC (Theorems 1.2–1.3).
-	ModelMPC Model = "mpc"
+	ModelMPC = engine.ModelMPC
 	// ModelLowSpace is sublinear-space MPC (Theorem 1.4); instances must be
 	// (deg+1)-list instances.
-	ModelLowSpace Model = "lowspace"
+	ModelLowSpace = engine.ModelLowSpace
 )
 
 // ParseModel validates a model name.
-func ParseModel(s string) (Model, error) {
-	switch Model(s) {
-	case ModelCClique, ModelMPC, ModelLowSpace:
-		return Model(s), nil
-	}
-	return "", fmt.Errorf("ccolor: unknown model %q (want %q, %q, or %q)",
-		s, ModelCClique, ModelMPC, ModelLowSpace)
-}
+func ParseModel(s string) (Model, error) { return engine.ParseModel(s) }
 
 // Options configures a Solve call. The zero value (and nil) means
 // ModelCClique with paper-faithful defaults.
-type Options struct {
-	// Model picks the execution model; empty means ModelCClique.
-	Model Model
-	// Params overrides the core-algorithm knobs for ModelCClique / ModelMPC;
-	// nil means DefaultParams.
-	Params *Params
-	// LowSpace overrides the Theorem 1.4 knobs for ModelLowSpace; nil means
-	// DefaultLowSpaceParams.
-	LowSpace *LowSpaceParams
-	// MPCSpaceFactor scales per-machine space for ModelMPC (words per unit
-	// of node weight); 0 means the default of 64.
-	MPCSpaceFactor int
-}
+type Options = engine.Options
 
 // Report is the unified, model-independent result of a Solve call: the
 // verified coloring plus the full cost ledger of the run. Every field is a
 // deterministic function of (instance, options) — the serving layer relies
 // on this to cache and replay results byte-for-byte.
-type Report struct {
-	Model    Model
-	Coloring Coloring
-	// Rounds is the model round count: executed simulator rounds for
-	// ModelCClique/ModelMPC, the parallel-composition critical path for
-	// ModelLowSpace.
-	Rounds int
-	// WordsMoved is the total message traffic of the run in machine words.
-	WordsMoved int64
-	// MaxNodeLoad is the maximum words any worker sent or received in one
-	// round.
-	MaxNodeLoad int64
-	// RoundsByPhase attributes executed rounds to algorithm phases
-	// (ModelCClique / ModelMPC only).
-	RoundsByPhase map[string]int
+type Report = engine.Report
 
-	// Machines / Space / PeakSpace are MPC-family telemetry (zero for
-	// ModelCClique).
-	Machines  int
-	Space     int64
-	PeakSpace int64
+// SolverSession is a reusable per-model solver (internal/engine.Session):
+// it owns the long-lived simulator and workspace state, so solves after the
+// first skip construction entirely. Warm solves are byte-identical to cold
+// ones. Sessions are not safe for concurrent use — pin one per goroutine
+// (the serving layer pins one per worker) or rely on the pooled Solve.
+type SolverSession = engine.Session
 
-	// ColorsUsed is the number of distinct colors in the coloring,
-	// precomputed at solve time so serving a cached Report stays O(1).
-	ColorsUsed int
-
-	// Trace is the recursion telemetry for ModelCClique / ModelMPC runs.
-	Trace *Trace
-	// LowTrace is the telemetry for ModelLowSpace runs.
-	LowTrace *LowSpaceTrace
-}
-
-// countColors counts distinct colors by sorting a scratch copy — one
-// allocation instead of a per-solve map on the report path.
-func countColors(c Coloring) int {
-	scratch := make([]Color, 0, len(c))
-	for _, x := range c {
-		if x != NoColor {
-			scratch = append(scratch, x)
-		}
-	}
-	slices.Sort(scratch)
-	n := 0
-	for i, x := range scratch {
-		if i == 0 || x != scratch[i-1] {
-			n++
-		}
-	}
-	return n
-}
+// NewSolverSession returns an empty session for the model; the first Solve
+// sizes it.
+func NewSolverSession(model Model) (*SolverSession, error) { return engine.NewSession(model) }
 
 // Solve runs the selected model's algorithm on a list-coloring instance and
-// returns a verified coloring with full cost accounting. It is the single
-// entry point the serving layer (internal/server) drives; ColorList,
+// returns a verified coloring with full cost accounting. It is a thin
+// wrapper over a package-level session pool — repeated calls reuse warm
+// solver sessions (simulators, workspaces, derandomization buffers) with
+// results byte-identical to fresh-session solves. It is the single entry
+// point the serving layer (internal/server) drives; ColorList,
 // ColorListMPC, and ColorDegPlus1LowSpace remain as convenience wrappers.
 func Solve(inst *Instance, opts *Options) (*Report, error) {
-	var o Options
-	if opts != nil {
-		o = *opts
-	}
-	model := o.Model
-	if model == "" {
-		model = ModelCClique
-	}
-	switch model {
-	case ModelCClique:
-		p := DefaultParams()
-		if o.Params != nil {
-			p = *o.Params
-		}
-		nw := cclique.New(inst.G.N())
-		defer nw.Release() // return round arenas to the shared pool
-		col, tr, err := core.Solve(nw, nw.MsgWords(), inst, p)
-		if err != nil {
-			return nil, err
-		}
-		if err := verify.ListColoring(inst, col); err != nil {
-			return nil, fmt.Errorf("ccolor: internal verification failed: %w", err)
-		}
-		led := nw.Ledger()
-		return &Report{
-			Model:         ModelCClique,
-			Coloring:      col,
-			ColorsUsed:    countColors(col),
-			Rounds:        led.Rounds(),
-			WordsMoved:    led.WordsMoved(),
-			MaxNodeLoad:   maxLoad(led.MaxSendLoad(), led.MaxRecvLoad()),
-			RoundsByPhase: led.ByPhase(),
-			Trace:         tr,
-		}, nil
-
-	case ModelMPC:
-		p := DefaultParams()
-		if o.Params != nil {
-			p = *o.Params
-		}
-		factor := o.MPCSpaceFactor
-		if factor <= 0 {
-			factor = 64
-		}
-		g := inst.G
-		cl, err := mpc.NewLinear(g.N(), func(v int) int64 {
-			return int64(g.Degree(int32(v)) + len(inst.Palettes[v]) + 2)
-		}, factor)
-		if err != nil {
-			return nil, err
-		}
-		defer cl.Release() // return round arenas to the shared pool
-		col, tr, err := core.Solve(cl, 8, inst, p)
-		if err != nil {
-			return nil, err
-		}
-		if err := verify.ListColoring(inst, col); err != nil {
-			return nil, fmt.Errorf("ccolor: internal verification failed: %w", err)
-		}
-		led := cl.Ledger()
-		return &Report{
-			Model:         ModelMPC,
-			Coloring:      col,
-			ColorsUsed:    countColors(col),
-			Rounds:        led.Rounds(),
-			WordsMoved:    led.WordsMoved(),
-			MaxNodeLoad:   maxLoad(led.MaxSendLoad(), led.MaxRecvLoad()),
-			RoundsByPhase: led.ByPhase(),
-			Machines:      cl.Machines(),
-			Space:         cl.Space(),
-			PeakSpace:     cl.PeakMachineSpace(),
-			Trace:         tr,
-		}, nil
-
-	case ModelLowSpace:
-		p := DefaultLowSpaceParams()
-		if o.LowSpace != nil {
-			p = *o.LowSpace
-		}
-		col, tr, err := lowspace.Solve(inst, p)
-		if err != nil {
-			return nil, err
-		}
-		if err := verify.ListColoring(inst, col); err != nil {
-			return nil, fmt.Errorf("ccolor: internal verification failed: %w", err)
-		}
-		return &Report{
-			Model:       ModelLowSpace,
-			Coloring:    col,
-			ColorsUsed:  countColors(col),
-			Rounds:      tr.CriticalRounds,
-			WordsMoved:  tr.WordsMoved,
-			MaxNodeLoad: tr.PeakMachineWords,
-			Machines:    tr.Machines,
-			Space:       tr.SpaceWords,
-			PeakSpace:   tr.PeakMachineWords,
-			LowTrace:    tr,
-		}, nil
-	}
-	return nil, fmt.Errorf("ccolor: unknown model %q", model)
+	return engine.Solve(inst, opts)
 }
 
 // CanonicalWords returns the canonical word encoding of an instance — the
 // stream the serving layer fingerprints for its content-addressed cache.
 func CanonicalWords(inst *Instance) []uint64 {
 	return graph.AppendInstanceWords(nil, inst)
-}
-
-func maxLoad(send, recv int64) int64 {
-	if send > recv {
-		return send
-	}
-	return recv
 }
