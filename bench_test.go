@@ -316,6 +316,66 @@ func BenchmarkSolveWarmLowSpace(b *testing.B) {
 	})
 }
 
+// --- traced warm solves (Options.Trace on; pins the tracing overhead) ---
+
+// benchSolveWarmTraced is benchSolveWarm with telemetry tracing enabled:
+// every solve allocates a recorder and a span per phase transition. The gap
+// to the untraced warm numbers is the price of -trace / ccserve tracing; the
+// untraced benchmarks above pin that the nil-recorder hot path stays free.
+func benchSolveWarmTraced(b *testing.B, model ccolor.Model, build func() (*graph.Instance, error)) {
+	b.Helper()
+	inst, err := build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess, err := ccolor.NewSolverSession(model)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := &ccolor.Options{Model: model, Trace: true}
+	if _, err := sess.Solve(inst, opts); err != nil {
+		b.Fatal(err)
+	}
+	var spans int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := sess.Solve(inst, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Telemetry == nil {
+			b.Fatal("traced solve produced no telemetry")
+		}
+		spans = len(rep.Telemetry.Spans)
+	}
+	b.ReportMetric(float64(spans), "trace-spans")
+}
+
+func BenchmarkSolveWarmCCliqueTraced(b *testing.B) {
+	b.Run("gnp256", func(b *testing.B) {
+		benchSolveWarmTraced(b, ccolor.ModelCClique, solveGNPInstance(256, 0.05, 11))
+	})
+}
+
+func BenchmarkSolveWarmMPCTraced(b *testing.B) {
+	b.Run("gnp256", func(b *testing.B) {
+		benchSolveWarmTraced(b, ccolor.ModelMPC, solveGNPInstance(256, 0.05, 11))
+	})
+}
+
+func BenchmarkSolveWarmLowSpaceTraced(b *testing.B) {
+	b.Run("gnp256", func(b *testing.B) {
+		benchSolveWarmTraced(b, ccolor.ModelLowSpace, func() (*graph.Instance, error) {
+			g, err := graph.GNP(256, 0.05, 11)
+			if err != nil {
+				return nil, err
+			}
+			return graph.DegPlus1Instance(g, 1<<20, 13)
+		})
+	})
+}
+
 func solveScenarioInstance(name string, n int, seed uint64) func() (*graph.Instance, error) {
 	return func() (*graph.Instance, error) {
 		spec, err := scenario.Lookup(name)

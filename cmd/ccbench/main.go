@@ -12,6 +12,8 @@
 //	        -concurrency 64 -duration 30s \
 //	        -mix all \
 //	        -models cclique,mpc,lowspace   # drive a running ccserve with every registry scenario
+//
+//	ccbench -trace -mix all -sizes 96,256   # local per-phase latency/traffic profile
 package main
 
 import (
@@ -46,8 +48,19 @@ func run() error {
 		models      = flag.String("models", "cclique,mpc,lowspace", "load mode: model rotation")
 		sizes       = flag.String("sizes", "64,128,256", "load mode: node counts to sample")
 		distinct    = flag.Int("distinct", 32, "load mode: distinct seeds per scenario shape (cache churn)")
+
+		traceMode = flag.Bool("trace", false, "trace mode: solve the -mix scenarios locally with telemetry on and print merged per-phase profiles (uses -mix, -models, -sizes, -seed)")
 	)
 	flag.Parse()
+
+	if *traceMode {
+		return runTrace(traceConfig{
+			Mix:    *mix,
+			Models: *models,
+			Sizes:  *sizes,
+			Seed:   *seed,
+		})
+	}
 
 	if *serveURL != "" {
 		return runLoad(loadConfig{

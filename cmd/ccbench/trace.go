@@ -1,0 +1,78 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"ccolor"
+	"ccolor/internal/scenario"
+	"ccolor/internal/telemetry"
+)
+
+// traceConfig drives trace mode: local solves of registry scenarios with
+// telemetry tracing on, merged into one per-phase table per model.
+type traceConfig struct {
+	Mix    string // registry scenarios to run ("all" or weighted list; weights ignored)
+	Models string // comma-separated model rotation
+	Sizes  string // comma-separated node counts
+	Seed   uint64
+}
+
+// runTrace solves every scenario × size locally under each model with
+// Options.Trace set and prints the merged per-phase latency/traffic profile.
+// Unlike load mode this never touches a server — it is the quick "where do
+// the rounds and the wall-clock go" view over the whole workload registry.
+func runTrace(cfg traceConfig) error {
+	mix, err := scenario.ParseMix(cfg.Mix)
+	if err != nil {
+		return err
+	}
+	sizes, err := parseSizes(cfg.Sizes)
+	if err != nil {
+		return err
+	}
+	for _, n := range sizes {
+		if n < scenario.MinNodes {
+			return fmt.Errorf("size %d below scenario minimum %d", n, scenario.MinNodes)
+		}
+	}
+	var models []ccolor.Model
+	for _, part := range strings.Split(cfg.Models, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		m, err := ccolor.ParseModel(part)
+		if err != nil {
+			return err
+		}
+		models = append(models, m)
+	}
+	if len(models) == 0 {
+		return fmt.Errorf("no models in %q", cfg.Models)
+	}
+
+	for _, model := range models {
+		agg := telemetry.NewAggregate()
+		solves := 0
+		for _, entry := range mix {
+			for _, n := range sizes {
+				inst, err := entry.Spec.Instance(n, cfg.Seed)
+				if err != nil {
+					return fmt.Errorf("%s n=%d: %w", entry.Spec.Name, n, err)
+				}
+				rep, err := ccolor.Solve(inst, &ccolor.Options{Model: model, Trace: true})
+				if err != nil {
+					return fmt.Errorf("%s n=%d model=%s: %w", entry.Spec.Name, n, model, err)
+				}
+				agg.Add(rep.Telemetry)
+				solves++
+			}
+		}
+		fmt.Printf("══ %s — %d solves (%d scenarios × %d sizes) ══\n\n",
+			model, solves, len(mix), len(sizes))
+		fmt.Print(telemetry.FormatTable(agg.Summaries(), agg.Total))
+		fmt.Printf("total: rounds=%d words=%d wall=%v\n\n", agg.Rounds, agg.Words, agg.Total)
+	}
+	return nil
+}

@@ -6,6 +6,7 @@ import (
 	"ccolor"
 	"ccolor/internal/scenario"
 	"ccolor/internal/server"
+	"ccolor/internal/telemetry"
 )
 
 // The ccserve wire format. Requests describe the workload either as an
@@ -275,4 +276,13 @@ type JobEnvelope struct {
 	State  string         `json:"state"`
 	Error  string         `json:"error,omitempty"`
 	Result *ColorResponse `json:"result,omitempty"`
+}
+
+// TraceEnvelope is the GET /v1/jobs/{id}/trace response body: the solve's
+// phase-attributed telemetry spans, addressed by the trace ID the job's
+// result carried in its X-Trace-Id header.
+type TraceEnvelope struct {
+	JobID   string           `json:"job_id"`
+	TraceID string           `json:"trace_id"`
+	Trace   *telemetry.Trace `json:"trace"`
 }

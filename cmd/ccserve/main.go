@@ -5,11 +5,20 @@
 //
 // Endpoints:
 //
-//	POST /v1/color     one job; {"async":true} returns 202 + job id
-//	POST /v1/batch     many jobs in one request
-//	GET  /v1/jobs/{id} async job status / result
-//	GET  /metrics      per-model counters, latency percentiles, cache stats
-//	GET  /healthz      liveness + queue gauges
+//	POST /v1/color           one job; {"async":true} returns 202 + job id
+//	POST /v1/batch           many jobs in one request
+//	GET  /v1/jobs/{id}       async job status / result
+//	GET  /v1/jobs/{id}/trace phase-attributed telemetry spans for the solve
+//	GET  /metrics            per-model counters, latency percentiles, cache stats
+//	GET  /metrics/prom       the same, as Prometheus text exposition
+//	GET  /healthz            liveness + queue gauges (?format=prom for scraping)
+//
+// Fresh solves run with telemetry tracing: the response carries an X-Trace-Id
+// header addressing a bounded trace store (-trace-retain, 0 = default 512,
+// negative disables tracing entirely).
+//
+// -debug-addr starts a second listener serving net/http/pprof — profiling
+// stays off the public port and off by default.
 //
 // SIGINT/SIGTERM triggers a graceful drain: the listener stops, queued and
 // running jobs finish (bounded by -drain-timeout), then the process exits.
@@ -18,6 +27,7 @@
 //
 //	ccserve -addr :8080 &
 //	curl -s localhost:8080/v1/color -d '{"graph":{"kind":"gnp","n":256,"p":0.05,"seed":1}}'
+//	curl -s localhost:8080/metrics/prom
 package main
 
 import (
@@ -28,6 +38,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -48,21 +59,33 @@ func main() {
 		retainJobs   = flag.Int("retain", 4096, "finished async jobs kept queryable")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful drain bound")
 		verifyMode   = flag.Bool("verify", false, "verify-on-solve debug mode: re-check every fresh solve through the independent coloring oracle (counts in /metrics)")
+		traceRetain  = flag.Int("trace-retain", 0, "telemetry traces kept queryable (0 = default 512, negative disables tracing)")
+		debugAddr    = flag.String("debug-addr", "", "listen address for net/http/pprof (empty disables profiling)")
 	)
 	flag.Parse()
 
 	srv := server.New(server.Config{
-		Workers:       *workers,
-		QueueDepth:    *queueDepth,
-		CacheEntries:  *cacheSize,
-		RetainJobs:    *retainJobs,
-		VerifyOnSolve: *verifyMode,
+		Workers:        *workers,
+		QueueDepth:     *queueDepth,
+		CacheEntries:   *cacheSize,
+		RetainJobs:     *retainJobs,
+		VerifyOnSolve:  *verifyMode,
+		TraceRetention: *traceRetain,
 	})
 	h := newHandler(srv, *queueDepth, *workers)
 	httpSrv := &http.Server{Addr: *addr, Handler: h.routes()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *debugAddr != "" {
+		go func() {
+			log.Printf("pprof listening on %s", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, pprofMux()); err != nil {
+				log.Printf("pprof listener: %v", err)
+			}
+		}()
+	}
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
@@ -130,8 +153,24 @@ func (h *handler) routes() http.Handler {
 	mux.HandleFunc("POST /v1/color", h.color)
 	mux.HandleFunc("POST /v1/batch", h.batch)
 	mux.HandleFunc("GET /v1/jobs/{id}", h.job)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", h.jobTrace)
 	mux.HandleFunc("GET /metrics", h.metrics)
+	mux.HandleFunc("GET /metrics/prom", h.metricsProm)
 	mux.HandleFunc("GET /healthz", h.healthz)
+	return mux
+}
+
+// pprofMux serves net/http/pprof on the private debug listener. The profile
+// handlers are registered explicitly rather than via the package's implicit
+// DefaultServeMux side effect, so nothing profiling-related ever leaks onto
+// the public mux.
+func pprofMux() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
 }
 
@@ -222,6 +261,9 @@ func setResultHeaders(w http.ResponseWriter, res *server.Result) {
 		w.Header().Set("X-CCServe-Cache", "miss")
 	}
 	w.Header().Set("X-CCServe-Elapsed-Us", strconv.FormatInt(res.Elapsed.Microseconds(), 10))
+	if res.TraceID != "" {
+		w.Header().Set("X-Trace-Id", res.TraceID)
+	}
 }
 
 func (h *handler) batch(w http.ResponseWriter, r *http.Request) {
@@ -282,18 +324,67 @@ func (h *handler) job(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, env)
 }
 
+// jobTrace serves the phase-attributed telemetry spans recorded for a
+// finished job's solve. 404 covers every "no trace exists" case (unknown
+// job, unfinished, failed, cache hit, tracing disabled); an evicted trace is
+// 410 Gone — it existed but aged out of the bounded store.
+func (h *handler) jobTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, ok := h.srv.Job(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	state, res, err := job.Status()
+	if err != nil || res == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("job %q has no result (state %s)", id, state))
+		return
+	}
+	if res.TraceID == "" {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("job %q has no trace (served from cache, or tracing disabled)", id))
+		return
+	}
+	tr, ok := h.srv.Trace(res.TraceID)
+	if !ok {
+		writeError(w, http.StatusGone, fmt.Errorf("trace %s evicted from the trace store", res.TraceID))
+		return
+	}
+	writeJSON(w, http.StatusOK, TraceEnvelope{JobID: job.ID, TraceID: res.TraceID, Trace: tr})
+}
+
 func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prom" {
+		h.metricsProm(w, r)
+		return
+	}
 	writeJSON(w, http.StatusOK, h.srv.Metrics())
+}
+
+func (h *handler) metricsProm(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	server.WritePrometheus(w, h.srv.Metrics())
 }
 
 func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
 	// Liveness probes poll this; use the cheap gauges rather than the full
 	// metrics snapshot (which copies and sorts latency samples).
 	depth, capacity := h.srv.QueueStats()
+	if r.URL.Query().Get("format") == "prom" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		server.WriteHealthPrometheus(w, server.Snapshot{
+			Workers:    h.srv.Workers(),
+			InFlight:   h.srv.InFlight(),
+			QueueDepth: depth,
+			QueueCap:   capacity,
+		}, h.srv.Draining())
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":      "ok",
 		"in_flight":   h.srv.InFlight(),
 		"queue_depth": depth,
 		"queue_cap":   capacity,
+		"workers":     h.srv.Workers(),
 	})
 }

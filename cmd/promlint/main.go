@@ -1,0 +1,42 @@
+// Command promlint checks Prometheus text exposition read from stdin (or a
+// file argument) and exits non-zero if the document is malformed. CI pipes
+// the ccserve /metrics scrape through it to keep the exposition contract
+// honest: HELP/TYPE on every family, unique series, complete histograms.
+//
+// Usage:
+//
+//	curl -s localhost:8080/metrics/prom | promlint
+//	promlint scrape.txt
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"ccolor/internal/promtext"
+)
+
+func main() {
+	var in io.Reader = os.Stdin
+	name := "<stdin>"
+	if len(os.Args) > 1 {
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "promlint:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		in = f
+		name = os.Args[1]
+	}
+	probs := promtext.Lint(in)
+	for _, p := range probs {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", name, p)
+	}
+	if len(probs) > 0 {
+		fmt.Fprintf(os.Stderr, "promlint: %d problem(s)\n", len(probs))
+		os.Exit(1)
+	}
+	fmt.Println("promlint: OK")
+}

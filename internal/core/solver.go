@@ -259,6 +259,7 @@ func (s *solver) wave() error {
 	// Wave barrier: a real 2-round aggregate of the uncolored count keeps
 	// the control plane honest in the round ledger. Contributions come out
 	// of the workspace slab — one word per worker, no per-callback slices.
+	s.fab.Ledger().SetDepth(0) // the control plane is depth-free
 	s.fab.Ledger().SetPhase("control")
 	barrier := s.wsp.barrier[:s.bign]
 	tot, err := s.wsp.agg.AggregateVec(s.fab, s.pw, 1, func(w int) []int64 {
@@ -305,11 +306,21 @@ func (s *solver) wave() error {
 		if c.depth >= s.p.MaxDepth {
 			return fmt.Errorf("core: recursion depth %d exceeds MaxDepth %d", c.depth, s.p.MaxDepth)
 		}
+		s.fab.Ledger().SetDepth(c.depth) // recursion depth for trace spans
 		if err := s.partition(c); err != nil {
 			return fmt.Errorf("core: partition call %d (depth %d, ℓ=%.1f): %w", c.id, c.depth, c.ell, err)
 		}
 	}
 	if len(toCollect) > 0 {
+		// A collect wave batches calls from several depths; the trace tags
+		// its rounds with the deepest one.
+		depth := 0
+		for _, c := range toCollect {
+			if c.depth > depth {
+				depth = c.depth
+			}
+		}
+		s.fab.Ledger().SetDepth(depth)
 		if err := s.collectAndColor(toCollect); err != nil {
 			return fmt.Errorf("core: collect wave: %w", err)
 		}

@@ -22,9 +22,11 @@ import (
 
 	"ccolor/internal/cclique"
 	"ccolor/internal/core"
+	"ccolor/internal/fabric"
 	"ccolor/internal/graph"
 	"ccolor/internal/lowspace"
 	"ccolor/internal/mpc"
+	"ccolor/internal/telemetry"
 	"ccolor/internal/verify"
 )
 
@@ -68,6 +70,12 @@ type Options struct {
 	// MPCSpaceFactor scales per-machine space for ModelMPC (words per unit
 	// of node weight); 0 means the default of 64.
 	MPCSpaceFactor int
+	// Trace attaches a telemetry recorder to the solve: the Report gains a
+	// Telemetry span trace (per-phase wall-clock, rounds, words, loads,
+	// recursion depth). Off by default; a disabled recorder costs nothing
+	// on the round hot path. Tracing never changes the solve result, so it
+	// does not participate in serving-layer cache keys.
+	Trace bool
 }
 
 // Report is the unified, model-independent result of a Solve call: the
@@ -87,9 +95,13 @@ type Report struct {
 	// MaxNodeLoad is the maximum words any worker sent or received in one
 	// round.
 	MaxNodeLoad int64
-	// RoundsByPhase attributes executed rounds to algorithm phases
-	// (ModelCClique / ModelMPC only).
+	// RoundsByPhase attributes executed rounds to algorithm phases. For
+	// ModelLowSpace it merges the main cluster with every MIS pool cluster
+	// incarnation.
 	RoundsByPhase map[string]int
+	// PhaseProfile extends RoundsByPhase with per-phase words moved and
+	// peak per-round loads.
+	PhaseProfile map[string]fabric.PhaseStats
 
 	// Machines / Space / PeakSpace are MPC-family telemetry (zero for
 	// ModelCClique).
@@ -105,6 +117,10 @@ type Report struct {
 	Trace *core.Trace
 	// LowTrace is the telemetry for ModelLowSpace runs.
 	LowTrace *lowspace.Trace
+	// Telemetry is the per-phase span trace of this run; nil unless
+	// Options.Trace was set. The serving layer detaches it from cached
+	// Reports and retains it behind a per-job trace ID.
+	Telemetry *telemetry.Trace
 }
 
 // Session is a reusable per-model solver. It is not safe for concurrent
@@ -211,6 +227,8 @@ func (s *Session) solveCClique(inst *graph.Instance, o *Options) (*Report, error
 	}
 	nw := s.nw
 	defer nw.Release() // return round arenas to the shared pool
+	led := nw.Ledger()
+	rec := s.arm(led, o)
 	col, tr, err := core.SolveWS(nw, nw.MsgWords(), inst, p, &s.cw)
 	if err != nil {
 		return nil, err
@@ -218,7 +236,6 @@ func (s *Session) solveCClique(inst *graph.Instance, o *Options) (*Report, error
 	if err := verify.ListColoring(inst, col); err != nil {
 		return nil, fmt.Errorf("ccolor: internal verification failed: %w", err)
 	}
-	led := nw.Ledger()
 	return &Report{
 		Model:         ModelCClique,
 		Coloring:      col,
@@ -227,8 +244,24 @@ func (s *Session) solveCClique(inst *graph.Instance, o *Options) (*Report, error
 		WordsMoved:    led.WordsMoved(),
 		MaxNodeLoad:   maxLoad(led.MaxSendLoad(), led.MaxRecvLoad()),
 		RoundsByPhase: led.ByPhase(),
+		PhaseProfile:  led.PhaseProfile(),
 		Trace:         tr,
+		Telemetry:     rec.Finish(string(ModelCClique)),
 	}, nil
+}
+
+// arm attaches a fresh trace recorder to the solve's ledger when o.Trace is
+// set; it returns nil otherwise, which every downstream telemetry call
+// treats as "tracing off". The ledger was just Reset (or newly built), so
+// no detach bookkeeping is needed: the next solve's Reset drops it, and
+// Finish makes the recorder inert the moment the Report is assembled.
+func (s *Session) arm(led *fabric.Ledger, o *Options) *telemetry.Recorder {
+	if !o.Trace {
+		return nil
+	}
+	rec := telemetry.NewRecorder()
+	led.SetRecorder(rec)
+	return rec
 }
 
 func (s *Session) solveMPC(inst *graph.Instance, o *Options) (*Report, error) {
@@ -255,6 +288,8 @@ func (s *Session) solveMPC(inst *graph.Instance, o *Options) (*Report, error) {
 	}
 	cl := s.cl
 	defer cl.Release() // return round arenas to the shared pool
+	led := cl.Ledger()
+	rec := s.arm(led, o)
 	col, tr, err := core.SolveWS(cl, 8, inst, p, &s.cw)
 	if err != nil {
 		return nil, err
@@ -262,7 +297,6 @@ func (s *Session) solveMPC(inst *graph.Instance, o *Options) (*Report, error) {
 	if err := verify.ListColoring(inst, col); err != nil {
 		return nil, fmt.Errorf("ccolor: internal verification failed: %w", err)
 	}
-	led := cl.Ledger()
 	return &Report{
 		Model:         ModelMPC,
 		Coloring:      col,
@@ -271,10 +305,12 @@ func (s *Session) solveMPC(inst *graph.Instance, o *Options) (*Report, error) {
 		WordsMoved:    led.WordsMoved(),
 		MaxNodeLoad:   maxLoad(led.MaxSendLoad(), led.MaxRecvLoad()),
 		RoundsByPhase: led.ByPhase(),
+		PhaseProfile:  led.PhaseProfile(),
 		Machines:      cl.Machines(),
 		Space:         cl.Space(),
 		PeakSpace:     cl.PeakMachineSpace(),
 		Trace:         tr,
+		Telemetry:     rec.Finish(string(ModelMPC)),
 	}, nil
 }
 
@@ -286,6 +322,15 @@ func (s *Session) solveLowSpace(inst *graph.Instance, o *Options) (*Report, erro
 	if s.ls == nil {
 		s.ls = lowspace.NewSession()
 	}
+	var rec *telemetry.Recorder
+	if o.Trace {
+		rec = telemetry.NewRecorder()
+		s.ls.SetRecorder(rec)
+		// Clear the session's recorder slot afterwards: the lowspace solver
+		// attaches it to each cluster ledger per solve, so a finished (inert)
+		// recorder must not linger into the next, untraced solve.
+		defer s.ls.SetRecorder(nil)
+	}
 	col, tr, err := s.ls.Solve(inst, p)
 	if err != nil {
 		return nil, err
@@ -294,17 +339,32 @@ func (s *Session) solveLowSpace(inst *graph.Instance, o *Options) (*Report, erro
 		return nil, fmt.Errorf("ccolor: internal verification failed: %w", err)
 	}
 	return &Report{
-		Model:       ModelLowSpace,
-		Coloring:    col,
-		ColorsUsed:  s.countColors(col),
-		Rounds:      tr.CriticalRounds,
-		WordsMoved:  tr.WordsMoved,
-		MaxNodeLoad: tr.PeakMachineWords,
-		Machines:    tr.Machines,
-		Space:       tr.SpaceWords,
-		PeakSpace:   tr.PeakMachineWords,
-		LowTrace:    tr,
+		Model:         ModelLowSpace,
+		Coloring:      col,
+		ColorsUsed:    s.countColors(col),
+		Rounds:        tr.CriticalRounds,
+		WordsMoved:    tr.WordsMoved,
+		MaxNodeLoad:   tr.PeakMachineWords,
+		RoundsByPhase: phaseRounds(tr.Phases),
+		PhaseProfile:  tr.Phases,
+		Machines:      tr.Machines,
+		Space:         tr.SpaceWords,
+		PeakSpace:     tr.PeakMachineWords,
+		LowTrace:      tr,
+		Telemetry:     rec.Finish(string(ModelLowSpace)),
 	}, nil
+}
+
+// phaseRounds projects a phase profile down to the RoundsByPhase shape.
+func phaseRounds(prof map[string]fabric.PhaseStats) map[string]int {
+	if len(prof) == 0 {
+		return nil
+	}
+	out := make(map[string]int, len(prof))
+	for k, ps := range prof {
+		out[k] = ps.Rounds
+	}
+	return out
 }
 
 // countColors counts distinct colors by sorting a session-retained scratch

@@ -9,6 +9,8 @@ package fabric
 import (
 	"fmt"
 	"sort"
+
+	"ccolor/internal/telemetry"
 )
 
 // Msg is one message in a synchronous round: Words is the payload, counted
@@ -41,35 +43,86 @@ type Fabric interface {
 	Ledger() *Ledger
 }
 
-// Ledger tracks rounds and traffic. Labels attribute rounds to algorithm
-// phases for the experiment reports.
+// PhaseStats is one phase's accumulated traffic profile: rounds executed,
+// words moved, and the peak per-worker single-round loads while the phase
+// label was active.
+type PhaseStats struct {
+	Rounds  int
+	Words   int64
+	MaxSend int64
+	MaxRecv int64
+}
+
+// Ledger tracks rounds and traffic. Labels attribute rounds (and their
+// words/loads) to algorithm phases for the experiment reports, and an
+// optionally attached telemetry.Recorder sees every phase transition and
+// round as it happens. The recorder is a concrete pointer, not an
+// interface: with none attached the per-round cost is one nil check.
 type Ledger struct {
 	rounds      int
 	wordsMoved  int64
 	maxSendLoad int64 // max words sent by one worker in one round
 	maxRecvLoad int64 // max words received by one worker in one round
-	byLabel     map[string]int
+	byLabel     map[string]*PhaseStats
+	cur         *PhaseStats // byLabel[label]; nil while unlabeled
 	label       string
+	rec         *telemetry.Recorder
 }
 
 // NewLedger returns an empty ledger.
 func NewLedger() *Ledger {
-	return &Ledger{byLabel: make(map[string]int)}
+	return &Ledger{byLabel: make(map[string]*PhaseStats)}
 }
 
 // SetPhase labels subsequent rounds for attribution in reports.
-func (l *Ledger) SetPhase(label string) { l.label = label }
+func (l *Ledger) SetPhase(label string) {
+	l.label = label
+	if label == "" {
+		l.cur = nil
+	} else {
+		ps := l.byLabel[label]
+		if ps == nil {
+			ps = &PhaseStats{}
+			l.byLabel[label] = ps
+		}
+		l.cur = ps
+	}
+	l.rec.Transition(label)
+}
+
+// SetRecorder attaches (or, with nil, detaches) a per-solve trace recorder.
+// The current phase label is replayed into it so a mid-phase attachment
+// attributes correctly.
+func (l *Ledger) SetRecorder(rec *telemetry.Recorder) {
+	l.rec = rec
+	if rec != nil && l.label != "" {
+		rec.Transition(l.label)
+	}
+}
+
+// Recorder returns the attached trace recorder (nil when tracing is off).
+func (l *Ledger) Recorder() *telemetry.Recorder { return l.rec }
+
+// SetDepth tags subsequent rounds with a recursion depth in the attached
+// recorder; a no-op without one.
+func (l *Ledger) SetDepth(d int) { l.rec.SetDepth(d) }
 
 // Reset clears all counters and phase attribution, returning the ledger to
-// its initial state. Fabrics that are recycled across solves (for example
-// mpc.Cluster.Reset) use it so each solve starts from a zero ledger.
+// its initial state, and detaches any trace recorder. Fabrics that are
+// recycled across solves (for example mpc.Cluster.Reset) use it so each
+// solve starts from a zero ledger. Per-phase entries are zeroed in place
+// rather than dropped, so recycled ledgers relabel without reallocating.
 func (l *Ledger) Reset() {
 	l.rounds = 0
 	l.wordsMoved = 0
 	l.maxSendLoad = 0
 	l.maxRecvLoad = 0
 	l.label = ""
-	clear(l.byLabel)
+	l.cur = nil
+	l.rec = nil
+	for _, ps := range l.byLabel {
+		*ps = PhaseStats{}
+	}
 }
 
 // Phase returns the current phase label.
@@ -85,8 +138,18 @@ func (l *Ledger) AddRound(words, maxSend, maxRecv int64) {
 	if maxRecv > l.maxRecvLoad {
 		l.maxRecvLoad = maxRecv
 	}
-	if l.label != "" {
-		l.byLabel[l.label]++
+	if ps := l.cur; ps != nil {
+		ps.Rounds++
+		ps.Words += words
+		if maxSend > ps.MaxSend {
+			ps.MaxSend = maxSend
+		}
+		if maxRecv > ps.MaxRecv {
+			ps.MaxRecv = maxRecv
+		}
+	}
+	if l.rec != nil {
+		l.rec.Observe(words, maxSend, maxRecv)
 	}
 }
 
@@ -104,11 +167,37 @@ func (l *Ledger) MaxSendLoad() int64 { return l.maxSendLoad }
 // one round.
 func (l *Ledger) MaxRecvLoad() int64 { return l.maxRecvLoad }
 
-// ByPhase returns a copy of the per-phase round counts.
+// ByPhase returns a copy of the per-phase round counts. Phases that ran no
+// rounds (including entries zeroed by Reset) are omitted.
 func (l *Ledger) ByPhase() map[string]int {
 	out := make(map[string]int, len(l.byLabel))
-	for k, v := range l.byLabel {
-		out[k] = v
+	for k, ps := range l.byLabel {
+		if ps.Rounds > 0 {
+			out[k] = ps.Rounds
+		}
+	}
+	return out
+}
+
+// VisitPhases calls fn for every phase that ran at least one round —
+// PhaseProfile without the copy, for callers that fold many ledger
+// incarnations into one accumulator. Iteration order is unspecified.
+func (l *Ledger) VisitPhases(fn func(label string, ps PhaseStats)) {
+	for k, ps := range l.byLabel {
+		if ps.Rounds > 0 {
+			fn(k, *ps)
+		}
+	}
+}
+
+// PhaseProfile returns a copy of the full per-phase traffic statistics
+// (rounds, words, peak loads). Phases that ran no rounds are omitted.
+func (l *Ledger) PhaseProfile() map[string]PhaseStats {
+	out := make(map[string]PhaseStats, len(l.byLabel))
+	for k, ps := range l.byLabel {
+		if ps.Rounds > 0 {
+			out[k] = *ps
+		}
 	}
 	return out
 }
@@ -116,14 +205,18 @@ func (l *Ledger) ByPhase() map[string]int {
 // String renders a compact multi-line summary.
 func (l *Ledger) String() string {
 	keys := make([]string, 0, len(l.byLabel))
-	for k := range l.byLabel {
-		keys = append(keys, k)
+	for k, ps := range l.byLabel {
+		if ps.Rounds > 0 {
+			keys = append(keys, k)
+		}
 	}
 	sort.Strings(keys)
 	s := fmt.Sprintf("rounds=%d words=%d maxSend/round=%d maxRecv/round=%d",
 		l.rounds, l.wordsMoved, l.maxSendLoad, l.maxRecvLoad)
 	for _, k := range keys {
-		s += fmt.Sprintf("\n  %-24s %d", k, l.byLabel[k])
+		ps := l.byLabel[k]
+		s += fmt.Sprintf("\n  %-24s rounds=%-5d words=%-10d maxSend=%-8d maxRecv=%d",
+			k, ps.Rounds, ps.Words, ps.MaxSend, ps.MaxRecv)
 	}
 	return s
 }

@@ -21,9 +21,11 @@ import (
 	"math"
 
 	"ccolor/internal/derand"
+	"ccolor/internal/fabric"
 	"ccolor/internal/graph"
 	"ccolor/internal/mis"
 	"ccolor/internal/mpc"
+	"ccolor/internal/telemetry"
 )
 
 // Params configures the low-space run.
@@ -76,12 +78,16 @@ type Trace struct {
 	MISRounds        int   // rounds spent in MIS stages (executed)
 	MISPhases        int   // total MIS phases
 	CriticalRounds   int   // parallel-composition critical path
-	ExecutedRounds   int   // total simulator rounds executed (ledger count)
-	WordsMoved       int64 // total words moved across all executed rounds
+	ExecutedRounds   int   // total simulator rounds executed on the main cluster
+	WordsMoved       int64 // total words moved on the main cluster
+	MISWords         int64 // total words moved on the MIS pool clusters
 	PoolNodes        int   // nodes colored through MIS pools
 	BadNodes         int   // nodes demoted by bad chunk machines
 	PeakMachineWords int64 // max resident+inbound on any machine
 	SeedCandidates   int
+	// Phases merges per-phase rounds/words/loads across the main cluster
+	// and every MIS cluster incarnation of the solve.
+	Phases map[string]fabric.PhaseStats
 }
 
 // solver holds run state.
@@ -125,6 +131,12 @@ type solver struct {
 
 	colorDomain int64
 	trace       *Trace
+
+	// rec is the per-solve trace recorder (nil when tracing is off). The
+	// solver attaches it to the main cluster's ledger at setup and to each
+	// MIS cluster incarnation in colorPool; both run sequentially, so one
+	// recorder sees every round in execution order.
+	rec *telemetry.Recorder
 }
 
 // poolScratch is the solver-persistent workspace behind colorPool and
@@ -163,6 +175,11 @@ type Session struct {
 
 // NewSession returns an empty session; the first Solve sizes it.
 func NewSession() *Session { return &Session{} }
+
+// SetRecorder sets (or, with nil, clears) the trace recorder the next Solve
+// attaches to its cluster ledgers. The caller owns the recorder's lifecycle:
+// clear it after a traced solve so the finished recorder does not linger.
+func (ss *Session) SetRecorder(rec *telemetry.Recorder) { ss.s.rec = rec }
 
 // Release returns the session's retained round arenas (main cluster and
 // recycled MIS cluster) to the shared pool. The session remains usable —
@@ -253,6 +270,7 @@ func (ss *Session) Solve(inst *graph.Instance, p Params) (graph.Coloring, *Trace
 		return nil, nil, fmt.Errorf("lowspace: cluster: %w", err)
 	}
 	cluster := s.cluster
+	cluster.Ledger().SetRecorder(s.rec) // after Reset, which detaches
 	for mm := 0; mm < machines; mm++ {
 		if err := cluster.AdjustResidentMachine(mm, perMachine[mm]); err != nil {
 			return nil, nil, fmt.Errorf("lowspace: resident: %w", err)
@@ -272,6 +290,7 @@ func (ss *Session) Solve(inst *graph.Instance, p Params) (graph.Coloring, *Trace
 	s.trace = &Trace{
 		N: n, Delta: inst.G.MaxDegree(), Machines: machines,
 		SpaceWords: space, Tau: tau, Bins: bins,
+		Phases: make(map[string]fabric.PhaseStats),
 	}
 	// Stale stamps from a previous solve can never collide: curStamp only
 	// ever grows, and every set membership test compares for equality
@@ -316,6 +335,7 @@ func (ss *Session) Solve(inst *graph.Instance, p Params) (graph.Coloring, *Trace
 	s.trace.CriticalRounds = crit
 	s.trace.ExecutedRounds = cluster.Ledger().Rounds()
 	s.trace.WordsMoved = cluster.Ledger().WordsMoved()
+	s.mergePhases(cluster.Ledger())
 	// The trace peak is the max over the main cluster and every MIS
 	// cluster incarnation (colorPool folds those in as it reads them).
 	if pk := cluster.PeakMachineSpace(); pk > s.trace.PeakMachineWords {
@@ -371,6 +391,7 @@ func (s *solver) colorReduce(nodes []int32, depth int) (int, error) {
 	}
 
 	critical := 0
+	s.cluster.Ledger().SetDepth(depth) // recursion depth for trace spans
 	if len(high) > 0 {
 		binsOf, badNodes, rounds, err := s.partition(high, depth)
 		if err != nil {
@@ -402,11 +423,31 @@ func (s *solver) colorReduce(nodes []int32, depth int) (int, error) {
 		critical += c
 	}
 
-	// Color the pool through the MIS reduction (§4.1).
+	// Color the pool through the MIS reduction (§4.1). The recursive calls
+	// above moved the recorded depth; restore this call's before its pool.
+	s.cluster.Ledger().SetDepth(depth)
 	c, err := s.colorPool(pool)
 	if err != nil {
 		return 0, err
 	}
 	critical += c
 	return critical, nil
+}
+
+// mergePhases folds one ledger's per-phase profile into the trace — called
+// once for the main cluster and once per MIS cluster incarnation (whose
+// ledger is zeroed by the next pool's Reset).
+func (s *solver) mergePhases(led *fabric.Ledger) {
+	led.VisitPhases(func(label string, ps fabric.PhaseStats) {
+		cur := s.trace.Phases[label]
+		cur.Rounds += ps.Rounds
+		cur.Words += ps.Words
+		if ps.MaxSend > cur.MaxSend {
+			cur.MaxSend = ps.MaxSend
+		}
+		if ps.MaxRecv > cur.MaxRecv {
+			cur.MaxRecv = ps.MaxRecv
+		}
+		s.trace.Phases[label] = cur
+	})
 }

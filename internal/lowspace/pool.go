@@ -97,6 +97,10 @@ func (s *solver) colorPool(pool []int32) (int, error) {
 		return 0, fmt.Errorf("lowspace: MIS cluster: %w", err)
 	}
 	misCluster := ws.misCluster
+	// The MIS rounds run between main-cluster rounds, so the solve's one
+	// recorder (attached after Reset detached any stale one) sees them in
+	// execution order under their own mis:* phase labels.
+	misCluster.Ledger().SetRecorder(s.rec)
 	for x := 0; x < rn; x++ {
 		if err := misCluster.AdjustResident(x, int64(red.Degree(int32(x))+2)); err != nil {
 			return 0, fmt.Errorf("lowspace: MIS resident: %w", err)
@@ -114,6 +118,8 @@ func (s *solver) colorPool(pool []int32) (int, error) {
 	misRounds := misCluster.Ledger().Rounds()
 	s.trace.MISPhases += st.Phases
 	s.trace.MISRounds += misRounds
+	s.trace.MISWords += misCluster.Ledger().WordsMoved()
+	s.mergePhases(misCluster.Ledger())
 	if pk := misCluster.PeakMachineSpace(); pk > s.trace.PeakMachineWords {
 		s.trace.PeakMachineWords = pk
 	}

@@ -1,0 +1,438 @@
+// Package promtext lints Prometheus text exposition (format 0.0.4). It is a
+// self-contained checker — no client_model dependency — used by tests and the
+// CI scrape-smoke step to keep /metrics output well-formed: every sample
+// family carries HELP and TYPE metadata, series are unique, histograms are
+// complete, and names follow the metric/label grammar.
+package promtext
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Problem is one lint finding, anchored to a 1-based input line.
+type Problem struct {
+	Line int
+	Msg  string
+}
+
+func (p Problem) String() string {
+	return fmt.Sprintf("line %d: %s", p.Line, p.Msg)
+}
+
+var validTypes = map[string]bool{
+	"counter": true, "gauge": true, "histogram": true, "summary": true, "untyped": true,
+}
+
+type familyMeta struct {
+	line    int
+	typ     string
+	hasHelp bool
+	hasType bool
+	samples int
+	// histogram bookkeeping, keyed by the non-le label signature
+	infBuckets map[string]float64
+	counts     map[string]float64
+	hasSum     map[string]bool
+	lastBucket map[string]float64 // cumulative monotonicity check
+}
+
+// Lint checks one exposition document and returns all findings (empty means
+// the document is clean). A read error is reported as a final Problem.
+func Lint(r io.Reader) []Problem {
+	var probs []Problem
+	addf := func(line int, format string, args ...any) {
+		probs = append(probs, Problem{Line: line, Msg: fmt.Sprintf(format, args...)})
+	}
+
+	families := make(map[string]*familyMeta)
+	order := []string{}
+	family := func(name string) *familyMeta {
+		fm := families[name]
+		if fm == nil {
+			fm = &familyMeta{
+				infBuckets: make(map[string]float64),
+				counts:     make(map[string]float64),
+				hasSum:     make(map[string]bool),
+				lastBucket: make(map[string]float64),
+			}
+			families[name] = fm
+			order = append(order, name)
+		}
+		return fm
+	}
+
+	seen := make(map[string]int) // canonical series -> first line
+	lastFamily := ""             // family of the previous sample line
+	closedFamilies := map[string]bool{}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, rest, ok := parseComment(line)
+			if !ok {
+				continue // free-form comment: legal, ignored
+			}
+			fm := family(name)
+			switch kind {
+			case "HELP":
+				if fm.hasHelp {
+					addf(lineNo, "duplicate HELP for %q", name)
+				}
+				fm.hasHelp = true
+				if strings.TrimSpace(rest) == "" {
+					addf(lineNo, "empty HELP text for %q", name)
+				}
+			case "TYPE":
+				if fm.hasType {
+					addf(lineNo, "duplicate TYPE for %q", name)
+				}
+				if fm.samples > 0 {
+					addf(lineNo, "TYPE for %q appears after its samples", name)
+				}
+				fm.hasType = true
+				fm.typ = strings.TrimSpace(rest)
+				if !validTypes[fm.typ] {
+					addf(lineNo, "invalid TYPE %q for %q", fm.typ, name)
+				}
+			}
+			continue
+		}
+
+		sample, perr := parseSample(line)
+		if perr != "" {
+			addf(lineNo, "%s", perr)
+			continue
+		}
+		base := baseName(sample.name, families)
+		fm := families[base]
+		if fm == nil {
+			addf(lineNo, "sample %q has no HELP/TYPE metadata", sample.name)
+			fm = family(base)
+		} else {
+			if !fm.hasHelp {
+				addf(lineNo, "sample family %q is missing HELP", base)
+				fm.hasHelp = true // report once
+			}
+			if !fm.hasType {
+				addf(lineNo, "sample family %q is missing TYPE", base)
+				fm.hasType = true
+			}
+		}
+		fm.samples++
+
+		if !validMetricName(sample.name) {
+			addf(lineNo, "invalid metric name %q", sample.name)
+		}
+		for _, l := range sample.labels {
+			if !validLabelName(l.name) {
+				addf(lineNo, "invalid label name %q on %q", l.name, sample.name)
+			}
+		}
+		if fm.typ == "counter" && !strings.HasSuffix(base, "_total") {
+			addf(lineNo, "counter family %q should end in _total", base)
+		}
+
+		// Families must be contiguous blocks of samples.
+		if base != lastFamily {
+			if closedFamilies[base] {
+				addf(lineNo, "samples for family %q are not contiguous", base)
+			}
+			if lastFamily != "" {
+				closedFamilies[lastFamily] = true
+			}
+			lastFamily = base
+		}
+
+		key := sample.name + canonicalLabels(sample.labels)
+		if first, dup := seen[key]; dup {
+			addf(lineNo, "duplicate series %q (first seen line %d)", key, first)
+		} else {
+			seen[key] = lineNo
+		}
+
+		if fm.typ == "histogram" {
+			lintHistogramSample(fm, base, sample, lineNo, addf)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		addf(lineNo+1, "read error: %v", err)
+	}
+
+	// Per-family closing checks.
+	for _, name := range order {
+		fm := families[name]
+		if fm.typ != "histogram" {
+			continue
+		}
+		for sig, count := range fm.counts {
+			inf, ok := fm.infBuckets[sig]
+			if !ok {
+				addf(0, "histogram %q{%s} has no le=\"+Inf\" bucket", name, strings.TrimPrefix(sig, ","))
+			} else if inf != count {
+				addf(0, "histogram %q{%s}: +Inf bucket %g != _count %g", name, strings.TrimPrefix(sig, ","), inf, count)
+			}
+			if !fm.hasSum[sig] {
+				addf(0, "histogram %q{%s} is missing _sum", name, strings.TrimPrefix(sig, ","))
+			}
+		}
+		for sig := range fm.infBuckets {
+			if _, ok := fm.counts[sig]; !ok {
+				addf(0, "histogram %q{%s} has buckets but no _count", name, strings.TrimPrefix(sig, ","))
+			}
+		}
+	}
+	return probs
+}
+
+func lintHistogramSample(fm *familyMeta, base string, s sampleLine, lineNo int, addf func(int, string, ...any)) {
+	switch {
+	case strings.HasSuffix(s.name, "_bucket"):
+		var le string
+		rest := make([]label, 0, len(s.labels))
+		for _, l := range s.labels {
+			if l.name == "le" {
+				le = l.value
+				continue
+			}
+			rest = append(rest, l)
+		}
+		if le == "" {
+			addf(lineNo, "histogram bucket %q has no le label", s.name)
+			return
+		}
+		sig := canonicalLabels(rest)
+		if le == "+Inf" {
+			fm.infBuckets[sig] = s.value
+		} else if _, err := strconv.ParseFloat(le, 64); err != nil {
+			addf(lineNo, "histogram bucket %q has unparsable le=%q", s.name, le)
+		}
+		if prev, ok := fm.lastBucket[sig]; ok && s.value < prev {
+			addf(lineNo, "histogram %q{%s}: bucket counts not cumulative (%g after %g)", base, strings.TrimPrefix(sig, ","), s.value, prev)
+		}
+		fm.lastBucket[sig] = s.value
+	case strings.HasSuffix(s.name, "_sum"):
+		fm.hasSum[canonicalLabels(s.labels)] = true
+	case strings.HasSuffix(s.name, "_count"):
+		fm.counts[canonicalLabels(s.labels)] = s.value
+	default:
+		addf(lineNo, "histogram family %q has bare sample %q (want _bucket/_sum/_count)", base, s.name)
+	}
+}
+
+// baseName maps a sample name to its metadata family: histogram and summary
+// child series (_bucket/_sum/_count, quantile) report under the parent name.
+func baseName(name string, families map[string]*familyMeta) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suffix); ok {
+			if fm := families[base]; fm != nil && (fm.typ == "histogram" || fm.typ == "summary") {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+type label struct {
+	name, value string
+}
+
+type sampleLine struct {
+	name   string
+	labels []label
+	value  float64
+}
+
+// parseComment splits "# HELP name text" / "# TYPE name type"; ok is false
+// for any other comment.
+func parseComment(line string) (kind, name, rest string, ok bool) {
+	body := strings.TrimPrefix(line, "#")
+	body = strings.TrimLeft(body, " \t")
+	var found bool
+	if kind, found = cutAnyPrefix(body, "HELP", "TYPE"); !found {
+		return "", "", "", false
+	}
+	body = strings.TrimLeft(body[len(kind):], " \t")
+	i := strings.IndexAny(body, " \t")
+	if i < 0 {
+		return kind, body, "", body != ""
+	}
+	return kind, body[:i], body[i+1:], true
+}
+
+func cutAnyPrefix(s string, prefixes ...string) (string, bool) {
+	for _, p := range prefixes {
+		if strings.HasPrefix(s, p) {
+			return p, true
+		}
+	}
+	return "", false
+}
+
+// parseSample parses one sample line; perr is a lint message on failure.
+func parseSample(line string) (sampleLine, string) {
+	var out sampleLine
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	if brace >= 0 {
+		out.name = rest[:brace]
+		var perr string
+		out.labels, rest, perr = parseLabels(rest[brace+1:])
+		if perr != "" {
+			return out, perr
+		}
+	} else {
+		i := strings.IndexAny(rest, " \t")
+		if i < 0 {
+			return out, fmt.Sprintf("sample line %q has no value", line)
+		}
+		out.name = rest[:i]
+		rest = rest[i:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return out, fmt.Sprintf("sample %q: want value [timestamp], got %q", out.name, strings.TrimSpace(rest))
+	}
+	v, err := parseValue(fields[0])
+	if err != nil {
+		return out, fmt.Sprintf("sample %q has unparsable value %q", out.name, fields[0])
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return out, fmt.Sprintf("sample %q has unparsable timestamp %q", out.name, fields[1])
+		}
+	}
+	out.value = v
+	return out, ""
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// parseLabels consumes `name="value",...}` and returns the remainder after
+// the closing brace.
+func parseLabels(s string) ([]label, string, string) {
+	var labels []label
+	for {
+		s = strings.TrimLeft(s, " \t")
+		if strings.HasPrefix(s, "}") {
+			return labels, s[1:], ""
+		}
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, "", fmt.Sprintf("label list %q: missing '='", s)
+		}
+		name := strings.TrimSpace(s[:eq])
+		s = s[eq+1:]
+		if !strings.HasPrefix(s, `"`) {
+			return nil, "", fmt.Sprintf("label %q: value is not quoted", name)
+		}
+		s = s[1:]
+		var val strings.Builder
+		i := 0
+		for {
+			if i >= len(s) {
+				return nil, "", fmt.Sprintf("label %q: unterminated value", name)
+			}
+			c := s[i]
+			if c == '\\' {
+				if i+1 >= len(s) {
+					return nil, "", fmt.Sprintf("label %q: dangling escape", name)
+				}
+				switch s[i+1] {
+				case '\\', '"':
+					val.WriteByte(s[i+1])
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, "", fmt.Sprintf("label %q: bad escape \\%c", name, s[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		labels = append(labels, label{name: name, value: val.String()})
+		s = s[i+1:]
+		s = strings.TrimLeft(s, " \t")
+		if strings.HasPrefix(s, ",") {
+			s = s[1:]
+			continue
+		}
+		if strings.HasPrefix(s, "}") {
+			return labels, s[1:], ""
+		}
+		return nil, "", fmt.Sprintf("label list: expected ',' or '}', got %q", s)
+	}
+}
+
+// canonicalLabels renders a sorted label signature so series identity is
+// independent of label order.
+func canonicalLabels(labels []label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	sorted := append([]label(nil), labels...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].name < sorted[j].name })
+	var b strings.Builder
+	for _, l := range sorted {
+		b.WriteByte(',')
+		b.WriteString(l.name)
+		b.WriteByte('=')
+		b.WriteString(strconv.Quote(l.value))
+	}
+	return b.String()
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || strings.HasPrefix(s, "__") {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

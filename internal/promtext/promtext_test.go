@@ -1,0 +1,167 @@
+package promtext
+
+import (
+	"strings"
+	"testing"
+)
+
+func lint(t *testing.T, doc string) []Problem {
+	t.Helper()
+	return Lint(strings.NewReader(doc))
+}
+
+func wantClean(t *testing.T, doc string) {
+	t.Helper()
+	if probs := lint(t, doc); len(probs) != 0 {
+		t.Fatalf("expected clean document, got %v", probs)
+	}
+}
+
+func wantProblem(t *testing.T, doc, substr string) {
+	t.Helper()
+	probs := lint(t, doc)
+	for _, p := range probs {
+		if strings.Contains(p.Msg, substr) {
+			return
+		}
+	}
+	t.Fatalf("expected a problem containing %q, got %v", substr, probs)
+}
+
+func TestCleanDocument(t *testing.T) {
+	wantClean(t, `# HELP app_up 1 while serving.
+# TYPE app_up gauge
+app_up 1
+# HELP app_jobs_total Jobs done.
+# TYPE app_jobs_total counter
+app_jobs_total{model="cclique"} 12
+app_jobs_total{model="mpc"} 3
+`)
+}
+
+func TestMissingHelpAndType(t *testing.T) {
+	wantProblem(t, "app_up 1\n", "no HELP/TYPE")
+	wantProblem(t, "# TYPE app_up gauge\napp_up 1\n", "missing HELP")
+	wantProblem(t, "# HELP app_up x\napp_up 1\n", "missing TYPE")
+}
+
+func TestInvalidType(t *testing.T) {
+	wantProblem(t, "# HELP a_x x\n# TYPE a_x meter\na_x 1\n", "invalid TYPE")
+}
+
+func TestDuplicateSeries(t *testing.T) {
+	wantProblem(t, `# HELP a_total x
+# TYPE a_total counter
+a_total{m="1"} 1
+a_total{m="1"} 2
+`, "duplicate series")
+	// Same labels in different order are still the same series.
+	wantProblem(t, `# HELP a_total x
+# TYPE a_total counter
+a_total{m="1",p="q"} 1
+a_total{p="q",m="1"} 2
+`, "duplicate series")
+}
+
+func TestDistinctLabelsNotDuplicate(t *testing.T) {
+	wantClean(t, `# HELP a_total x
+# TYPE a_total counter
+a_total{m="1"} 1
+a_total{m="2"} 2
+`)
+}
+
+func TestCounterNaming(t *testing.T) {
+	wantProblem(t, "# HELP a_jobs x\n# TYPE a_jobs counter\na_jobs 1\n", "should end in _total")
+}
+
+func TestNonContiguousFamily(t *testing.T) {
+	wantProblem(t, `# HELP a_x x
+# TYPE a_x gauge
+# HELP b_x x
+# TYPE b_x gauge
+a_x 1
+b_x 1
+a_x{m="2"} 1
+`, "not contiguous")
+}
+
+func TestHistogramComplete(t *testing.T) {
+	wantClean(t, `# HELP h_seconds x
+# TYPE h_seconds histogram
+h_seconds_bucket{le="0.1"} 2
+h_seconds_bucket{le="+Inf"} 5
+h_seconds_sum 0.7
+h_seconds_count 5
+`)
+}
+
+func TestHistogramMissingInf(t *testing.T) {
+	wantProblem(t, `# HELP h_seconds x
+# TYPE h_seconds histogram
+h_seconds_bucket{le="0.1"} 2
+h_seconds_sum 0.7
+h_seconds_count 5
+`, "+Inf")
+}
+
+func TestHistogramCountMismatch(t *testing.T) {
+	wantProblem(t, `# HELP h_seconds x
+# TYPE h_seconds histogram
+h_seconds_bucket{le="+Inf"} 4
+h_seconds_sum 0.7
+h_seconds_count 5
+`, "!= _count")
+}
+
+func TestHistogramNotCumulative(t *testing.T) {
+	wantProblem(t, `# HELP h_seconds x
+# TYPE h_seconds histogram
+h_seconds_bucket{le="0.1"} 5
+h_seconds_bucket{le="0.5"} 3
+h_seconds_bucket{le="+Inf"} 5
+h_seconds_sum 0.7
+h_seconds_count 5
+`, "not cumulative")
+}
+
+func TestHistogramPerLabelSet(t *testing.T) {
+	wantClean(t, `# HELP h_seconds x
+# TYPE h_seconds histogram
+h_seconds_bucket{model="a",le="0.1"} 1
+h_seconds_bucket{model="a",le="+Inf"} 2
+h_seconds_sum{model="a"} 0.2
+h_seconds_count{model="a"} 2
+h_seconds_bucket{model="b",le="0.1"} 0
+h_seconds_bucket{model="b",le="+Inf"} 1
+h_seconds_sum{model="b"} 0.9
+h_seconds_count{model="b"} 1
+`)
+}
+
+func TestInvalidNames(t *testing.T) {
+	wantProblem(t, "# HELP 0bad x\n# TYPE 0bad gauge\n0bad 1\n", "invalid metric name")
+	wantProblem(t, `# HELP a_x x
+# TYPE a_x gauge
+a_x{0bad="1"} 1
+`, "invalid label name")
+}
+
+func TestUnparsableValue(t *testing.T) {
+	wantProblem(t, "# HELP a_x x\n# TYPE a_x gauge\na_x one\n", "unparsable value")
+}
+
+func TestEscapedLabelValues(t *testing.T) {
+	wantClean(t, `# HELP a_x x
+# TYPE a_x gauge
+a_x{msg="say \"hi\"\nline2\\"} 1
+`)
+}
+
+func TestMetadataWithoutSamplesAllowed(t *testing.T) {
+	wantClean(t, "# HELP a_x declared but never observed\n# TYPE a_x gauge\n")
+}
+
+func TestFreeformCommentIgnored(t *testing.T) {
+	wantClean(t, "# scraped at t0\n# HELP a_x x\n# TYPE a_x gauge\na_x 1\n")
+}

@@ -78,6 +78,10 @@ type Result struct {
 	N, M int
 	// Cached reports whether the result was served from the cache.
 	Cached bool
+	// TraceID addresses the solve's telemetry trace in the server's bounded
+	// trace store (Server.Trace). Set on fresh solves and their coalesced
+	// flight waiters; empty for cache hits and when tracing is disabled.
+	TraceID string
 	// Elapsed is this job's wall time inside the worker (solve or lookup).
 	Elapsed time.Duration
 }

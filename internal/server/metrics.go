@@ -28,6 +28,59 @@ func (w *latWindow) observe(lat time.Duration) {
 	w.next = (w.next + 1) % latencyWindow
 }
 
+// latencyBucketBounds are the Prometheus histogram upper bounds (seconds)
+// for successful-job latencies; an implicit +Inf bucket follows.
+var latencyBucketBounds = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// latHist is a fixed-bucket latency histogram (cumulative form is derived
+// at exposition time). Unlike the sliding window, it covers the full
+// process lifetime, which is what Prometheus rate() queries need.
+type latHist struct {
+	buckets []uint64 // per-bucket counts; last = overflow (+Inf)
+	sum     float64
+	count   uint64
+}
+
+func (h *latHist) observe(lat time.Duration) {
+	if h.buckets == nil {
+		h.buckets = make([]uint64, len(latencyBucketBounds)+1)
+	}
+	sec := lat.Seconds()
+	i := sort.SearchFloat64s(latencyBucketBounds, sec)
+	if i < len(latencyBucketBounds) && latencyBucketBounds[i] < sec {
+		i++ // SearchFloat64s returns the first >= slot; le-buckets are inclusive
+	}
+	h.buckets[i]++
+	h.sum += sec
+	h.count++
+}
+
+// LatencyHist is the exported histogram view: per-bucket (non-cumulative)
+// counts aligned with LatencyBucketBounds plus an overflow bucket. It feeds
+// the Prometheus exposition and is omitted from the JSON snapshot.
+type LatencyHist struct {
+	Buckets []uint64
+	Sum     float64
+	Count   uint64
+}
+
+// LatencyBucketBounds returns the histogram's upper bounds in seconds.
+func LatencyBucketBounds() []float64 {
+	return append([]float64(nil), latencyBucketBounds...)
+}
+
+func (h *latHist) snapshot() LatencyHist {
+	out := LatencyHist{Sum: h.sum, Count: h.count}
+	if h.buckets != nil {
+		out.Buckets = append([]uint64(nil), h.buckets...)
+	} else {
+		out.Buckets = make([]uint64, len(latencyBucketBounds)+1)
+	}
+	return out
+}
+
 func (w *latWindow) summary() LatencySummary {
 	sorted := append([]time.Duration(nil), w.lat...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
@@ -51,8 +104,10 @@ type modelStats struct {
 	// across all executed (non-cached) jobs of this model.
 	RoundsTotal uint64
 	WordsTotal  uint64
-	// RoundsByPhase rolls up ledger phase attribution across jobs.
+	// RoundsByPhase / WordsByPhase roll up ledger phase attribution across
+	// jobs (rounds and words moved per phase label).
 	RoundsByPhase map[string]uint64
+	WordsByPhase  map[string]uint64
 	// Verified / VerifyFailed count verify-on-solve oracle outcomes for
 	// fresh solves (zero unless Config.VerifyOnSolve is set).
 	Verified     uint64
@@ -69,6 +124,9 @@ type modelStats struct {
 	// representative of serving) must not skew the success percentiles.
 	okLat  latWindow
 	errLat latWindow
+	// okHist is the lifetime success-latency histogram behind the
+	// Prometheus exposition.
+	okHist latHist
 }
 
 // LatencySummary holds percentile estimates over the recent-sample window.
@@ -90,6 +148,7 @@ type ModelSnapshot struct {
 	RoundsTotal   uint64            `json:"rounds_total"`
 	WordsTotal    uint64            `json:"words_total"`
 	RoundsByPhase map[string]uint64 `json:"rounds_by_phase,omitempty"`
+	WordsByPhase  map[string]uint64 `json:"words_by_phase,omitempty"`
 	// Verified / VerifyFailures report the verify-on-solve oracle: fresh
 	// solves re-checked (and rejected) by internal/verify. Both stay zero
 	// when the mode is off.
@@ -104,21 +163,27 @@ type ModelSnapshot struct {
 	SessionReuses  uint64         `json:"session_reuses"`
 	Latency        LatencySummary `json:"latency"`
 	ErrorLatency   LatencySummary `json:"error_latency"`
+	// LatencyHist is the lifetime success-latency histogram; it backs the
+	// Prometheus exposition and stays out of the JSON body (the sliding
+	// window percentiles above are the human-facing view).
+	LatencyHist LatencyHist `json:"-"`
 }
 
 // Snapshot is one consistent view of the whole service's metrics.
 type Snapshot struct {
-	Uptime     time.Duration            `json:"uptime_ns"`
-	JobsTotal  uint64                   `json:"jobs_total"`
-	Errors     uint64                   `json:"errors_total"`
-	Rejected   uint64                   `json:"rejected_total"` // queue-full rejections
-	InFlight   int64                    `json:"in_flight"`
-	QueueDepth int                      `json:"queue_depth"`
-	QueueCap   int                      `json:"queue_capacity"`
-	CacheSize  int                      `json:"cache_size"`
-	CacheHits  uint64                   `json:"cache_hits"`
-	CacheMiss  uint64                   `json:"cache_misses"`
-	PerModel   map[string]ModelSnapshot `json:"per_model"`
+	Uptime         time.Duration            `json:"uptime_ns"`
+	JobsTotal      uint64                   `json:"jobs_total"`
+	Errors         uint64                   `json:"errors_total"`
+	Rejected       uint64                   `json:"rejected_total"` // queue-full rejections
+	InFlight       int64                    `json:"in_flight"`
+	QueueDepth     int                      `json:"queue_depth"`
+	QueueCap       int                      `json:"queue_capacity"`
+	Workers        int                      `json:"workers"`
+	CacheSize      int                      `json:"cache_size"`
+	CacheHits      uint64                   `json:"cache_hits"`
+	CacheMiss      uint64                   `json:"cache_misses"`
+	TracesRetained int                      `json:"traces_retained"`
+	PerModel       map[string]ModelSnapshot `json:"per_model"`
 }
 
 // Metrics aggregates service counters; all methods are safe for concurrent
@@ -137,7 +202,10 @@ func newMetrics(now time.Time) *Metrics {
 func (m *Metrics) model(model ccolor.Model) *modelStats {
 	s := m.models[model]
 	if s == nil {
-		s = &modelStats{RoundsByPhase: make(map[string]uint64)}
+		s = &modelStats{
+			RoundsByPhase: make(map[string]uint64),
+			WordsByPhase:  make(map[string]uint64),
+		}
 		m.models[model] = s
 	}
 	return s
@@ -188,14 +256,16 @@ func (m *Metrics) RecordJob(model ccolor.Model, res *Result, err error, lat time
 		return
 	}
 	s.okLat.observe(lat)
+	s.okHist.observe(lat)
 	if res.Cached {
 		s.CacheHits++
 		return
 	}
 	s.RoundsTotal += uint64(res.Report.Rounds)
 	s.WordsTotal += uint64(res.Report.WordsMoved)
-	for phase, rounds := range res.Report.RoundsByPhase {
-		s.RoundsByPhase[phase] += uint64(rounds)
+	for phase, ps := range res.Report.PhaseProfile {
+		s.RoundsByPhase[phase] += uint64(ps.Rounds)
+		s.WordsByPhase[phase] += uint64(ps.Words)
 	}
 }
 
@@ -238,6 +308,7 @@ func (m *Metrics) snapshot(now time.Time) Snapshot {
 			SessionReuses:  s.SessionReuses,
 			Latency:        s.okLat.summary(),
 			ErrorLatency:   s.errLat.summary(),
+			LatencyHist:    s.okHist.snapshot(),
 		}
 		if s.Jobs > 0 {
 			ms.CacheHitRate = float64(s.CacheHits) / float64(s.Jobs)
@@ -246,6 +317,12 @@ func (m *Metrics) snapshot(now time.Time) Snapshot {
 			ms.RoundsByPhase = make(map[string]uint64, len(s.RoundsByPhase))
 			for k, v := range s.RoundsByPhase {
 				ms.RoundsByPhase[k] = v
+			}
+		}
+		if len(s.WordsByPhase) > 0 {
+			ms.WordsByPhase = make(map[string]uint64, len(s.WordsByPhase))
+			for k, v := range s.WordsByPhase {
+				ms.WordsByPhase[k] = v
 			}
 		}
 		out.PerModel[string(model)] = ms

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"ccolor"
+	"ccolor/internal/telemetry"
 	"ccolor/internal/verify"
 )
 
@@ -53,6 +54,10 @@ type Config struct {
 	// RetainWords additionally bounds retained async results by total
 	// coloring words; 0 means 1<<24.
 	RetainWords int64
+	// TraceRetention bounds how many per-job telemetry traces stay
+	// queryable (GET /v1/jobs/{id}/trace); 0 means 512, negative disables
+	// per-job tracing entirely (fresh solves then run with a nil recorder).
+	TraceRetention int
 	// VerifyOnSolve re-checks every fresh (non-cached) solve through the
 	// independent internal/verify oracle — properness, palette membership,
 	// and the Δ+1/deg+1 bound the instance implies — before the result is
@@ -82,6 +87,9 @@ func (c Config) withDefaults() Config {
 	if c.RetainWords <= 0 {
 		c.RetainWords = 1 << 24
 	}
+	if c.TraceRetention == 0 {
+		c.TraceRetention = 512
+	}
 	return c
 }
 
@@ -92,6 +100,7 @@ type Server struct {
 	queue   chan *Job
 	cache   *Cache
 	metrics *Metrics
+	traces  *traceStore // nil when per-job tracing is disabled
 
 	mu       sync.Mutex // guards draining + queue close
 	draining bool
@@ -123,6 +132,9 @@ func New(cfg Config) *Server {
 		metrics: newMetrics(time.Now()),
 		jobs:    make(map[string]*Job),
 		flights: make(map[cacheKey]*flight),
+	}
+	if cfg.TraceRetention > 0 {
+		s.traces = newTraceStore(cfg.TraceRetention)
 	}
 	s.wg.Add(cfg.Workers)
 	for w := 0; w < cfg.Workers; w++ {
@@ -206,14 +218,38 @@ func (s *Server) QueueStats() (depth, capacity int) {
 	return len(s.queue), s.cfg.QueueDepth
 }
 
+// Workers returns the worker-pool width (after defaulting).
+func (s *Server) Workers() int { return s.cfg.Workers }
+
+// Draining reports whether the server has stopped admitting jobs.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Trace looks up a retained per-job telemetry trace by trace ID (the
+// Result.TraceID a fresh solve carries); ok is false after eviction or when
+// tracing is disabled.
+func (s *Server) Trace(id string) (*telemetry.Trace, bool) {
+	if s.traces == nil {
+		return nil, false
+	}
+	return s.traces.get(id)
+}
+
 // Metrics returns a consistent snapshot of service counters.
 func (s *Server) Metrics() Snapshot {
 	snap := s.metrics.snapshot(time.Now())
 	snap.InFlight = s.inFlight.Load()
 	snap.QueueDepth = len(s.queue)
 	snap.QueueCap = s.cfg.QueueDepth
+	snap.Workers = s.cfg.Workers
 	snap.CacheSize = s.cache.Len()
 	snap.CacheHits, snap.CacheMiss = s.cache.Stats()
+	if s.traces != nil {
+		snap.TracesRetained = s.traces.size()
+	}
 	return snap
 }
 
@@ -288,7 +324,7 @@ func sessionSlot(model ccolor.Model) int {
 // session on the model's first job and counting every later solve as a
 // session reuse. A failed solve retires the session (arenas released, slot
 // cleared) so the next job starts from clean state.
-func (ws *workerSessions) solve(m *Metrics, spec *Spec) (*ccolor.Report, error) {
+func (ws *workerSessions) solve(m *Metrics, spec *Spec, trace bool) (*ccolor.Report, error) {
 	model := spec.model()
 	slot := sessionSlot(model)
 	sess := ws.byModel[slot]
@@ -303,7 +339,9 @@ func (ws *workerSessions) solve(m *Metrics, spec *Spec) (*ccolor.Report, error) 
 	} else {
 		m.RecordSessionReuse(model)
 	}
-	rep, err := sess.Solve(spec.Inst, spec.options())
+	opts := spec.options()
+	opts.Trace = trace
+	rep, err := sess.Solve(spec.Inst, opts)
 	if err != nil {
 		sess.Release()
 		ws.byModel[slot] = nil
@@ -357,7 +395,7 @@ func (s *Server) run(job *Job, sessions *workerSessions) bool {
 	s.flights[key] = f
 	s.flightMu.Unlock()
 
-	rep, err := sessions.solve(s.metrics, &job.Spec)
+	rep, err := sessions.solve(s.metrics, &job.Spec, s.traces != nil)
 	if err == nil && s.cfg.VerifyOnSolve {
 		// The instance is still attached here (it is only released when the
 		// job finishes), so the oracle can re-derive every claim from it.
@@ -367,6 +405,18 @@ func (s *Server) run(job *Job, sessions *workerSessions) bool {
 			s.metrics.RecordVerify(job.Spec.model(), false)
 		} else {
 			s.metrics.RecordVerify(job.Spec.model(), true)
+		}
+	}
+	// Detach the telemetry trace before the Report is cached or shared:
+	// cached Reports are run-independent by contract, while the trace is
+	// run-scoped. It lives on in the bounded trace store under a trace ID
+	// carried by this run's Results (the leader's and its flight waiters').
+	var traceID string
+	if err == nil && rep.Telemetry != nil {
+		tel := rep.Telemetry
+		rep.Telemetry = nil
+		if s.traces != nil {
+			traceID = s.traces.put(tel)
 		}
 	}
 	if err == nil {
@@ -387,9 +437,9 @@ func (s *Server) run(job *Job, sessions *workerSessions) bool {
 		}
 		return true
 	}
-	s.complete(job, &Result{Report: rep, Key: key.Hex()}, nil, start)
+	s.complete(job, &Result{Report: rep, Key: key.Hex(), TraceID: traceID}, nil, start)
 	for _, p := range waiters {
-		s.complete(p.job, &Result{Report: rep, Key: key.Hex(), Cached: true}, nil, p.start)
+		s.complete(p.job, &Result{Report: rep, Key: key.Hex(), Cached: true, TraceID: traceID}, nil, p.start)
 		s.inFlight.Add(-1)
 	}
 	return true

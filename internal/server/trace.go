@@ -1,0 +1,56 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+
+	"ccolor/internal/telemetry"
+)
+
+// traceStore retains per-job telemetry traces behind server-issued IDs with
+// bounded FIFO eviction: the newest Config.TraceRetention traces stay
+// queryable via GET /v1/jobs/{id}/trace, older ones age out. Traces are
+// deliberately stored outside Job results and the result cache — a cached
+// Report is shared between jobs and must stay free of run-scoped state.
+type traceStore struct {
+	mu    sync.Mutex
+	max   int
+	seq   uint64
+	byID  map[string]*telemetry.Trace
+	order []string // insertion order, oldest first
+}
+
+func newTraceStore(max int) *traceStore {
+	return &traceStore{max: max, byID: make(map[string]*telemetry.Trace, max)}
+}
+
+// put stores one trace and returns its ID, evicting the oldest beyond the
+// retention bound.
+func (ts *traceStore) put(tr *telemetry.Trace) string {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	ts.seq++
+	id := fmt.Sprintf("trc-%08d", ts.seq)
+	ts.byID[id] = tr
+	ts.order = append(ts.order, id)
+	for len(ts.order) > ts.max {
+		delete(ts.byID, ts.order[0])
+		ts.order = ts.order[1:]
+	}
+	return id
+}
+
+// get looks a trace up by ID; ok is false once it has been evicted.
+func (ts *traceStore) get(id string) (*telemetry.Trace, bool) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	tr, ok := ts.byID[id]
+	return tr, ok
+}
+
+// size returns the number of retained traces.
+func (ts *traceStore) size() int {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return len(ts.order)
+}

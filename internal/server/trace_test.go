@@ -1,0 +1,171 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"ccolor"
+	"ccolor/internal/promtext"
+	"ccolor/internal/telemetry"
+)
+
+func TestTraceStoreBoundedFIFO(t *testing.T) {
+	ts := newTraceStore(3)
+	var ids []string
+	for i := 0; i < 5; i++ {
+		ids = append(ids, ts.put(&telemetry.Trace{Model: fmt.Sprintf("m%d", i)}))
+	}
+	if ts.size() != 3 {
+		t.Fatalf("size = %d, want 3", ts.size())
+	}
+	for _, id := range ids[:2] {
+		if _, ok := ts.get(id); ok {
+			t.Fatalf("trace %s should have been evicted", id)
+		}
+	}
+	for i, id := range ids[2:] {
+		tr, ok := ts.get(id)
+		if !ok {
+			t.Fatalf("trace %s missing", id)
+		}
+		if want := fmt.Sprintf("m%d", i+2); tr.Model != want {
+			t.Fatalf("trace %s has model %q, want %q", id, tr.Model, want)
+		}
+	}
+	// IDs are unique across eviction.
+	if ids[0] == ids[4] {
+		t.Fatal("trace IDs repeated")
+	}
+}
+
+func newTracingServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	srv := New(cfg)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Drain(ctx); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+	})
+	return srv
+}
+
+func TestFreshSolveCarriesTraceID(t *testing.T) {
+	srv := newTracingServer(t, Config{Workers: 2, QueueDepth: 8})
+	spec := gnpSpec(t, ccolor.ModelCClique, 48, 0.1, 7)
+
+	job, err := srv.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := job.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TraceID == "" {
+		t.Fatal("fresh solve has no TraceID")
+	}
+	tr, ok := srv.Trace(res.TraceID)
+	if !ok {
+		t.Fatalf("trace %s not retained", res.TraceID)
+	}
+	if tr.Model != string(ccolor.ModelCClique) {
+		t.Fatalf("trace model %q", tr.Model)
+	}
+	if tr.Rounds != res.Report.Rounds || tr.Words != res.Report.WordsMoved {
+		t.Fatalf("trace totals rounds=%d words=%d, report %d/%d",
+			tr.Rounds, tr.Words, res.Report.Rounds, res.Report.WordsMoved)
+	}
+	if res.Report.Telemetry != nil {
+		t.Fatal("trace left attached to the (cacheable) Report")
+	}
+
+	// A cache hit serves the shared Report but no trace — the trace
+	// described the original run, not this job.
+	spec2 := gnpSpec(t, ccolor.ModelCClique, 48, 0.1, 7)
+	job2, err := srv.Submit(spec2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := job2.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Cached {
+		t.Fatal("second identical job missed the cache")
+	}
+	if res2.TraceID != "" {
+		t.Fatalf("cache hit carries TraceID %q", res2.TraceID)
+	}
+}
+
+func TestTracingDisabledByNegativeRetention(t *testing.T) {
+	srv := newTracingServer(t, Config{Workers: 1, QueueDepth: 8, TraceRetention: -1})
+	job, err := srv.Submit(gnpSpec(t, ccolor.ModelCClique, 48, 0.1, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := job.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TraceID != "" {
+		t.Fatalf("tracing disabled but TraceID %q set", res.TraceID)
+	}
+	if _, ok := srv.Trace("trc-00000001"); ok {
+		t.Fatal("trace lookup succeeded with tracing disabled")
+	}
+}
+
+func TestPrometheusExpositionLintsClean(t *testing.T) {
+	srv := newTracingServer(t, Config{Workers: 2, QueueDepth: 8})
+	// Exercise every per-model family: fresh solves on all three models plus
+	// one cache hit.
+	for _, model := range []ccolor.Model{ccolor.ModelCClique, ccolor.ModelMPC, ccolor.ModelLowSpace} {
+		job, err := srv.Submit(gnpSpec(t, model, 48, 0.1, 7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := job.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	job, err := srv.Submit(gnpSpec(t, ccolor.ModelCClique, 48, 0.1, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := job.Wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	WritePrometheus(&buf, srv.Metrics())
+	if probs := promtext.Lint(bytes.NewReader(buf.Bytes())); len(probs) != 0 {
+		t.Fatalf("exposition lint problems: %v\n--- document ---\n%s", probs, buf.String())
+	}
+	for _, want := range []string{
+		"ccserve_jobs_total{model=\"cclique\"}",
+		"ccserve_phase_rounds_total{model=\"cclique\",phase=",
+		"ccserve_phase_words_total{model=\"lowspace\",phase=",
+		"ccserve_job_latency_seconds_bucket{model=\"mpc\",le=\"+Inf\"}",
+		"ccserve_cache_lookups_total{result=\"hit\"} 1",
+		"ccserve_traces_retained 3",
+	} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	var health bytes.Buffer
+	WriteHealthPrometheus(&health, srv.Metrics(), false)
+	if probs := promtext.Lint(bytes.NewReader(health.Bytes())); len(probs) != 0 {
+		t.Fatalf("healthz exposition lint problems: %v\n%s", probs, health.String())
+	}
+	if !bytes.Contains(health.Bytes(), []byte("ccserve_up 1")) {
+		t.Errorf("healthz exposition missing ccserve_up:\n%s", health.String())
+	}
+}

@@ -1,0 +1,247 @@
+// Package telemetry turns the fabric.Ledger's phase labels into structured
+// per-solve trace spans: contiguous runs of rounds under one label, each
+// carrying wall-clock time, round count, words moved, peak per-round loads,
+// and the recursion depth that produced them. A Recorder attaches to a
+// ledger for the duration of one solve; the resulting Trace is immutable
+// and travels with the Report (and, in the serving layer, behind a per-job
+// trace ID).
+//
+// The zero-cost contract: every Recorder method is safe on a nil receiver,
+// and the ledger holds a concrete *Recorder pointer — when tracing is off
+// the hot path pays one nil check per round, no interface dispatch, no
+// allocation.
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Span is one contiguous run of rounds under a single phase label.
+type Span struct {
+	// Phase is the ledger label ("partition:select", "mis:announce", ...);
+	// empty for rounds executed before any label was set.
+	Phase string `json:"phase"`
+	// Depth is the deepest recursion level observed during the span.
+	Depth int `json:"depth"`
+	// Start is the offset from the trace start; Duration the span length.
+	Start    time.Duration `json:"start_ns"`
+	Duration time.Duration `json:"duration_ns"`
+	// Rounds / Words are the simulator rounds executed and words moved
+	// while the span was open.
+	Rounds int   `json:"rounds"`
+	Words  int64 `json:"words"`
+	// MaxSend / MaxRecv are the peak per-worker single-round loads.
+	MaxSend int64 `json:"max_send"`
+	MaxRecv int64 `json:"max_recv"`
+}
+
+// Trace is one solve's completed span sequence plus its totals. Totals are
+// sums over the spans, so they equal the run's ledger counters by
+// construction (every AddRound is observed by exactly one span).
+type Trace struct {
+	Model  string        `json:"model"`
+	Total  time.Duration `json:"total_ns"`
+	Rounds int           `json:"rounds"`
+	Words  int64         `json:"words"`
+	Spans  []Span        `json:"spans"`
+}
+
+// Recorder accumulates spans for one solve. It is single-threaded (solver
+// sessions are), and all methods are nil-receiver safe so call sites need
+// no guards of their own.
+type Recorder struct {
+	start time.Time
+	spans []Span
+	depth int
+	done  bool
+}
+
+// NewRecorder starts a trace: the clock starts now, with an open unlabeled
+// span so rounds executed before the first SetPhase are still attributed.
+func NewRecorder() *Recorder {
+	r := &Recorder{start: time.Now()}
+	r.spans = append(r.spans, Span{})
+	return r
+}
+
+// open returns the currently open span (always the last one).
+func (r *Recorder) open() *Span { return &r.spans[len(r.spans)-1] }
+
+// Transition moves the recorder to a new phase label. A span that never
+// observed a round is relabeled in place rather than closed, so phases that
+// are set but do no communication leave no empty spans behind.
+func (r *Recorder) Transition(phase string) {
+	if r == nil || r.done {
+		return
+	}
+	cur := r.open()
+	if cur.Phase == phase {
+		return
+	}
+	if cur.Rounds == 0 {
+		cur.Phase = phase
+		return
+	}
+	now := time.Since(r.start)
+	cur.Duration = now - cur.Start
+	r.spans = append(r.spans, Span{Phase: phase, Start: now, Depth: r.depth})
+}
+
+// SetDepth tags subsequent rounds with a recursion depth; spans keep the
+// maximum depth they observed.
+func (r *Recorder) SetDepth(d int) {
+	if r == nil || r.done {
+		return
+	}
+	r.depth = d
+}
+
+// Observe records one executed round with its traffic profile.
+func (r *Recorder) Observe(words, maxSend, maxRecv int64) {
+	if r == nil || r.done {
+		return
+	}
+	cur := r.open()
+	cur.Rounds++
+	cur.Words += words
+	if maxSend > cur.MaxSend {
+		cur.MaxSend = maxSend
+	}
+	if maxRecv > cur.MaxRecv {
+		cur.MaxRecv = maxRecv
+	}
+	if r.depth > cur.Depth {
+		cur.Depth = r.depth
+	}
+}
+
+// Finish closes the trace and returns it. The recorder goes inert: any
+// later Transition/Observe is a no-op, so a stale attachment cannot corrupt
+// a published Trace.
+func (r *Recorder) Finish(model string) *Trace {
+	if r == nil || r.done {
+		return nil
+	}
+	r.done = true
+	now := time.Since(r.start)
+	cur := r.open()
+	cur.Duration = now - cur.Start
+	spans := r.spans
+	if cur.Rounds == 0 {
+		spans = spans[:len(spans)-1] // drop a trailing empty span
+	}
+	t := &Trace{Model: model, Total: now, Spans: spans}
+	for i := range spans {
+		t.Rounds += spans[i].Rounds
+		t.Words += spans[i].Words
+	}
+	return t
+}
+
+// PhaseSummary merges every span sharing one phase label.
+type PhaseSummary struct {
+	Phase    string        `json:"phase"`
+	Spans    int           `json:"spans"`
+	Rounds   int           `json:"rounds"`
+	Words    int64         `json:"words"`
+	MaxSend  int64         `json:"max_send"`
+	MaxRecv  int64         `json:"max_recv"`
+	Duration time.Duration `json:"duration_ns"`
+	MaxDepth int           `json:"max_depth"`
+}
+
+// ByPhase returns the trace's spans merged by label, sorted by descending
+// duration then label.
+func (t *Trace) ByPhase() []PhaseSummary {
+	agg := NewAggregate()
+	agg.Add(t)
+	return agg.Summaries()
+}
+
+// Aggregate merges traces (and their spans) across runs — the shared
+// accumulator behind ccbench -trace and cctrace's multi-model view.
+type Aggregate struct {
+	byPhase map[string]*PhaseSummary
+	Total   time.Duration
+	Rounds  int
+	Words   int64
+	Traces  int
+}
+
+// NewAggregate returns an empty accumulator.
+func NewAggregate() *Aggregate {
+	return &Aggregate{byPhase: make(map[string]*PhaseSummary)}
+}
+
+// Add folds one trace in; nil traces are ignored.
+func (a *Aggregate) Add(t *Trace) {
+	if t == nil {
+		return
+	}
+	a.Traces++
+	a.Total += t.Total
+	a.Rounds += t.Rounds
+	a.Words += t.Words
+	for i := range t.Spans {
+		sp := &t.Spans[i]
+		ps := a.byPhase[sp.Phase]
+		if ps == nil {
+			ps = &PhaseSummary{Phase: sp.Phase}
+			a.byPhase[sp.Phase] = ps
+		}
+		ps.Spans++
+		ps.Rounds += sp.Rounds
+		ps.Words += sp.Words
+		ps.Duration += sp.Duration
+		if sp.MaxSend > ps.MaxSend {
+			ps.MaxSend = sp.MaxSend
+		}
+		if sp.MaxRecv > ps.MaxRecv {
+			ps.MaxRecv = sp.MaxRecv
+		}
+		if sp.Depth > ps.MaxDepth {
+			ps.MaxDepth = sp.Depth
+		}
+	}
+}
+
+// Summaries returns the merged per-phase rows, longest first (ties broken
+// by label for deterministic output).
+func (a *Aggregate) Summaries() []PhaseSummary {
+	out := make([]PhaseSummary, 0, len(a.byPhase))
+	for _, ps := range a.byPhase {
+		out = append(out, *ps)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Duration != out[j].Duration {
+			return out[i].Duration > out[j].Duration
+		}
+		return out[i].Phase < out[j].Phase
+	})
+	return out
+}
+
+// FormatTable renders merged per-phase rows as an aligned text table; total
+// scales the time% column (pass the aggregate's Total).
+func FormatTable(rows []PhaseSummary, total time.Duration) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-20s %6s %7s %12s %9s %9s %6s %12s %6s\n",
+		"phase", "spans", "rounds", "words", "maxSend", "maxRecv", "depth", "time", "time%")
+	for _, r := range rows {
+		label := r.Phase
+		if label == "" {
+			label = "(unlabeled)"
+		}
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(r.Duration) / float64(total)
+		}
+		fmt.Fprintf(&b, "%-20s %6d %7d %12d %9d %9d %6d %12s %5.1f%%\n",
+			label, r.Spans, r.Rounds, r.Words, r.MaxSend, r.MaxRecv, r.MaxDepth,
+			r.Duration.Round(time.Microsecond), pct)
+	}
+	return b.String()
+}

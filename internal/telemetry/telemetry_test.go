@@ -1,0 +1,192 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Transition("x")
+	r.SetDepth(3)
+	r.Observe(10, 2, 3)
+	if tr := r.Finish("m"); tr != nil {
+		t.Fatalf("nil recorder Finish = %+v, want nil", tr)
+	}
+}
+
+func TestSpanLifecycle(t *testing.T) {
+	r := NewRecorder()
+	r.Transition("a")
+	r.Observe(10, 5, 6)
+	r.Observe(20, 4, 9)
+	r.Transition("b")
+	r.SetDepth(2)
+	r.Observe(7, 1, 1)
+	tr := r.Finish("cclique")
+	if tr == nil {
+		t.Fatal("Finish returned nil")
+	}
+	if tr.Model != "cclique" {
+		t.Fatalf("model %q", tr.Model)
+	}
+	if len(tr.Spans) != 2 {
+		t.Fatalf("got %d spans, want 2: %+v", len(tr.Spans), tr.Spans)
+	}
+	a, b := tr.Spans[0], tr.Spans[1]
+	if a.Phase != "a" || a.Rounds != 2 || a.Words != 30 || a.MaxSend != 5 || a.MaxRecv != 9 {
+		t.Fatalf("span a = %+v", a)
+	}
+	if b.Phase != "b" || b.Rounds != 1 || b.Words != 7 || b.Depth != 2 {
+		t.Fatalf("span b = %+v", b)
+	}
+	if tr.Rounds != 3 || tr.Words != 37 {
+		t.Fatalf("totals rounds=%d words=%d, want 3/37", tr.Rounds, tr.Words)
+	}
+}
+
+func TestEmptySpansRelabeledNotAccumulated(t *testing.T) {
+	r := NewRecorder()
+	// The initial unlabeled span never observes a round: transitions must
+	// relabel it in place, not stack empty spans.
+	r.Transition("a")
+	r.Transition("b")
+	r.Transition("c")
+	r.Observe(1, 1, 1)
+	tr := r.Finish("m")
+	if len(tr.Spans) != 1 || tr.Spans[0].Phase != "c" {
+		t.Fatalf("spans = %+v, want single span c", tr.Spans)
+	}
+}
+
+func TestSamePhaseTransitionIsNoop(t *testing.T) {
+	r := NewRecorder()
+	r.Transition("a")
+	r.Observe(1, 1, 1)
+	r.Transition("a")
+	r.Observe(1, 1, 1)
+	tr := r.Finish("m")
+	if len(tr.Spans) != 1 || tr.Spans[0].Rounds != 2 {
+		t.Fatalf("spans = %+v, want one 2-round span", tr.Spans)
+	}
+}
+
+func TestReenteredPhaseGetsNewSpan(t *testing.T) {
+	r := NewRecorder()
+	r.Transition("a")
+	r.Observe(1, 1, 1)
+	r.Transition("b")
+	r.Observe(1, 1, 1)
+	r.Transition("a")
+	r.Observe(1, 1, 1)
+	tr := r.Finish("m")
+	if len(tr.Spans) != 3 {
+		t.Fatalf("got %d spans, want 3 (a,b,a): %+v", len(tr.Spans), tr.Spans)
+	}
+	sum := tr.ByPhase()
+	if len(sum) != 2 {
+		t.Fatalf("ByPhase gave %d rows, want 2", len(sum))
+	}
+	for _, ps := range sum {
+		if ps.Phase == "a" && (ps.Spans != 2 || ps.Rounds != 2) {
+			t.Fatalf("phase a summary = %+v", ps)
+		}
+	}
+}
+
+func TestTrailingEmptySpanDropped(t *testing.T) {
+	r := NewRecorder()
+	r.Transition("a")
+	r.Observe(1, 1, 1)
+	r.Transition("done") // never observes a round
+	tr := r.Finish("m")
+	if len(tr.Spans) != 1 || tr.Spans[0].Phase != "a" {
+		t.Fatalf("spans = %+v, want only span a", tr.Spans)
+	}
+}
+
+func TestFinishMakesRecorderInert(t *testing.T) {
+	r := NewRecorder()
+	r.Transition("a")
+	r.Observe(1, 1, 1)
+	tr := r.Finish("m")
+	r.Observe(100, 100, 100) // stale attachment after publish
+	r.Transition("late")
+	if tr.Rounds != 1 || tr.Words != 1 || len(tr.Spans) != 1 {
+		t.Fatalf("published trace mutated: %+v", tr)
+	}
+	if again := r.Finish("m"); again != nil {
+		t.Fatalf("second Finish = %+v, want nil", again)
+	}
+}
+
+func TestUnlabeledRoundsKept(t *testing.T) {
+	r := NewRecorder()
+	r.Observe(5, 5, 5) // before any SetPhase
+	r.Transition("a")
+	r.Observe(1, 1, 1)
+	tr := r.Finish("m")
+	if len(tr.Spans) != 2 || tr.Spans[0].Phase != "" {
+		t.Fatalf("spans = %+v, want leading unlabeled span", tr.Spans)
+	}
+	if tr.Rounds != 2 {
+		t.Fatalf("rounds = %d, want 2", tr.Rounds)
+	}
+}
+
+func TestDepthTracking(t *testing.T) {
+	r := NewRecorder()
+	r.Transition("a")
+	r.SetDepth(1)
+	r.Observe(1, 1, 1)
+	r.SetDepth(3)
+	r.Observe(1, 1, 1)
+	r.SetDepth(0)
+	r.Observe(1, 1, 1)
+	tr := r.Finish("m")
+	if tr.Spans[0].Depth != 3 {
+		t.Fatalf("span depth = %d, want max observed 3", tr.Spans[0].Depth)
+	}
+}
+
+func TestAggregateMergesTraces(t *testing.T) {
+	mk := func() *Trace {
+		r := NewRecorder()
+		r.Transition("a")
+		r.Observe(2, 10, 20)
+		r.Transition("b")
+		r.Observe(3, 30, 5)
+		return r.Finish("m")
+	}
+	agg := NewAggregate()
+	agg.Add(mk())
+	agg.Add(mk())
+	agg.Add(nil) // ignored
+	if agg.Traces != 2 || agg.Rounds != 4 || agg.Words != 10 {
+		t.Fatalf("aggregate = %+v", agg)
+	}
+	rows := agg.Summaries()
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	for _, ps := range rows {
+		if ps.Spans != 2 || ps.Rounds != 2 {
+			t.Fatalf("row %+v, want 2 spans / 2 rounds each", ps)
+		}
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	r := NewRecorder()
+	r.Observe(1, 1, 1) // unlabeled
+	r.Transition("partition:select")
+	r.Observe(9, 2, 3)
+	tr := r.Finish("m")
+	out := FormatTable(tr.ByPhase(), tr.Total)
+	if !strings.Contains(out, "partition:select") || !strings.Contains(out, "(unlabeled)") {
+		t.Fatalf("table missing expected rows:\n%s", out)
+	}
+	if !strings.Contains(out, "phase") || !strings.Contains(out, "time%") {
+		t.Fatalf("table missing header:\n%s", out)
+	}
+}
