@@ -1,10 +1,23 @@
 // Command benchguard compares `go test -bench` output against the committed
-// cold-solve baseline (BENCH_solve.json) and fails when allocs/op regress
-// beyond a threshold. CI pipes the bench-smoke run through it so allocation
-// regressions on guarded paths break the build instead of landing silently:
+// cold-solve baseline (BENCH_solve.json) and fails when allocs/op or ns/op
+// regress beyond their thresholds. CI pipes the bench-smoke run through it
+// so regressions on guarded paths break the build instead of landing
+// silently:
 //
 //	go test -run NONE -bench 'BenchmarkSolveLowSpace' -benchmem -benchtime 5x . |
-//	    go run ./cmd/benchguard -baseline BENCH_solve.json -threshold 0.20
+//	    go run ./cmd/benchguard -baseline BENCH_solve.json -threshold 0.20 -ns-threshold 0.35
+//
+// Allocation counts are deterministic, so their gate is tight; wall-clock is
+// machine- and scheduler-noisy, so the ns/op gate is deliberately wider
+// (default +35%) — it exists to catch order-of-magnitude slides and
+// accidental de-optimization, not single-digit drift. Baseline entries
+// without an ns_per_op field opt out of the time gate entirely.
+//
+// Repeated lines for the same benchmark (go test -count=N) are aggregated by
+// taking the minimum per metric before gating: min-of-N is the standard
+// noise-robust wall-clock estimator, filtering scheduler and frequency
+// spikes that would otherwise flake a shared CI runner. Run the gate with
+// -count=3 (or more) when the machine is noisy.
 //
 // Benchmarks present in the input but absent from the baseline are
 // tolerated by default — reported, counted, and skipped — so freshly added
@@ -30,6 +43,7 @@ import (
 type baselineFile struct {
 	Results map[string]struct {
 		AllocsPerOp float64 `json:"allocs_per_op"`
+		NsPerOp     float64 `json:"ns_per_op"`
 	} `json:"results"`
 }
 
@@ -39,6 +53,9 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+(.*)$`)
 
 // allocsField captures the allocs/op metric from the measurements tail.
 var allocsField = regexp.MustCompile(`(\d+(?:\.\d+)?)\s+allocs/op`)
+
+// nsField captures the ns/op metric from the measurements tail.
+var nsField = regexp.MustCompile(`(\d+(?:\.\d+)?)\s+ns/op`)
 
 // trimProcs strips the trailing -N GOMAXPROCS suffix go test appends to
 // benchmark names (baseline keys are stored without it).
@@ -54,8 +71,9 @@ func trimProcs(name string) string {
 }
 
 func main() {
-	baselinePath := flag.String("baseline", "BENCH_solve.json", "baseline JSON with results.<name>.allocs_per_op")
+	baselinePath := flag.String("baseline", "BENCH_solve.json", "baseline JSON with results.<name>.{allocs_per_op,ns_per_op}")
 	threshold := flag.Float64("threshold", 0.20, "maximum tolerated fractional allocs/op regression")
+	nsThreshold := flag.Float64("ns-threshold", 0.35, "maximum tolerated fractional ns/op regression (entries without ns_per_op are exempt)")
 	require := flag.String("require", "", "comma-separated benchmark name substrings that must be checked")
 	unknown := flag.String("unknown", "skip", "benchmarks absent from the baseline: 'skip' (tolerate, report) or 'fail'")
 	flag.Parse()
@@ -72,8 +90,15 @@ func main() {
 		fatalf("parse baseline %s: %v", *baselinePath, err)
 	}
 
-	checked := make([]string, 0, len(base.Results))
-	var regressions, unknowns []string
+	// First pass: parse every result line, min-aggregating repeated runs of
+	// the same benchmark (-count=N) so one scheduler spike cannot gate.
+	type agg struct {
+		allocs float64
+		ns     float64
+		runs   int
+	}
+	measured := make(map[string]*agg)
+	var order []string
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
@@ -88,10 +113,39 @@ func main() {
 		if af == nil {
 			continue // not run with -benchmem
 		}
-		measured, err := strconv.ParseFloat(af[1], 64)
+		allocs, err := strconv.ParseFloat(af[1], 64)
 		if err != nil {
 			continue
 		}
+		ns := -1.0
+		if nf := nsField.FindStringSubmatch(m[2]); nf != nil {
+			if v, err := strconv.ParseFloat(nf[1], 64); err == nil {
+				ns = v
+			}
+		}
+		a, ok := measured[name]
+		if !ok {
+			measured[name] = &agg{allocs: allocs, ns: ns, runs: 1}
+			order = append(order, name)
+			continue
+		}
+		a.runs++
+		if allocs < a.allocs {
+			a.allocs = allocs
+		}
+		if ns >= 0 && (a.ns < 0 || ns < a.ns) {
+			a.ns = ns
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatalf("read input: %v", err)
+	}
+
+	// Second pass: gate the per-benchmark minima against the baseline.
+	checked := make([]string, 0, len(base.Results))
+	var regressions, unknowns []string
+	for _, name := range order {
+		a := measured[name]
 		entry, ok := base.Results[name]
 		if !ok || entry.AllocsPerOp <= 0 {
 			fmt.Printf("benchguard: %s not in baseline, skipped\n", name)
@@ -99,20 +153,30 @@ func main() {
 			continue
 		}
 		limit := entry.AllocsPerOp * (1 + *threshold)
-		ratio := measured / entry.AllocsPerOp
+		ratio := a.allocs / entry.AllocsPerOp
 		status := "ok"
-		if measured > limit {
+		if a.allocs > limit {
 			status = "REGRESSION"
 			regressions = append(regressions, fmt.Sprintf(
 				"%s: %.0f allocs/op vs baseline %.0f (%.2fx, limit %.0f)",
-				name, measured, entry.AllocsPerOp, ratio, limit))
+				name, a.allocs, entry.AllocsPerOp, ratio, limit))
 		}
-		fmt.Printf("benchguard: %s %s: %.0f allocs/op vs baseline %.0f (%.2fx, limit %.0f)\n",
-			name, status, measured, entry.AllocsPerOp, ratio, limit)
+		fmt.Printf("benchguard: %s %s: %.0f allocs/op vs baseline %.0f (%.2fx, limit %.0f, min of %d run(s))\n",
+			name, status, a.allocs, entry.AllocsPerOp, ratio, limit, a.runs)
+		if a.ns >= 0 && entry.NsPerOp > 0 {
+			nsLimit := entry.NsPerOp * (1 + *nsThreshold)
+			nsRatio := a.ns / entry.NsPerOp
+			nsStatus := "ok"
+			if a.ns > nsLimit {
+				nsStatus = "REGRESSION"
+				regressions = append(regressions, fmt.Sprintf(
+					"%s: %.0f ns/op vs baseline %.0f (%.2fx, limit %.0f)",
+					name, a.ns, entry.NsPerOp, nsRatio, nsLimit))
+			}
+			fmt.Printf("benchguard: %s %s: %.0f ns/op vs baseline %.0f (%.2fx, limit %.0f, min of %d run(s))\n",
+				name, nsStatus, a.ns, entry.NsPerOp, nsRatio, nsLimit, a.runs)
+		}
 		checked = append(checked, name)
-	}
-	if err := sc.Err(); err != nil {
-		fatalf("read input: %v", err)
 	}
 	if len(checked) == 0 {
 		fatalf("no benchmarks in the input matched the baseline — wrong -bench filter or missing -benchmem?")
@@ -138,11 +202,11 @@ func main() {
 			len(unknowns), strings.Join(unknowns, ", "))
 	}
 	if len(regressions) > 0 {
-		fatalf("allocs/op regressions beyond %.0f%%:\n  %s",
-			*threshold*100, strings.Join(regressions, "\n  "))
+		fatalf("regressions beyond thresholds (allocs +%.0f%%, ns +%.0f%%):\n  %s",
+			*threshold*100, *nsThreshold*100, strings.Join(regressions, "\n  "))
 	}
-	fmt.Printf("benchguard: %d benchmark(s) within %.0f%% of baseline, %d unknown skipped\n",
-		len(checked), *threshold*100, len(unknowns))
+	fmt.Printf("benchguard: %d benchmark(s) within thresholds (allocs +%.0f%%, ns +%.0f%%), %d unknown skipped\n",
+		len(checked), *threshold*100, *nsThreshold*100, len(unknowns))
 }
 
 func fatalf(format string, args ...any) {

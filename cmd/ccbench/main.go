@@ -14,6 +14,12 @@
 //	        -models cclique,mpc,lowspace   # drive a running ccserve with every registry scenario
 //
 //	ccbench -trace -mix all -sizes 96,256   # local per-phase latency/traffic profile
+//
+//	ccbench -e E1 -cpuprofile cpu.pprof -memprofile mem.pprof   # hot-path profiles
+//
+// -cpuprofile/-memprofile wrap whichever mode runs, so solver hot paths can
+// be profiled straight from the registry mixes (`ccbench -trace -cpuprofile
+// cpu.pprof`) without writing a throwaway benchmark.
 package main
 
 import (
@@ -21,6 +27,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -50,8 +58,37 @@ func run() error {
 		distinct    = flag.Int("distinct", 32, "load mode: distinct seeds per scenario shape (cache churn)")
 
 		traceMode = flag.Bool("trace", false, "trace mode: solve the -mix scenarios locally with telemetry on and print merged per-phase profiles (uses -mix, -models, -sizes, -seed)")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ccbench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live objects so the heap profile reflects retention
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "ccbench: memprofile:", err)
+			}
+		}()
+	}
 
 	if *traceMode {
 		return runTrace(traceConfig{

@@ -11,7 +11,6 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
-	"sync"
 
 	"ccolor/internal/fabric"
 )
@@ -26,7 +25,8 @@ type Network struct {
 	n        int
 	msgWords int
 	ledger   *fabric.Ledger
-	workers  int // goroutine pool width
+	workers  int              // goroutine pool width
+	pool     *fabric.WorkPool // parked round-staging workers (lazy)
 
 	// live is the round buffer backing the most recent round's inboxes; it
 	// is recycled when the next round starts (see fabric.RoundBuffer's
@@ -85,13 +85,17 @@ func (nw *Network) Reset(n int) {
 }
 
 // Release returns the network's round arenas to the shared pool for reuse
-// by other fabrics. Call it once the solve is done; the last round's
-// inboxes become invalid. The network remains usable — the next round
-// simply acquires a fresh buffer.
+// by other fabrics and parks its staging goroutines. Call it once the
+// solve is done; the last round's inboxes become invalid. The network
+// remains usable — the next round simply acquires a fresh buffer (and
+// respawns workers on demand).
 func (nw *Network) Release() {
 	if nw.live != nil {
 		fabric.ReleaseRoundBuffer(nw.live)
 		nw.live = nil
+	}
+	if nw.pool != nil {
+		nw.pool.Stop()
 	}
 }
 
@@ -153,7 +157,9 @@ func (nw *Network) FrameRound(stage func(w int, sb *fabric.SendBuf)) ([][]fabric
 	return inboxes, nil
 }
 
-// runParallel executes f(v) for every node v using the configured pool.
+// runParallel executes f(v) for every node v on the network's parked
+// worker pool: block ranges are claimed off an atomic cursor, costing one
+// wake token per worker per round instead of one channel send per node.
 func (nw *Network) runParallel(f func(v int)) {
 	if nw.workers == 1 {
 		for v := 0; v < nw.n; v++ {
@@ -161,20 +167,8 @@ func (nw *Network) runParallel(f func(v int)) {
 		}
 		return
 	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < nw.workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for v := range next {
-				f(v)
-			}
-		}()
+	if nw.pool == nil {
+		nw.pool = fabric.NewWorkPool(nw.workers)
 	}
-	for v := 0; v < nw.n; v++ {
-		next <- v
-	}
-	close(next)
-	wg.Wait()
+	nw.pool.Run(nw.n, f)
 }

@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sort"
+	"math/bits"
 
 	"ccolor/internal/graph"
 	"ccolor/internal/hashing"
@@ -10,13 +10,16 @@ import (
 // Palette state access. The solver reaches palettes only through these
 // methods so that the Theorem 1.3 compact mode (implicit palettes: initial
 // range + hash-restriction chain + per-neighbor used colors, paper §3.6)
-// and the default materialized mode share all algorithm code.
+// and the default packed mode share all algorithm code.
 
 // palState holds one node's palette in one of the two representations.
 type palState struct {
-	// Materialized mode: the current palette, already excluding colors used
-	// by colored neighbors and restricted by all hash applications.
-	mat graph.Palette
+	// Packed mode: the current palette as a bitset over the solve's dense
+	// color domain (s.dom), already excluding colors used by colored
+	// neighbors and restricted by all hash applications. size caches the
+	// popcount; every mutation maintains it, so palSize is O(1).
+	set  graph.PaletteSet
+	size int
 
 	// Compact mode (§3.6): the initial palette is {1..Δ+1}; restrictions
 	// are stored as the chain of (hash, kept bin) pairs applied so far, and
@@ -32,11 +35,26 @@ type palState struct {
 
 func (ps *palState) invalidate() { ps.sizeCache = -1 }
 
+// chainAdmits reports whether color c survives the compact restriction
+// chain and is not marked used — i.e. whether c is currently in the
+// palette, assuming 1 ≤ c ≤ rangeHi.
+func (ps *palState) chainAdmits(c graph.Color) bool {
+	if _, hit := ps.used[c]; hit {
+		return false
+	}
+	for i, h := range ps.chainH {
+		if h.Eval(c) != ps.chainBin[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // palSize returns the current palette size p(v).
 func (s *solver) palSize(v int32) int {
 	ps := &s.pal[v]
 	if !ps.compact {
-		return len(ps.mat)
+		return ps.size
 	}
 	if ps.sizeCache >= 0 {
 		return ps.sizeCache
@@ -48,36 +66,40 @@ func (s *solver) palSize(v int32) int {
 }
 
 // palForEach iterates the current palette of v in ascending color order;
-// fn returning false stops early.
+// fn returning false stops early. Packed mode walks set bits ascending,
+// which is ascending domain order — exactly the order the old sorted-slice
+// representation produced.
 func (s *solver) palForEach(v int32, fn func(graph.Color) bool) {
 	ps := &s.pal[v]
 	if !ps.compact {
-		for _, c := range ps.mat {
-			if !fn(c) {
+		dom := s.dom.colors
+		left := ps.size // stop after the last set bit, not the last word
+		for wi, w := range ps.set {
+			base := wi << 6
+			for w != 0 {
+				if !fn(dom[base+bits.TrailingZeros64(w)]) {
+					return
+				}
+				left--
+				w &= w - 1
+			}
+			if left == 0 {
 				return
 			}
 		}
 		return
 	}
 	for c := graph.Color(1); c <= ps.rangeHi; c++ {
-		if _, hit := ps.used[c]; hit {
-			continue
-		}
-		ok := true
-		for i, h := range ps.chainH {
-			if h.Eval(c) != ps.chainBin[i] {
-				ok = false
-				break
-			}
-		}
-		if ok && !fn(c) {
+		if ps.chainAdmits(c) && !fn(c) {
 			return
 		}
 	}
 }
 
 // palCountBin returns the number of palette colors h maps to bin — the
-// p′(v) of Definition 3.1 for a candidate hash.
+// p′(v) of Definition 3.1 for a candidate hash. The partition hot path
+// uses palCountMask with a precomputed color-bin mask instead; this form
+// remains for compact mode and as the reference implementation.
 func (s *solver) palCountBin(v int32, h hashing.Hash, bin int64) int {
 	n := 0
 	s.palForEach(v, func(c graph.Color) bool {
@@ -89,23 +111,55 @@ func (s *solver) palCountBin(v int32, h hashing.Hash, bin int64) int {
 	return n
 }
 
+// palCountMask returns |palette ∩ mask| for a packed-mode node, where mask
+// is a domain-indexed bitset (one popcount-AND pass, no hash evaluation).
+func (s *solver) palCountMask(v int32, mask graph.PaletteSet) int {
+	return s.pal[v].set.IntersectCount(mask)
+}
+
+// palRestrictMask applies a Partition color restriction as a word-wise AND
+// with a precomputed domain mask, maintaining the size cache in the same
+// pass. Packed mode only.
+func (s *solver) palRestrictMask(v int32, mask graph.PaletteSet) {
+	ps := &s.pal[v]
+	ps.size = ps.set.Intersect(mask)
+}
+
 // palRestrict applies a Partition color restriction: keep only colors that
-// h maps to bin. The materialized palette is solver-owned (copied at init),
-// so it filters in place.
+// h maps to bin. Packed mode filters set bits in place (partition itself
+// uses palRestrictMask, which shares one mask across the whole bin).
 func (s *solver) palRestrict(v int32, h hashing.Hash, bin int64) {
 	ps := &s.pal[v]
 	if !ps.compact {
-		kept := ps.mat[:0]
-		for _, c := range ps.mat {
-			if h.Eval(c) == bin {
-				kept = append(kept, c)
+		dom := s.dom.colors
+		left := ps.size // stop after the last set bit, not the last word
+		size := 0
+		for wi, w := range ps.set {
+			if w == 0 {
+				continue
+			}
+			base := wi << 6
+			kept := w
+			for t := w; t != 0; t &= t - 1 {
+				b := bits.TrailingZeros64(t)
+				left--
+				if h.Eval(dom[base+b]) != bin {
+					kept &^= 1 << uint(b)
+				}
+			}
+			ps.set[wi] = kept
+			size += bits.OnesCount64(kept)
+			if left == 0 {
+				break
 			}
 		}
-		ps.mat = kept
+		ps.size = size
 		return
 	}
 	ps.chainH = append(ps.chainH, h)
 	ps.chainBin = append(ps.chainBin, bin)
+	// No closed form for the surviving count; recompute lazily on the next
+	// palSize query.
 	ps.invalidate()
 }
 
@@ -113,17 +167,24 @@ func (s *solver) palRestrict(v int32, h hashing.Hash, bin int64) {
 func (s *solver) palRemove(v int32, c graph.Color) {
 	ps := &s.pal[v]
 	if !ps.compact {
-		i := sort.Search(len(ps.mat), func(i int) bool { return ps.mat[i] >= c })
-		if i < len(ps.mat) && ps.mat[i] == c {
-			ps.mat = append(ps.mat[:i], ps.mat[i+1:]...)
+		if i, ok := s.dom.index(c); ok && ps.set.Has(i) {
+			ps.set.Remove(i)
+			ps.size--
 		}
 		return
 	}
+	// Maintain the size cache incrementally: the count drops only if c was
+	// actually present (in range, not already used, admitted by the chain).
+	// Checking costs one chain evaluation instead of the full rescan a
+	// blanket invalidate would force on the next palSize.
+	present := c >= 1 && c <= ps.rangeHi && ps.chainAdmits(c)
 	if ps.used == nil {
 		ps.used = make(map[graph.Color]struct{})
 	}
 	ps.used[c] = struct{}{}
-	ps.invalidate()
+	if present && ps.sizeCache >= 0 {
+		ps.sizeCache--
+	}
 }
 
 // palFirstK returns the first k colors of v's current palette (for the §3.6
@@ -152,11 +213,13 @@ func (s *solver) palFirstKInto(v int32, k int) []graph.Color {
 
 // palWords returns the number of words node v's palette state occupies —
 // the quantity the space ledgers charge. Compact mode charges the chain and
-// used set (Theorem 1.3); materialized mode charges the list (Theorem 1.2).
+// used set (Theorem 1.3); packed mode charges one word per remaining color,
+// the same list count the materialized representation reported (Theorem
+// 1.2), so traces are unchanged across representations.
 func (s *solver) palWords(v int32) int64 {
 	ps := &s.pal[v]
 	if !ps.compact {
-		return int64(len(ps.mat))
+		return int64(ps.size)
 	}
 	// Each chain entry is one O(log 𝔫)-bit seed (constant words); count the
 	// hash coefficients explicitly.

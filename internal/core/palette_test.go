@@ -11,11 +11,26 @@ import (
 // for palette-state unit tests.
 func newPalSolver(t *testing.T, compact bool, k graph.Color) *solver {
 	t.Helper()
-	s := &solver{pal: make([]palState, 1)}
+	return newPalSolverMulti(t, compact, []graph.Palette{graph.RangePalette(1, k)})
+}
+
+// newPalSolverMulti is newPalSolver over arbitrary per-node palettes (the
+// packed representation needs a workspace-built domain behind it).
+func newPalSolverMulti(t *testing.T, compact bool, pals []graph.Palette) *solver {
+	t.Helper()
+	ws := &Workspace{}
+	ws.ensure(len(pals))
+	s := &solver{pal: ws.pal[:len(pals)], wsp: ws, dom: &ws.dom}
 	if compact {
-		s.pal[0] = palState{compact: true, rangeHi: k, sizeCache: -1}
+		for v, p := range pals {
+			hi, err := rangeTop(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.pal[v] = palState{compact: true, rangeHi: hi, sizeCache: -1}
+		}
 	} else {
-		s.pal[0] = palState{mat: graph.RangePalette(1, k)}
+		s.initPackedPalettes(pals)
 	}
 	return s
 }
@@ -104,6 +119,64 @@ func TestPalWordsAccounting(t *testing.T) {
 	// 1 (range) + (coeffs+1) for one chain entry + 1 used color.
 	if want := int64(1 + 4 + 1 + 1); w != want {
 		t.Fatalf("compact words = %d, want %d", w, want)
+	}
+}
+
+// TestCompactSizeCacheCoherence drives random restrict/remove interleavings
+// through a compact-mode palette and checks after every mutation that the
+// incrementally maintained sizeCache agrees with a full palForEach count.
+// palRemove decrements the cache in place (checking presence against the
+// restriction chain) instead of invalidating it, so a stale decrement —
+// double-removing, removing a chain-filtered color, removing out of range —
+// would surface here as a count drift.
+func TestCompactSizeCacheCoherence(t *testing.T) {
+	const k = 60
+	s := newPalSolver(t, true, k)
+	// Deterministic op mix: removes (some duplicated, some out of range,
+	// some of chain-filtered colors) interleaved with chain restrictions.
+	hashes := []hashing.Hash{testHash(t, 2), testHash(t, 3), testHash(t, 5)}
+	next := uint64(12345)
+	rnd := func(m uint64) uint64 {
+		next = next*6364136223846793005 + 1442695040888963407
+		return (next >> 33) % m
+	}
+	verify := func(step string) {
+		t.Helper()
+		got := s.palSize(0) // materializes the cache if dirty
+		n := 0
+		s.palForEach(0, func(graph.Color) bool { n++; return true })
+		if got != n {
+			t.Fatalf("%s: palSize = %d but palForEach counts %d", step, got, n)
+		}
+		if again := s.palSize(0); again != n {
+			t.Fatalf("%s: second palSize = %d, want %d (cache went stale)", step, again, n)
+		}
+	}
+	verify("fresh")
+	for op := 0; op < 200; op++ {
+		switch rnd(10) {
+		case 0: // restrict by a chain hash (invalidates, next palSize rebuilds)
+			h := hashes[rnd(uint64(len(hashes)))]
+			s.palRestrict(0, h, int64(rnd(4)))
+		case 1: // out-of-range removes must not decrement
+			s.palRemove(0, graph.Color(k+1+int64(rnd(20))))
+		default: // in-range removes, duplicates included
+			s.palRemove(0, graph.Color(1+rnd(k)))
+		}
+		verify("op")
+	}
+	if s.palSize(0) != 0 {
+		// Not required to reach zero; just pin that the survivors match a
+		// direct chain evaluation.
+		n := 0
+		for c := graph.Color(1); c <= k; c++ {
+			if s.pal[0].chainAdmits(c) {
+				n++
+			}
+		}
+		if n != s.palSize(0) {
+			t.Fatalf("final size %d but chainAdmits counts %d", s.palSize(0), n)
+		}
 	}
 }
 

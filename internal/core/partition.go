@@ -19,17 +19,26 @@ import (
 //     in-call neighbors (one round).
 //  3. Build the B−1 parallel color-bin children (palettes restricted by
 //     h₂), the gated bin-B child, and the bad-node graph G0.
+//
+// The hash evaluations behind the classification are shared, not repeated:
+// for each candidate pair the derand Prepare hook tabulates h₁ over the
+// call's live nodes and h₂ over the union of their palettes (as packed
+// color-bin masks over the dense domain), so evaluating Definition 3.1 for
+// one node costs table lookups and one popcount-AND instead of
+// O(d(v) + p(v)) polynomial evaluations.
 func (s *solver) partition(x *call) error {
 	b := s.p.bins(x.ell)
 	nX := len(x.nodes)
 	ds := s.trace.depth(x.depth)
 	ds.Partitions++
 
-	dX := make(map[int32]int, nX)
+	wsp := s.wsp
+	dx := graph.Grow(wsp.dx, s.bign)
+	wsp.dx = dx
 	for _, v := range x.nodes {
-		dX[v] = s.degreeIn(v, x.id)
+		dx[v] = int32(s.degreeIn(v, x.id))
 	}
-	if err := s.auditCall(x, dX); err != nil {
+	if err := s.auditCall(x, dx); err != nil {
 		return err
 	}
 
@@ -42,19 +51,100 @@ func (s *solver) partition(x *call) error {
 		return fmt.Errorf("color hash family: %w", err)
 	}
 
+	// Table geometry: packed mode masks span (b-1) color bins × W words.
+	packed := !s.p.CompactPalettes
+	w := 0
+	if packed {
+		w = s.dom.words
+	}
+	maskStride := (b - 1) * w
+
+	// The union of live palettes bounds the colors any mask needs; h₂ is
+	// evaluated once per distinct live color per candidate instead of once
+	// per (node, palette entry). That trade only pays when palettes overlap
+	// (range instances: |union| ≪ Σp(v)); on list instances with mostly
+	// disjoint palettes the union is nearly as large as Σp(v) and the table
+	// build costs more than direct counting, so the masks are skipped and
+	// isBad falls back to per-node palCountBin. Either strategy computes the
+	// same counts — this is a cost choice, not a behavior change.
+	var union graph.PaletteSet
+	if packed {
+		if cap(wsp.palUnion) < w {
+			wsp.palUnion = make([]uint64, w)
+		}
+		union = graph.PaletteSet(wsp.palUnion[:w])
+		union.Clear()
+		sumPal := 0
+		for _, v := range x.nodes {
+			if s.color[v] == graph.NoColor {
+				union.UnionWith(s.pal[v].set)
+				sumPal += s.pal[v].size
+			}
+		}
+		if 2*union.Len() > sumPal {
+			maskStride = 0
+		}
+	}
+
+	// fillTab tabulates one candidate pair: node → h₁ bin for the call's
+	// live nodes, and (in packed mode) per-bin color masks under h₂.
+	fillTab := func(p derand.Pair, bins []int32, masks []uint64) {
+		for _, v := range x.nodes {
+			if s.color[v] == graph.NoColor {
+				bins[v] = int32(p.H1.Eval(int64(v)))
+			}
+		}
+		if masks == nil {
+			return
+		}
+		clear(masks)
+		dom := s.dom.colors
+		union.ForEach(func(i int) bool {
+			bin := int(p.H2.Eval(dom[i]))
+			graph.PaletteSet(masks[bin*w : (bin+1)*w]).Add(i)
+			return true
+		})
+	}
+	// Candidates fill disjoint table slots from immutable inputs (palettes,
+	// colors, hash coefficients), so the batch tabulates in parallel — the
+	// same cores the per-node evaluations used to occupy inside the round
+	// callbacks this tabulation replaced.
+	prepare := func(cands []derand.Pair) {
+		wsp.candBase = cands[0].Index
+		wsp.candBins = graph.Grow(wsp.candBins, len(cands)*s.bign)
+		wsp.candMasks = graph.Grow(wsp.candMasks, len(cands)*maskStride)
+		if wsp.pool == nil {
+			wsp.pool = fabric.NewWorkPool(0)
+		}
+		wsp.pool.RunHeavy(len(cands), func(i int) {
+			var masks []uint64
+			if maskStride > 0 {
+				masks = wsp.candMasks[i*maskStride : (i+1)*maskStride]
+			}
+			fillTab(cands[i], wsp.candBins[i*s.bign:(i+1)*s.bign], masks)
+		})
+	}
+
 	degSlack := s.p.degSlack(x.ell)
 	palSlack := s.p.palSlack(x.ell)
-	isBad := func(v int32, h1, h2 hashing.Hash) (int64, bool) {
-		myBin := h1.Eval(int64(v))
+	// isBad evaluates Definition 3.1 for one node against a candidate's
+	// tables. h2 is only consulted on the compact-palette path (masks nil).
+	isBad := func(v int32, bins []int32, masks []uint64, h2 hashing.Hash) (int64, bool) {
+		myBin := bins[v]
 		dPrime := 0
 		for _, u := range s.g.Neighbors(v) {
-			if s.callOf[u] == int32(x.id) && s.color[u] == graph.NoColor && h1.Eval(int64(u)) == myBin {
+			if s.callOf[u] == int32(x.id) && s.color[u] == graph.NoColor && bins[u] == myBin {
 				dPrime++
 			}
 		}
-		bad := math.Abs(float64(dPrime)-float64(dX[v])/float64(b)) > degSlack
-		if !bad && myBin < int64(b-1) {
-			pPrime := s.palCountBin(v, h2, myBin)
+		bad := math.Abs(float64(dPrime)-float64(dx[v])/float64(b)) > degSlack
+		if !bad && int(myBin) < b-1 {
+			var pPrime int
+			if masks != nil {
+				pPrime = s.palCountMask(v, masks[int(myBin)*w:(int(myBin)+1)*w])
+			} else {
+				pPrime = s.palCountBin(v, h2, int64(myBin))
+			}
 			// Palette goodness (Def. 3.1): p′(v) ≥ p(v)/B + ℓ^0.7. The
 			// slack is capped at half the splitting gap
 			// p(v)·(1/(B−1) − 1/B); with B = ⌊ℓ^0.1⌋ and p(v) > ℓ the gap
@@ -71,7 +161,7 @@ func (s *solver) partition(x *call) error {
 				bad = true
 			}
 		}
-		return myBin, bad
+		return int64(myBin), bad
 	}
 
 	sel := &derand.VecSelector{
@@ -82,6 +172,7 @@ func (s *solver) partition(x *call) error {
 		MaxBatches: s.p.MaxBatches,
 		Salt:       uint64(x.id) * 0x9e3779b9,
 		WS:         &s.wsp.sel,
+		Prepare:    prepare,
 	}
 	binThresh := 2*float64(nX)/float64(b) + math.Pow(float64(s.bign), s.p.BinSizeSlackExp)
 	score := func(totals []int64) int64 {
@@ -99,12 +190,18 @@ func (s *solver) partition(x *call) error {
 		target = 1<<62 - 1 // ablation A1: candidate 0 always wins
 	}
 	s.fab.Ledger().SetPhase("partition:select")
-	res, err := sel.Select(s.fab, s.pw, target, func(w int, p derand.Pair, vec []int64) {
-		v := int32(w)
+	res, err := sel.Select(s.fab, s.pw, target, func(wk int, p derand.Pair, vec []int64) {
+		v := int32(wk)
 		if s.callOf[v] != int32(x.id) || s.color[v] != graph.NoColor {
 			return
 		}
-		myBin, bad := isBad(v, p.H1, p.H2)
+		slot := int(p.Index - wsp.candBase)
+		bins := wsp.candBins[slot*s.bign : (slot+1)*s.bign]
+		var masks []uint64
+		if maskStride > 0 {
+			masks = wsp.candMasks[slot*maskStride : (slot+1)*maskStride]
+		}
+		myBin, bad := isBad(v, bins, masks, p.H2)
 		vec[1+myBin] = 1
 		if bad {
 			vec[0] = 1
@@ -121,15 +218,23 @@ func (s *solver) partition(x *call) error {
 		}
 	}
 
-	// Final classification with the selected pair.
-	h1, h2 := res.Pair.H1, res.Pair.H2
+	// Final classification with the selected pair, through the same tables
+	// (rebuilt once for the winner; the batch slots are stale by now).
+	h2 := res.Pair.H2
+	wsp.winBins = graph.Grow(wsp.winBins, s.bign)
+	wsp.winMasks = graph.Grow(wsp.winMasks, maskStride)
+	var winMasks []uint64
+	if maskStride > 0 {
+		winMasks = wsp.winMasks[:maskStride]
+	}
+	fillTab(res.Pair, wsp.winBins, winMasks)
 	binNodes := make([][]int32, b) // bins 0..b-2 are color bins; b-1 is bin B
 	var g0Nodes []int32
 	for _, v := range x.nodes {
 		if s.color[v] != graph.NoColor {
 			continue
 		}
-		myBin, bad := isBad(v, h1, h2)
+		myBin, bad := isBad(v, wsp.winBins, winMasks, h2)
 		if bad {
 			g0Nodes = append(g0Nodes, v)
 		} else {
@@ -145,12 +250,12 @@ func (s *solver) partition(x *call) error {
 	for _, v := range g0Nodes {
 		badSet[v] = struct{}{}
 	}
-	if _, err := fabric.RoundFrames(s.fab, func(w int, sb *fabric.SendBuf) {
-		v := int32(w)
+	if _, err := fabric.RoundFrames(s.fab, func(wk int, sb *fabric.SendBuf) {
+		v := int32(wk)
 		if s.callOf[v] != int32(x.id) || s.color[v] != graph.NoColor {
 			return
 		}
-		word := uint64(h1.Eval(int64(v)))
+		word := uint64(wsp.winBins[v])
 		if _, hit := badSet[v]; hit {
 			word |= 1 << 32
 		}
@@ -173,12 +278,20 @@ func (s *solver) partition(x *call) error {
 	// restriction *before* materializing it, then restrict survivors.
 	x.phase1Left = 0
 	for bin := 0; bin < b-1; bin++ {
-		nodes := s.demoteForRestriction(x, binNodes[bin], h2, int64(bin))
+		var mask graph.PaletteSet
+		if maskStride > 0 {
+			mask = graph.PaletteSet(winMasks[bin*w : (bin+1)*w])
+		}
+		nodes := s.demoteForRestriction(x, binNodes[bin], h2, int64(bin), mask)
 		if len(nodes) == 0 {
 			continue
 		}
 		for _, v := range nodes {
-			s.palRestrict(v, h2, int64(bin))
+			if mask != nil {
+				s.palRestrictMask(v, mask)
+			} else {
+				s.palRestrict(v, h2, int64(bin))
+			}
 		}
 		child := s.newCall(rolePhase1, nodes, childEll, x.depth+1, x)
 		x.phase1Left++
@@ -211,7 +324,9 @@ func (s *solver) newCallAllowEmpty(role callRole, nodes []int32, ell float64, de
 // whose restricted palette would not strictly exceed its degree within the
 // child moves to G0 instead (runtime safety net; ExtraBad in the trace).
 // Iterates to a fixpoint since each removal lowers neighbors' degrees.
-func (s *solver) demoteForRestriction(x *call, nodes []int32, h2 hashing.Hash, bin int64) []int32 {
+// mask, when non-nil, is the winner's packed color mask for this bin;
+// compact mode passes nil and falls back to per-color h₂ evaluation.
+func (s *solver) demoteForRestriction(x *call, nodes []int32, h2 hashing.Hash, bin int64, mask graph.PaletteSet) []int32 {
 	if len(nodes) == 0 {
 		return nodes
 	}
@@ -221,7 +336,11 @@ func (s *solver) demoteForRestriction(x *call, nodes []int32, h2 hashing.Hash, b
 	}
 	pPrime := make(map[int32]int, len(nodes))
 	for _, v := range nodes {
-		pPrime[v] = s.palCountBin(v, h2, bin)
+		if mask != nil {
+			pPrime[v] = s.palCountMask(v, mask)
+		} else {
+			pPrime[v] = s.palCountBin(v, h2, bin)
+		}
 	}
 	for {
 		var demote []int32
@@ -261,8 +380,9 @@ func (s *solver) demoteForRestriction(x *call, nodes []int32, h2 hashing.Hash, b
 // auditCall checks the Corollary 3.3 premises on a Partition input and
 // records outcomes. (iii) d(v) < p(v) is load-bearing for correctness and
 // is a hard error; (i) and (ii) are recorded (they can miss at laptop-scale
-// constants without affecting correctness).
-func (s *solver) auditCall(x *call, dX map[int32]int) error {
+// constants without affecting correctness). dx is indexed by node id and
+// valid for the call's nodes.
+func (s *solver) auditCall(x *call, dx []int32) error {
 	a := &s.trace.Audit
 	slack := x.ell + s.p.palSlack(x.ell)
 	for _, v := range x.nodes {
@@ -271,7 +391,7 @@ func (s *solver) auditCall(x *call, dX map[int32]int) error {
 		}
 		a.Checked++
 		p := s.palSize(v)
-		d := dX[v]
+		d := int(dx[v])
 		if !(x.ell < float64(p)) {
 			a.EllBelowPalette++
 		}

@@ -53,8 +53,34 @@ var errNoProgress = errors.New("core: scheduler wave made no progress")
 type Workspace struct {
 	pal     []palState
 	callOf  []int32
-	palSlab []graph.Color // materialized palettes, one slab per run
+	dom     palDomain // dense color domain behind the packed palettes
+	setSlab []uint64  // packed palette words, n×W, carved per node
 	calls   map[int]*call
+
+	// Packed-palette warm cache: serving workloads re-solve the same
+	// instance through one session, so the previous solve's input palettes
+	// are kept (concatenated, with offsets) alongside the freshly packed
+	// slab and per-node sizes. When the next solve's palettes compare equal,
+	// domain construction and per-color packing collapse to one memcpy of
+	// the template. A content compare (not pointer identity) keeps this
+	// sound when callers mutate palettes between solves.
+	tmplPals []graph.Color
+	tmplOff  []int32
+	tmpl     []uint64
+	tmplSize []int32
+
+	// Partition scratch: the per-candidate hash tables (node → h₁ bin,
+	// color-bin masks under h₂) the derand Prepare hook fills per batch,
+	// their winner-pair twins for final classification, the live palette
+	// union the mask builder iterates, and the in-call degree table.
+	candBins  []int32
+	candMasks []uint64
+	candBase  uint64 // candidate index of table slot 0
+	winBins   []int32
+	winMasks  []uint64
+	palUnion  []uint64
+	dx        []int32
+	pool      *fabric.WorkPool // parallel per-candidate table fills (lazy)
 
 	sel     derand.Workspace  // partition seed selection
 	agg     fabric.VecScratch // wave-barrier aggregation
@@ -96,7 +122,8 @@ type solver struct {
 
 	color  []graph.Color
 	pal    []palState
-	callOf []int32 // call id per node; -1 once colored
+	dom    *palDomain // dense color domain for packed palettes
+	callOf []int32    // call id per node; -1 once colored
 
 	colorDomain int64 // exclusive upper bound on color values
 
@@ -155,19 +182,10 @@ func SolveWS(f fabric.Fabric, pairWords int, inst *graph.Instance, p Params, ws 
 		wsp:    ws,
 		trace:  &Trace{InputN: n, InputDelta: inst.G.MaxDegree()},
 	}
-	// The materialized palette copies are carved out of one workspace slab
-	// (they only ever shrink in place — sorted prune / splice — so per-node
-	// views never reallocate); capacity is reserved up front because append
-	// growth mid-loop would detach earlier views.
-	if !p.CompactPalettes {
-		if mass := inst.PaletteMass(); cap(ws.palSlab) < mass {
-			ws.palSlab = make([]graph.Color, 0, mass)
-		}
-	}
-	slab := ws.palSlab[:0]
+	s.dom = &ws.dom
 	maxColor := graph.Color(0)
-	for v := 0; v < n; v++ {
-		if p.CompactPalettes {
+	if p.CompactPalettes {
+		for v := 0; v < n; v++ {
 			hi, err := rangeTop(inst.Palettes[v])
 			if err != nil {
 				return nil, nil, fmt.Errorf("core: compact palettes: %w", err)
@@ -176,15 +194,9 @@ func SolveWS(f fabric.Fabric, pairWords int, inst *graph.Instance, p Params, ws 
 			if hi > maxColor {
 				maxColor = hi
 			}
-		} else {
-			lo := len(slab)
-			slab = append(slab, inst.Palettes[v]...)
-			mat := graph.Palette(slab[lo:len(slab):len(slab)])
-			s.pal[v] = palState{mat: mat}
-			if len(mat) > 0 && mat[len(mat)-1] > maxColor {
-				maxColor = mat[len(mat)-1]
-			}
 		}
+	} else if c := s.initPackedPalettes(inst.Palettes); c > maxColor {
+		maxColor = c
 	}
 	s.colorDomain = maxColor + 1
 
@@ -203,6 +215,76 @@ func SolveWS(f fabric.Fabric, pairWords int, inst *graph.Instance, p Params, ws 
 		}
 	}
 	return s.color, s.trace, nil
+}
+
+// initPackedPalettes builds the solve's dense color domain and packs every
+// node's palette as a bitset over it, all carved out of one workspace word
+// slab (a set only ever loses bits, so per-node views never reallocate).
+// When the palettes compare equal to the previous solve's, the cached
+// domain and packed template are reused with one copy. Returns the largest
+// color seen.
+func (s *solver) initPackedPalettes(pals []graph.Palette) graph.Color {
+	ws := s.wsp
+	if ws.tmplMatches(pals) {
+		w := ws.dom.words
+		slab := ws.setSlab[:len(pals)*w]
+		copy(slab, ws.tmpl)
+		for v := range pals {
+			s.pal[v] = palState{set: slab[v*w : (v+1)*w], size: int(ws.tmplSize[v])}
+		}
+	} else {
+		ws.dom.build(pals)
+		w := ws.dom.words
+		need := len(pals) * w
+		if cap(ws.setSlab) < need {
+			ws.setSlab = make([]uint64, need)
+		}
+		slab := ws.setSlab[:need]
+		clear(slab)
+		ws.setSlab = slab
+		ws.tmplPals = ws.tmplPals[:0]
+		ws.tmplOff = graph.Grow(ws.tmplOff, len(pals)+1)
+		ws.tmplSize = graph.Grow(ws.tmplSize, len(pals))
+		for v := range pals {
+			set := graph.PaletteSet(slab[v*w : (v+1)*w])
+			for _, c := range pals[v] {
+				i, _ := ws.dom.index(c)
+				set.Add(i)
+			}
+			sz := set.Len()
+			s.pal[v] = palState{set: set, size: sz}
+			ws.tmplOff[v] = int32(len(ws.tmplPals))
+			ws.tmplPals = append(ws.tmplPals, pals[v]...)
+			ws.tmplSize[v] = int32(sz)
+		}
+		ws.tmplOff[len(pals)] = int32(len(ws.tmplPals))
+		ws.tmpl = append(ws.tmpl[:0], slab...)
+	}
+	if len(ws.dom.colors) == 0 {
+		return 0
+	}
+	return ws.dom.colors[len(ws.dom.colors)-1]
+}
+
+// tmplMatches reports whether pals is content-identical to the instance the
+// workspace's packed template was built from.
+func (ws *Workspace) tmplMatches(pals []graph.Palette) bool {
+	if len(ws.tmplOff) != len(pals)+1 || len(ws.tmpl) != len(pals)*ws.dom.words {
+		return false
+	}
+	for v := range pals {
+		lo, hi := ws.tmplOff[v], ws.tmplOff[v+1]
+		prev := ws.tmplPals[lo:hi]
+		if len(prev) != len(pals[v]) {
+			return false
+		}
+		for i, c := range pals[v] {
+			if prev[i] != c {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // rangeTop validates that a palette is exactly {1..k} (the (Δ+1)-coloring

@@ -54,6 +54,12 @@ type Selector struct {
 	// WS, when set, backs candidate enumeration and cost aggregation with
 	// session-reusable buffers; nil falls back to per-call transients.
 	WS *Workspace
+	// Prepare, when set, runs once per batch after candidate enumeration
+	// and before any LocalCost call, so callers can precompute shared
+	// per-candidate tables (node→bin / color→bin hash evaluations) the
+	// cost callbacks then read. Single-threaded; tables must be read-only
+	// once cost evaluation starts.
+	Prepare func(cands []Pair)
 }
 
 // Workspace holds the selection engine's reusable buffers: the batch's
@@ -153,6 +159,9 @@ func (s *Selector) Select(f fabric.Fabric, pairWords int, target int64, cost Loc
 	slab := ws.workerVals(f.Workers(), width)
 	for batch := 0; batch < maxBatches; batch++ {
 		cands := ws.fillCandidates(s.F1, s.F2, uint64(batch*width)+s.Salt, width)
+		if s.Prepare != nil {
+			s.Prepare(cands)
+		}
 		totals, err := ws.agg.AggregateVec(f, pairWords, width, func(w int) []int64 {
 			vals := slab[w*width : (w+1)*width]
 			for i, p := range cands {
@@ -207,6 +216,9 @@ func (s *Selector) SelectBest(f fabric.Fabric, pairWords int, budgetBatches int,
 	slab := ws.workerVals(f.Workers(), width)
 	for batch := 0; batch < budgetBatches; batch++ {
 		cands := ws.fillCandidates(s.F1, s.F2, uint64(batch*width)+s.Salt, width)
+		if s.Prepare != nil {
+			s.Prepare(cands)
+		}
 		totals, err := ws.agg.AggregateVec(f, pairWords, width, func(w int) []int64 {
 			vals := slab[w*width : (w+1)*width]
 			for i, p := range cands {

@@ -22,6 +22,13 @@ type VecSelector struct {
 	// WS, when set, backs candidate enumeration and cost aggregation with
 	// session-reusable buffers; nil falls back to per-call transients.
 	WS *Workspace
+	// Prepare, when set, runs once per batch after candidate enumeration
+	// and before any LocalVec call. Callers use it to precompute shared
+	// per-candidate tables (e.g. node→bin and color→bin hash evaluations)
+	// that the per-worker callbacks then read concurrently, turning
+	// O(workers) hash evaluations per candidate into O(1) amortized. It
+	// runs single-threaded; tables must be read-only once local runs.
+	Prepare func(cands []Pair)
 }
 
 // LocalVec fills worker w's perCand-length contribution for a candidate
@@ -66,6 +73,9 @@ func (s *VecSelector) Select(f fabric.Fabric, pairWords int, target int64, local
 	slab := ws.workerVals(f.Workers(), vlen)
 	for batch := 0; batch < maxBatches; batch++ {
 		cands := ws.fillCandidates(s.F1, s.F2, uint64(batch*width)+s.Salt, width)
+		if s.Prepare != nil {
+			s.Prepare(cands)
+		}
 		totals, err := ws.agg.AggregateVec(f, pairWords, vlen, func(w int) []int64 {
 			vals := slab[w*vlen : (w+1)*vlen]
 			clear(vals)

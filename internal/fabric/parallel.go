@@ -1,0 +1,160 @@
+package fabric
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// WorkPool executes per-worker round staging across a fixed set of reusable
+// goroutines. Workers park on a buffered wake channel between rounds and
+// claim block ranges off an atomic cursor, so one round costs one token per
+// worker instead of one unbuffered channel send per index — the per-node
+// dispatch overhead that dominated small-n round barriers.
+//
+// Run is not safe for concurrent use (fabric rounds are serial by
+// construction); the indexed function, however, runs concurrently across
+// blocks and must be safe for concurrent calls with distinct indices —
+// the same contract the previous per-node dispatch imposed.
+type WorkPool struct {
+	inner *workPoolInner
+}
+
+type workPoolInner struct {
+	workers int // total parallelism including the calling goroutine
+	spawned bool
+	wake    chan struct{}
+	quit    chan struct{}
+	wg      sync.WaitGroup
+
+	// Per-run state: written by Run before the wake tokens are sent (the
+	// channel send/receive pair orders the writes for the workers).
+	n      int
+	chunk  int
+	fn     func(int)
+	cursor atomic.Int64
+}
+
+// workPoolSerialCutoff is the index count below which Run stays on the
+// calling goroutine: waking parked workers costs more than the work.
+const workPoolSerialCutoff = 32
+
+// NewWorkPool returns a pool of the given width (≤ 0 means GOMAXPROCS).
+// Goroutines are spawned lazily on the first parallel Run and parked
+// between rounds; a finalizer stops them if the pool is dropped without
+// Stop, so short-lived fabrics cannot leak goroutines.
+func NewWorkPool(workers int) *WorkPool {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &WorkPool{inner: &workPoolInner{
+		workers: workers,
+		wake:    make(chan struct{}, workers),
+		quit:    make(chan struct{}),
+	}}
+	return p
+}
+
+// Workers returns the pool's configured parallelism.
+func (p *WorkPool) Workers() int { return p.inner.workers }
+
+// Run invokes fn(i) for every i in [0, n), distributing block ranges over
+// the pool. It returns once all calls have completed.
+func (p *WorkPool) Run(n int, fn func(int)) {
+	in := p.inner
+	if in.workers < 2 || n < workPoolSerialCutoff {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	chunk := n / (in.workers * 8)
+	if chunk < 4 {
+		chunk = 4
+	}
+	p.run(n, chunk, fn)
+}
+
+// RunHeavy is Run for a small count of expensive items (per-candidate hash
+// table builds, not per-node staging): indices are claimed one at a time and
+// there is no serial cutoff — even n = 2 is worth waking the pool when each
+// item is thousands of field operations.
+func (p *WorkPool) RunHeavy(n int, fn func(int)) {
+	in := p.inner
+	if in.workers < 2 || n < 2 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	p.run(n, 1, fn)
+}
+
+func (p *WorkPool) run(n, chunk int, fn func(int)) {
+	in := p.inner
+	if !in.spawned {
+		in.spawned = true
+		for i := 0; i < in.workers-1; i++ {
+			// The quit channel is passed at spawn time: Stop replaces the
+			// field for the next generation, and a late-starting worker
+			// reading it racily could otherwise see the replacement.
+			go in.loop(in.quit)
+		}
+		// Leak safety: if the owner drops the pool without Stop, the
+		// finalizer closes quit and the parked goroutines exit. Workers
+		// reference only inner, so the outer handle stays collectable.
+		runtime.SetFinalizer(p, func(p *WorkPool) { close(p.inner.quit) })
+	}
+	in.n, in.chunk, in.fn = n, chunk, fn
+	in.cursor.Store(0)
+	in.wg.Add(in.workers - 1)
+	for i := 0; i < in.workers-1; i++ {
+		in.wake <- struct{}{}
+	}
+	in.drain() // the caller is a full participant
+	in.wg.Wait()
+	in.fn = nil // release the closure between rounds
+}
+
+// Stop terminates the pool's goroutines. The pool remains usable: the next
+// parallel Run respawns them. Safe to call on a never-started pool.
+func (p *WorkPool) Stop() {
+	in := p.inner
+	if !in.spawned {
+		return
+	}
+	runtime.SetFinalizer(p, nil)
+	close(in.quit)
+	in.spawned = false
+	in.quit = make(chan struct{})
+}
+
+func (in *workPoolInner) loop(quit chan struct{}) {
+	for {
+		select {
+		case <-quit:
+			return
+		case <-in.wake:
+			in.drain()
+			in.wg.Done()
+		}
+	}
+}
+
+// drain claims and executes block ranges until the round's cursor passes n.
+func (in *workPoolInner) drain() {
+	n, chunk, fn := in.n, in.chunk, in.fn
+	for {
+		hi := int(in.cursor.Add(int64(chunk)))
+		lo := hi - chunk
+		if lo >= n {
+			return
+		}
+		if hi > n {
+			hi = n
+		}
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package fabric
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// runCoverage checks that a pool run invokes fn exactly once per index.
+func runCoverage(t *testing.T, n int, run func(fn func(int))) {
+	t.Helper()
+	counts := make([]int32, n)
+	run(func(i int) { atomic.AddInt32(&counts[i], 1) })
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("n=%d: index %d executed %d times, want exactly 1", n, i, c)
+		}
+	}
+}
+
+// TestWorkPoolRunCoversEveryIndexOnce exercises the chunked atomic-cursor
+// claim across widths and counts spanning the serial cutoff and chunk
+// boundaries, reusing one pool across rounds the way a fabric does.
+func TestWorkPoolRunCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		p := NewWorkPool(workers)
+		for _, n := range []int{0, 1, 31, 32, 33, 100, 1000} {
+			runCoverage(t, n, func(fn func(int)) { p.Run(n, fn) })
+		}
+		p.Stop()
+	}
+}
+
+// TestWorkPoolRunHeavyCoversEveryIndexOnce pins RunHeavy's chunk-of-one
+// claiming, including the n=2 case Run's serial cutoff would inline.
+func TestWorkPoolRunHeavyCoversEveryIndexOnce(t *testing.T) {
+	p := NewWorkPool(4)
+	defer p.Stop()
+	for _, n := range []int{0, 1, 2, 3, 7, 64} {
+		runCoverage(t, n, func(fn func(int)) { p.RunHeavy(n, fn) })
+	}
+}
+
+// TestWorkPoolStopRespawns pins that Stop parks the pool but leaves it
+// usable: the next Run respawns workers and still covers every index.
+func TestWorkPoolStopRespawns(t *testing.T) {
+	p := NewWorkPool(4)
+	runCoverage(t, 200, func(fn func(int)) { p.Run(200, fn) })
+	p.Stop()
+	runCoverage(t, 200, func(fn func(int)) { p.Run(200, fn) })
+	p.Stop()
+	p.Stop() // idempotent on a stopped pool
+}
+
+// TestWorkPoolSerialWidth pins that a width-1 pool never spawns goroutines
+// yet executes everything (the WithParallelism(1) determinism baseline).
+func TestWorkPoolSerialWidth(t *testing.T) {
+	p := NewWorkPool(1)
+	order := make([]int, 0, 50)
+	p.Run(50, func(i int) { order = append(order, i) }) // safe: serial path
+	if len(order) != 50 {
+		t.Fatalf("serial pool ran %d indices, want 50", len(order))
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial pool ran out of order at %d: %d", i, v)
+		}
+	}
+}

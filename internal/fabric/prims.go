@@ -134,6 +134,7 @@ func Broadcast(f Fabric, pairWords int, src int, words []uint64) error {
 		if len(ch) == 0 {
 			return
 		}
+		sb.Reserve(n-1, (n-1)*len(ch))
 		for t := 0; t < n; t++ {
 			if t == w {
 				continue
@@ -222,11 +223,16 @@ func (ws *VecScratch) AggregateVec(f Fabric, pairWords int, vlen int, local func
 	// owner's elements; its own elements are summed in place. res is indexed
 	// like the result (element j at res[j]); owner o's slot s is j = o+s·r.
 	res := make([]int64, vlen)
+	owners := r
+	if owners > vlen {
+		owners = vlen
+	}
 	in, err := RoundFrames(f, func(w int, sb *SendBuf) {
 		vals := local(w)
 		if len(vals) != vlen {
 			panic(fmt.Sprintf("fabric: local vector length %d != %d", len(vals), vlen))
 		}
+		sb.Reserve(owners, vlen)
 		for o := 0; o < r; o++ {
 			k := slots(o)
 			if k == 0 {
@@ -263,6 +269,7 @@ func (ws *VecScratch) AggregateVec(f Fabric, pairWords int, vlen int, local func
 		if w >= r || k == 0 {
 			return
 		}
+		sb.Reserve(n-1, (n-1)*k)
 		for t := 0; t < n; t++ {
 			if t == w {
 				continue
@@ -599,6 +606,9 @@ func GatherMany(f Fabric, pairWords int, payload func(w int) (int, []uint64)) (m
 			lo, hi := s*n, (s+1)*n
 			if hi > len(blocks[w]) {
 				hi = len(blocks[w])
+			}
+			if hi > lo {
+				sb.Reserve(hi-lo, 3*(hi-lo))
 			}
 			for k := lo; k < hi; k++ {
 				r := offsets[w] + k

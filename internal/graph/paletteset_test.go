@@ -1,0 +1,171 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// refPaletteSet is the sorted-slice model PaletteSet replaced: a plain
+// ascending index list. Every bitset operation is checked against it.
+type refPaletteSet map[int]bool
+
+func (r refPaletteSet) sorted() []int {
+	out := make([]int, 0, len(r))
+	for i := range r {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// checkAgainst verifies the bitset agrees with the reference on size,
+// membership, and ascending iteration order.
+func checkAgainst(t *testing.T, s PaletteSet, r refPaletteSet, domain int) {
+	t.Helper()
+	want := r.sorted()
+	if s.Len() != len(want) {
+		t.Fatalf("Len = %d, reference %d", s.Len(), len(want))
+	}
+	var got []int
+	s.ForEach(func(i int) bool { got = append(got, i); return true })
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %d indices, reference %d", len(got), len(want))
+	}
+	for k := range got {
+		if got[k] != want[k] {
+			t.Fatalf("ForEach[%d] = %d, reference %d (order must be ascending)", k, got[k], want[k])
+		}
+	}
+	for _, i := range []int{0, domain / 2, domain - 1} {
+		if s.Has(i) != r[i] {
+			t.Fatalf("Has(%d) = %v, reference %v", i, s.Has(i), r[i])
+		}
+	}
+}
+
+// TestPaletteSetRandomizedOpsMatchReference drives random op sequences
+// (add, remove, intersect, subtract, union, clear) through PaletteSet and
+// the sorted-slice reference in lockstep, across domains that straddle
+// word boundaries.
+func TestPaletteSetRandomizedOpsMatchReference(t *testing.T) {
+	for _, domain := range []int{1, 63, 64, 65, 200, 513} {
+		for seed := int64(1); seed <= 3; seed++ {
+			rng := rand.New(rand.NewSource(seed*1000 + int64(domain)))
+			s := make(PaletteSet, PaletteSetWords(domain))
+			r := refPaletteSet{}
+			randMask := func() (PaletteSet, refPaletteSet) {
+				m := make(PaletteSet, len(s))
+				rm := refPaletteSet{}
+				for i := 0; i < domain; i++ {
+					if rng.Intn(2) == 0 {
+						m.Add(i)
+						rm[i] = true
+					}
+				}
+				return m, rm
+			}
+			for op := 0; op < 300; op++ {
+				switch rng.Intn(10) {
+				case 0, 1, 2, 3: // add
+					i := rng.Intn(domain)
+					s.Add(i)
+					r[i] = true
+				case 4, 5: // remove
+					i := rng.Intn(domain)
+					s.Remove(i)
+					delete(r, i)
+				case 6: // intersect
+					m, rm := randMask()
+					got := s.Intersect(m)
+					for i := range r {
+						if !rm[i] {
+							delete(r, i)
+						}
+					}
+					if got != len(r) {
+						t.Fatalf("domain %d seed %d: Intersect returned %d, reference %d", domain, seed, got, len(r))
+					}
+				case 7: // subtract
+					m, rm := randMask()
+					got := s.Subtract(m)
+					for i := range rm {
+						delete(r, i)
+					}
+					if got != len(r) {
+						t.Fatalf("domain %d seed %d: Subtract returned %d, reference %d", domain, seed, got, len(r))
+					}
+				case 8: // union
+					m, rm := randMask()
+					if want := s.IntersectCount(m); want < 0 {
+						t.Fatal("unreachable")
+					}
+					s.UnionWith(m)
+					for i := range rm {
+						r[i] = true
+					}
+				case 9:
+					if rng.Intn(8) == 0 { // clear, rarely
+						s.Clear()
+						clear(r)
+					} else { // IntersectCount is read-only
+						m, rm := randMask()
+						want := 0
+						for i := range r {
+							if rm[i] {
+								want++
+							}
+						}
+						if got := s.IntersectCount(m); got != want {
+							t.Fatalf("domain %d seed %d: IntersectCount = %d, reference %d", domain, seed, got, want)
+						}
+					}
+				}
+				checkAgainst(t, s, r, domain)
+			}
+		}
+	}
+}
+
+// TestPaletteSetForEachEarlyStop pins that returning false stops iteration
+// immediately — the palFirstK truncation depends on it.
+func TestPaletteSetForEachEarlyStop(t *testing.T) {
+	s := make(PaletteSet, PaletteSetWords(200))
+	for _, i := range []int{3, 64, 65, 130, 199} {
+		s.Add(i)
+	}
+	var got []int
+	s.ForEach(func(i int) bool {
+		got = append(got, i)
+		return len(got) < 3
+	})
+	if len(got) != 3 || got[0] != 3 || got[1] != 64 || got[2] != 65 {
+		t.Fatalf("early-stopped ForEach visited %v, want [3 64 65]", got)
+	}
+}
+
+// FuzzPaletteSetRoundTrip inserts an arbitrary byte-derived index multiset,
+// checks ascending iteration reproduces the sorted unique indices, then
+// removes every other one and re-checks — the add/iterate/remove round-trip
+// the solver's packing and pruning paths rely on.
+func FuzzPaletteSetRoundTrip(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 63, 64, 255})
+	f.Add([]byte{7})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const domain = 256
+		s := make(PaletteSet, PaletteSetWords(domain))
+		r := refPaletteSet{}
+		for _, b := range data {
+			s.Add(int(b))
+			r[int(b)] = true
+		}
+		checkAgainst(t, s, r, domain)
+		want := r.sorted()
+		for k := 0; k < len(want); k += 2 {
+			s.Remove(want[k])
+			delete(r, want[k])
+		}
+		checkAgainst(t, s, r, domain)
+	})
+}

@@ -152,6 +152,13 @@ type poolScratch struct {
 	pals    []graph.Palette // truncated palette views into solver pal
 	pairs   []msgPair       // announce/notify staging
 
+	// Partition's per-batch hash tabulation (Selector.Prepare): node→bin
+	// in high-local index order and — for small color domains — color→bin,
+	// one stride per candidate; candBase maps Pair.Index to table slots.
+	candBase  uint64
+	nodeBins  []int32
+	colorBins []int32
+
 	red    mis.Reduction // reduction scratch (implicit-clique CSR layout)
 	mis    mis.Workspace // SolveDet scratch
 	col    graph.Coloring

@@ -81,17 +81,31 @@ func (s *solver) partition(high []int32, depth int) ([][]int32, []int32, int, er
 		return nil, nil, 0, err
 	}
 
+	// The cost callbacks read the candidate hashes only through per-batch
+	// bin tables (Selector.Prepare): node→bin over the high set always, and
+	// color→bin over the dense color domain when it is small enough that
+	// tabulating beats rescanning (list instances draw colors from a
+	// universe far larger than Σ|pal|, so they keep per-color evaluation).
+	// This turns the selection cost from Σ_v(deg(v)+|pal(v)|) hash
+	// evaluations per candidate — each neighbor re-evaluated once per
+	// occurrence — into |high| (+ colorDomain) evaluations plus array reads.
+	ctw := 0
+	if s.colorDomain <= maxColorTableDomain {
+		ctw = int(s.colorDomain)
+	}
+
 	// badChunks counts Definition 4.1 violations across one node's chunk
-	// machines for a candidate pair.
-	badChunks := func(v int32, h1, h2 hashing.Hash) int64 {
-		myBin := h1.Eval(int64(v))
+	// machines for one candidate's tables. cb == nil means no color table;
+	// palette chunks then evaluate h2 directly.
+	badChunks := func(v int32, nb []int32, cb []int32, h2 hashing.Hash) int64 {
+		myBin := int64(nb[s.idxOf[v]])
 		var bad int64
 		nl := filt(v)
 		for _, sp := range chunksOf(len(nl)) {
 			dx := float64(sp[1] - sp[0])
 			dPrime := 0
 			for _, u := range nl[sp[0]:sp[1]] {
-				if h1.Eval(int64(u)) == myBin {
+				if int64(nb[s.idxOf[u]]) == myBin {
 					dPrime++
 				}
 			}
@@ -104,9 +118,17 @@ func (s *solver) partition(high []int32, depth int) ([][]int32, []int32, int, er
 			for _, sp := range chunksOf(len(pal)) {
 				px := float64(sp[1] - sp[0])
 				pPrime := 0
-				for _, c := range pal[sp[0]:sp[1]] {
-					if h2.Eval(int64(c)) == myBin {
-						pPrime++
+				if cb != nil {
+					for _, c := range pal[sp[0]:sp[1]] {
+						if int64(cb[c]) == myBin {
+							pPrime++
+						}
+					}
+				} else {
+					for _, c := range pal[sp[0]:sp[1]] {
+						if h2.Eval(int64(c)) == myBin {
+							pPrime++
+						}
 					}
 				}
 				if float64(pPrime) <= px/float64(b)+math.Pow(px, s.p.PalSlackExp) {
@@ -117,6 +139,16 @@ func (s *solver) partition(high []int32, depth int) ([][]int32, []int32, int, er
 		return bad
 	}
 
+	// fillTables writes one candidate's bin tables into the given slices.
+	fillTables := func(h1, h2 hashing.Hash, nb, cb []int32) {
+		for j, v := range high {
+			nb[j] = int32(h1.Eval(int64(v)))
+		}
+		for c := range cb {
+			cb[c] = int32(h2.Eval(int64(c)))
+		}
+	}
+
 	sel := &derand.Selector{
 		F1:         f1,
 		F2:         f2,
@@ -124,6 +156,16 @@ func (s *solver) partition(high []int32, depth int) ([][]int32, []int32, int, er
 		MaxBatches: s.p.MaxBatches,
 		Salt:       uint64(depth)*0x9e3779b9 + uint64(len(high)),
 		WS:         &s.sel,
+		Prepare: func(cands []derand.Pair) {
+			ws.candBase = cands[0].Index
+			ws.nodeBins = graph.Grow(ws.nodeBins, len(cands)*len(high))
+			ws.colorBins = graph.Grow(ws.colorBins, len(cands)*ctw)
+			for i, pr := range cands {
+				fillTables(pr.H1, pr.H2,
+					ws.nodeBins[i*len(high):(i+1)*len(high)],
+					ws.colorBins[i*ctw:(i+1)*ctw])
+			}
+		},
 	}
 	before := s.cluster.Ledger().Rounds()
 	s.cluster.Ledger().SetPhase("lowspace:select")
@@ -136,7 +178,12 @@ func (s *solver) partition(high []int32, depth int) ([][]int32, []int32, int, er
 		if s.stamp[v] != inHigh {
 			return 0
 		}
-		return badChunks(v, pr.H1, pr.H2)
+		slot := int(pr.Index - ws.candBase)
+		var cb []int32
+		if ctw > 0 {
+			cb = ws.colorBins[slot*ctw : (slot+1)*ctw]
+		}
+		return badChunks(v, ws.nodeBins[slot*len(high):(slot+1)*len(high)], cb, pr.H2)
 	})
 	if err != nil {
 		return nil, nil, 0, fmt.Errorf("lowspace: seed selection at depth %d: %w", depth, err)
@@ -145,26 +192,43 @@ func (s *solver) partition(high []int32, depth int) ([][]int32, []int32, int, er
 
 	// Classify: any bad chunk machine, or a restricted palette that would
 	// not strictly exceed the in-bin degree, demotes the node to the pool.
-	h1, h2 := pair.H1, pair.H2
+	// The winner's tables are rebuilt once and reused by classification,
+	// announce, and restriction below.
+	h2 := pair.H2
+	ws.nodeBins = graph.Grow(ws.nodeBins, len(high))
+	ws.colorBins = graph.Grow(ws.colorBins, ctw)
+	nbWin, cbWin := ws.nodeBins, ws.colorBins
+	fillTables(pair.H1, h2, nbWin, cbWin)
+	if ctw == 0 {
+		cbWin = nil
+	}
 	binsOf := make([][]int32, b)
 	var bad []int32
-	for _, v := range high {
-		myBin := h1.Eval(int64(v))
-		if badChunks(v, h1, h2) > 0 {
+	for i, v := range high {
+		myBin := int64(nbWin[i])
+		if badChunks(v, nbWin, cbWin, h2) > 0 {
 			bad = append(bad, v)
 			continue
 		}
 		dPrime := 0
 		for _, u := range filt(v) {
-			if h1.Eval(int64(u)) == myBin {
+			if int64(nbWin[s.idxOf[u]]) == myBin {
 				dPrime++
 			}
 		}
 		if myBin < int64(b-1) {
 			pPrime := 0
-			for _, c := range s.pal[v] {
-				if h2.Eval(int64(c)) == myBin {
-					pPrime++
+			if cbWin != nil {
+				for _, c := range s.pal[v] {
+					if int64(cbWin[c]) == myBin {
+						pPrime++
+					}
+				}
+			} else {
+				for _, c := range s.pal[v] {
+					if h2.Eval(int64(c)) == myBin {
+						pPrime++
+					}
 				}
 			}
 			if pPrime <= dPrime {
@@ -178,8 +242,8 @@ func (s *solver) partition(high []int32, depth int) ([][]int32, []int32, int, er
 	// Announce bins (space-bounded multicast): nodes tell live in-call
 	// neighbors their destination so chunk machines can filter.
 	announce := ws.pairs[:0]
-	for _, v := range high {
-		word := uint64(h1.Eval(int64(v)) + 1)
+	for i, v := range high {
+		word := uint64(nbWin[i] + 1)
 		for _, u := range filt(v) {
 			announce = append(announce, msgPair{from: v, to: u, word: word})
 		}
@@ -194,9 +258,17 @@ func (s *solver) partition(high []int32, depth int) ([][]int32, []int32, int, er
 	for bin := 0; bin < b-1; bin++ {
 		for _, v := range binsOf[bin] {
 			kept := s.pal[v][:0]
-			for _, c := range s.pal[v] {
-				if h2.Eval(int64(c)) == int64(bin) {
-					kept = append(kept, c)
+			if cbWin != nil {
+				for _, c := range s.pal[v] {
+					if int64(cbWin[c]) == int64(bin) {
+						kept = append(kept, c)
+					}
+				}
+			} else {
+				for _, c := range s.pal[v] {
+					if h2.Eval(int64(c)) == int64(bin) {
+						kept = append(kept, c)
+					}
 				}
 			}
 			s.pal[v] = kept
@@ -209,3 +281,9 @@ func (s *solver) partition(high []int32, depth int) ([][]int32, []int32, int, er
 // not bound per-pair traffic, only per-machine space, so this only shapes
 // the aggregation vector layout.
 const pairWords = 8
+
+// maxColorTableDomain bounds the dense color→bin tabulation in partition:
+// beyond this the per-candidate table fill would dwarf the palette scans
+// it replaces (deg+1 list instances draw colors from a universe far larger
+// than the total palette mass of one call).
+const maxColorTableDomain = 1 << 13

@@ -15,7 +15,6 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
-	"sync"
 
 	"ccolor/internal/fabric"
 )
@@ -30,6 +29,7 @@ type Cluster struct {
 	resident []int64 // words of persistent data per machine
 	ledger   *fabric.Ledger
 	pool     int
+	workPool *fabric.WorkPool // parked round-staging workers (lazy)
 
 	peakSpace   int64 // max over machines and rounds of resident + inbound
 	totalBudget int64 // 0 = unchecked
@@ -203,6 +203,9 @@ func (c *Cluster) Release() {
 		fabric.ReleaseRoundBuffer(c.live)
 		c.live = nil
 	}
+	if c.workPool != nil {
+		c.workPool.Stop()
+	}
 }
 
 // Machines returns 𝔐.
@@ -345,6 +348,10 @@ func (c *Cluster) observeSpace(extra int64) {
 	}
 }
 
+// runParallel executes f(v) for every virtual worker on the cluster's
+// parked pool: block ranges are claimed off an atomic cursor, costing one
+// wake token per goroutine per round instead of one channel send per
+// worker.
 func (c *Cluster) runParallel(f func(v int)) {
 	if c.pool == 1 || c.virtual < 2 {
 		for v := 0; v < c.virtual; v++ {
@@ -352,20 +359,8 @@ func (c *Cluster) runParallel(f func(v int)) {
 		}
 		return
 	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < c.pool; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for v := range next {
-				f(v)
-			}
-		}()
+	if c.workPool == nil {
+		c.workPool = fabric.NewWorkPool(c.pool)
 	}
-	for v := 0; v < c.virtual; v++ {
-		next <- v
-	}
-	close(next)
-	wg.Wait()
+	c.workPool.Run(c.virtual, f)
 }
