@@ -246,6 +246,60 @@ func BenchmarkSolveLowSpace(b *testing.B) {
 	})
 }
 
+// --- set-problem solve path (MIS / β-ruling set through the facade) ---
+
+// benchSolveSetProblem drives the registry set problems through the same
+// facade path as the coloring benchmarks, cold (pooled session checkout)
+// or warm (one pinned session); BENCH_solve.json pins both and benchguard
+// holds the line in CI. The congested-clique backend is the canonical
+// model here — the one the paper's MIS reduction (Theorem 1.2) targets.
+func benchSolveSetProblem(b *testing.B, prob ccolor.Problem, warm bool) {
+	b.Helper()
+	inst, err := solveGNPInstance(256, 0.05, 11)()
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := &ccolor.Options{Model: ccolor.ModelCClique, Problem: prob}
+	solve := func() (*ccolor.Report, error) { return ccolor.Solve(inst, opts) }
+	if warm {
+		sess, err := ccolor.NewSolverSession(ccolor.ModelCClique)
+		if err != nil {
+			b.Fatal(err)
+		}
+		solve = func() (*ccolor.Report, error) { return sess.Solve(inst, opts) }
+		if _, err := solve(); err != nil { // prime the session workspaces
+			b.Fatal(err)
+		}
+	}
+	var size int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := solve()
+		if err != nil {
+			b.Fatal(err)
+		}
+		size = rep.SetSize
+	}
+	b.ReportMetric(float64(size), "set-size")
+}
+
+func BenchmarkSolveMIS(b *testing.B) {
+	b.Run("gnp256", func(b *testing.B) { benchSolveSetProblem(b, ccolor.ProblemMIS, false) })
+}
+
+func BenchmarkSolveRulingSet(b *testing.B) {
+	b.Run("gnp256", func(b *testing.B) { benchSolveSetProblem(b, ccolor.ProblemRulingSet, false) })
+}
+
+func BenchmarkSolveWarmMIS(b *testing.B) {
+	b.Run("gnp256", func(b *testing.B) { benchSolveSetProblem(b, ccolor.ProblemMIS, true) })
+}
+
+func BenchmarkSolveWarmRulingSet(b *testing.B) {
+	b.Run("gnp256", func(b *testing.B) { benchSolveSetProblem(b, ccolor.ProblemRulingSet, true) })
+}
+
 // --- warm-solve path (one solver session reused across iterations) ---
 
 // benchSolveWarm drives a single pinned ccolor.SolverSession — the exact

@@ -10,6 +10,12 @@
 // bandwidth/space limits, c-wise independent hash families, the
 // derandomization engine, and an MIS reduction.
 //
+// Coloring is one entry in a problem registry (internal/problem): the same
+// session machinery also solves maximal independent sets and deterministic
+// (2,β)-ruling sets on all three models. Solve with Options.Problem is the
+// problem-keyed entry point; the Color* functions remain as coloring-only
+// compatibility wrappers.
+//
 // This file is the public facade over the internal packages; the
 // sub-packages under internal/ hold the implementation, and cmd/ and
 // examples/ show larger deployments. A minimal use:
@@ -26,6 +32,7 @@ import (
 	"ccolor/internal/core"
 	"ccolor/internal/graph"
 	"ccolor/internal/lowspace"
+	"ccolor/internal/mis"
 	"ccolor/internal/verify"
 )
 
@@ -52,6 +59,9 @@ type (
 	LowSpaceParams = lowspace.Params
 	// LowSpaceTrace is the low-space run telemetry.
 	LowSpaceTrace = lowspace.Trace
+	// MISParams configures the derandomized MIS machinery behind the MIS
+	// and ruling-set problems (Options.MIS).
+	MISParams = mis.Params
 )
 
 // NoColor marks an uncolored node.
@@ -98,12 +108,20 @@ type Result struct {
 // ColorDeltaPlus1 runs Theorem 1.1's algorithm on the congested clique for
 // the classic (Δ+1)-coloring problem. params may be nil for defaults. The
 // returned coloring is verified before it is returned.
+//
+// Deprecated: use the problem-keyed Solve (Options.Problem defaults to
+// ProblemColoring) for the full Report; this wrapper survives for
+// compatibility and projects the Report down to Result.
 func ColorDeltaPlus1(g *Graph, params *Params) (*Result, error) {
 	return ColorList(DeltaPlus1Instance(g), params)
 }
 
 // ColorList runs Theorem 1.1's algorithm on the congested clique for a
 // (Δ+1)-list coloring instance (every palette strictly larger than Δ).
+//
+// Deprecated: use the problem-keyed Solve (Options.Problem defaults to
+// ProblemColoring) for the full Report; this wrapper survives for
+// compatibility and projects the Report down to Result.
 func ColorList(inst *Instance, params *Params) (*Result, error) {
 	rep, err := Solve(inst, &Options{Model: ModelCClique, Params: params})
 	if err != nil {
@@ -123,6 +141,8 @@ type MPCResult struct {
 // ColorListMPC runs the same algorithm on a linear-space MPC cluster
 // (Theorem 1.2). Set params.CompactPalettes for the Theorem 1.3 O(𝔪+𝔫)
 // global-space mode (requires {1..Δ+1} palettes).
+//
+// Deprecated: use the problem-keyed Solve with Options.Model = ModelMPC.
 func ColorListMPC(inst *Instance, params *Params) (*MPCResult, error) {
 	rep, err := Solve(inst, &Options{Model: ModelMPC, Params: params})
 	if err != nil {
@@ -141,6 +161,9 @@ func DefaultLowSpaceParams() LowSpaceParams { return lowspace.DefaultParams() }
 
 // ColorDegPlus1LowSpace runs the low-space MPC algorithm (Theorem 1.4) on a
 // (deg+1)-list instance. params may be nil for defaults.
+//
+// Deprecated: use the problem-keyed Solve with Options.Model =
+// ModelLowSpace, which adds session reuse and the full Report.
 func ColorDegPlus1LowSpace(inst *Instance, params *LowSpaceParams) (Coloring, *LowSpaceTrace, error) {
 	p := DefaultLowSpaceParams()
 	if params != nil {

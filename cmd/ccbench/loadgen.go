@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"ccolor"
 	"ccolor/internal/scenario"
 )
 
@@ -31,9 +32,31 @@ type loadConfig struct {
 	Duration    time.Duration
 	Mix         string // registry scenario weights, e.g. "gnp=2,rmat=1", or "all"
 	Models      string // comma-separated model rotation
+	Problems    string // comma-separated registry-problem rotation
 	Sizes       string // comma-separated node counts to sample
 	Distinct    int    // distinct seeds per scenario shape (cache churn knob)
 	Seed        uint64
+}
+
+// parseProblems validates a comma-separated problem rotation against the
+// registry.
+func parseProblems(s string) ([]ccolor.Problem, error) {
+	var out []ccolor.Problem
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		p, err := ccolor.ParseProblem(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no problems in %q", s)
+	}
+	return out, nil
 }
 
 func parseSizes(s string) ([]int, error) {
@@ -71,20 +94,24 @@ func pick(rng *rand.Rand, mix []scenario.MixEntry) *scenario.Spec {
 	return mix[len(mix)-1].Spec
 }
 
-// buildRequest renders one /v1/color body for the drawn scenario. The body
+// buildRequest renders one /v1/solve body for the drawn scenario. The body
 // uses the server's "scenario" graph kind, so the instance the server
-// builds is the registry-canonical one — identical (name, n, seed) draws
-// land on the same content-addressed cache entry regardless of which
+// builds is the registry-canonical one — identical (name, n, seed, problem)
+// draws land on the same content-addressed cache entry regardless of which
 // client generated them.
-func buildRequest(rng *rand.Rand, spec *scenario.Spec, model string, sizes []int, distinct int) map[string]any {
+func buildRequest(rng *rand.Rand, spec *scenario.Spec, model string, prob ccolor.Problem, sizes []int, distinct int) map[string]any {
 	n := sizes[rng.Intn(len(sizes))]
 	seed := uint64(rng.Intn(distinct))
-	return map[string]any{
+	body := map[string]any{
 		"model":         model,
 		"graph":         map[string]any{"kind": "scenario", "name": spec.Name, "n": n, "seed": seed},
 		"scenario":      spec.Name,
 		"omit_coloring": true,
 	}
+	if prob != ccolor.ProblemColoring {
+		body["problem"] = string(prob)
+	}
+	return body
 }
 
 type loadStats struct {
@@ -135,13 +162,17 @@ func runLoad(cfg loadConfig) error {
 	for i := range models {
 		models[i] = strings.TrimSpace(models[i])
 	}
+	probs, err := parseProblems(cfg.Problems)
+	if err != nil {
+		return err
+	}
 	if cfg.Concurrency < 1 {
 		return fmt.Errorf("concurrency %d < 1", cfg.Concurrency)
 	}
 	if cfg.Distinct < 1 {
 		cfg.Distinct = 1
 	}
-	url := strings.TrimSuffix(cfg.URL, "/") + "/v1/color"
+	url := strings.TrimSuffix(cfg.URL, "/") + "/v1/solve"
 	client := &http.Client{Timeout: 60 * time.Second}
 
 	stats := &loadStats{}
@@ -154,7 +185,10 @@ func runLoad(cfg loadConfig) error {
 			rng := rand.New(rand.NewSource(int64(cfg.Seed) + int64(w)))
 			for i := 0; time.Now().Before(deadline); i++ {
 				model := models[(w+i)%len(models)]
-				body, err := json.Marshal(buildRequest(rng, pick(rng, mix), model, sizes, cfg.Distinct))
+				// Problems advance once per full model rotation so the fleet
+				// covers the whole (model × problem) cross product.
+				prob := probs[((w+i)/len(models))%len(probs)]
+				body, err := json.Marshal(buildRequest(rng, pick(rng, mix), model, prob, sizes, cfg.Distinct))
 				if err != nil {
 					stats.record(0, -1, false, 0, 0)
 					continue
@@ -200,8 +234,8 @@ func printLoadSummary(cfg loadConfig, s *loadStats) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	ok := len(s.latencies)
-	fmt.Printf("# load: url=%s concurrency=%d duration=%v mix=%s models=%s\n",
-		cfg.URL, cfg.Concurrency, cfg.Duration, cfg.Mix, cfg.Models)
+	fmt.Printf("# load: url=%s concurrency=%d duration=%v mix=%s models=%s problems=%s\n",
+		cfg.URL, cfg.Concurrency, cfg.Duration, cfg.Mix, cfg.Models, cfg.Problems)
 	fmt.Printf("requests=%d ok=%d rejected_429=%d errors=%d\n", s.requests, ok, s.rejected, s.errors)
 	if ok == 0 {
 		return

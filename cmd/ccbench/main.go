@@ -11,7 +11,8 @@
 //	ccbench -serve-url http://localhost:8080 \
 //	        -concurrency 64 -duration 30s \
 //	        -mix all \
-//	        -models cclique,mpc,lowspace   # drive a running ccserve with every registry scenario
+//	        -models cclique,mpc,lowspace \
+//	        -problems coloring,mis,rulingset   # drive a running ccserve across the problem registry
 //
 //	ccbench -trace -mix all -sizes 96,256   # local per-phase latency/traffic profile
 //
@@ -54,6 +55,7 @@ func run() error {
 		duration    = flag.Duration("duration", 10*time.Second, "load mode: run length")
 		mix         = flag.String("mix", "gnp=2,regular=1,powerlaw=1", "load mode: weighted registry-scenario mix (any internal/scenario name, or 'all')")
 		models      = flag.String("models", "cclique,mpc,lowspace", "load mode: model rotation")
+		problems    = flag.String("problems", "coloring", "load/trace mode: registry-problem rotation (coloring|mis|rulingset)")
 		sizes       = flag.String("sizes", "64,128,256", "load mode: node counts to sample")
 		distinct    = flag.Int("distinct", 32, "load mode: distinct seeds per scenario shape (cache churn)")
 
@@ -92,10 +94,11 @@ func run() error {
 
 	if *traceMode {
 		return runTrace(traceConfig{
-			Mix:    *mix,
-			Models: *models,
-			Sizes:  *sizes,
-			Seed:   *seed,
+			Mix:      *mix,
+			Models:   *models,
+			Problems: *problems,
+			Sizes:    *sizes,
+			Seed:     *seed,
 		})
 	}
 
@@ -106,6 +109,7 @@ func run() error {
 			Duration:    *duration,
 			Mix:         *mix,
 			Models:      *models,
+			Problems:    *problems,
 			Sizes:       *sizes,
 			Distinct:    *distinct,
 			Seed:        *seed,

@@ -12,10 +12,11 @@ import (
 // traceConfig drives trace mode: local solves of registry scenarios with
 // telemetry tracing on, merged into one per-phase table per model.
 type traceConfig struct {
-	Mix    string // registry scenarios to run ("all" or weighted list; weights ignored)
-	Models string // comma-separated model rotation
-	Sizes  string // comma-separated node counts
-	Seed   uint64
+	Mix      string // registry scenarios to run ("all" or weighted list; weights ignored)
+	Models   string // comma-separated model rotation
+	Problems string // comma-separated registry-problem rotation
+	Sizes    string // comma-separated node counts
+	Seed     uint64
 }
 
 // runTrace solves every scenario × size locally under each model with
@@ -51,28 +52,35 @@ func runTrace(cfg traceConfig) error {
 	if len(models) == 0 {
 		return fmt.Errorf("no models in %q", cfg.Models)
 	}
+	probs, err := parseProblems(cfg.Problems)
+	if err != nil {
+		return err
+	}
 
 	for _, model := range models {
-		agg := telemetry.NewAggregate()
-		solves := 0
-		for _, entry := range mix {
-			for _, n := range sizes {
-				inst, err := entry.Spec.Instance(n, cfg.Seed)
-				if err != nil {
-					return fmt.Errorf("%s n=%d: %w", entry.Spec.Name, n, err)
+		for _, prob := range probs {
+			agg := telemetry.NewAggregate()
+			solves := 0
+			for _, entry := range mix {
+				for _, n := range sizes {
+					inst, err := entry.Spec.Instance(n, cfg.Seed)
+					if err != nil {
+						return fmt.Errorf("%s n=%d: %w", entry.Spec.Name, n, err)
+					}
+					rep, err := ccolor.Solve(inst, &ccolor.Options{Model: model, Problem: prob, Trace: true})
+					if err != nil {
+						return fmt.Errorf("%s n=%d model=%s problem=%s: %w",
+							entry.Spec.Name, n, model, prob, err)
+					}
+					agg.Add(rep.Telemetry)
+					solves++
 				}
-				rep, err := ccolor.Solve(inst, &ccolor.Options{Model: model, Trace: true})
-				if err != nil {
-					return fmt.Errorf("%s n=%d model=%s: %w", entry.Spec.Name, n, model, err)
-				}
-				agg.Add(rep.Telemetry)
-				solves++
 			}
+			fmt.Printf("══ %s / %s — %d solves (%d scenarios × %d sizes) ══\n\n",
+				model, prob, solves, len(mix), len(sizes))
+			fmt.Print(telemetry.FormatTable(agg.Summaries(), agg.Total))
+			fmt.Printf("total: rounds=%d words=%d wall=%v\n\n", agg.Rounds, agg.Words, agg.Total)
 		}
-		fmt.Printf("══ %s — %d solves (%d scenarios × %d sizes) ══\n\n",
-			model, solves, len(mix), len(sizes))
-		fmt.Print(telemetry.FormatTable(agg.Summaries(), agg.Total))
-		fmt.Printf("total: rounds=%d words=%d wall=%v\n\n", agg.Rounds, agg.Words, agg.Total)
 	}
 	return nil
 }

@@ -12,6 +12,11 @@
 //
 //	ccolor -scenario ring-of-cliques -n 512            # canonical registry instance
 //	ccolor -scenario rmat -n 512 -model all            # all three backends + agreement report
+//
+// Other registry problems run through the same session machinery:
+//
+//	ccolor -problem mis -n 1000 -p 0.05                # maximal independent set
+//	ccolor -problem rulingset -beta 3 -model all       # (2,3)-ruling set + agreement report
 package main
 
 import (
@@ -48,6 +53,8 @@ func run() error {
 		seed     = flag.Uint64("seed", 1, "workload seed")
 		list     = flag.Bool("list", false, "use random (Δ+1)-list palettes instead of {1..Δ+1}")
 		model    = flag.String("model", "clique", "execution model: clique|mpc|lowspace|all (all prints the cross-model agreement report)")
+		probName = flag.String("problem", "", "registry problem: coloring|mis|rulingset (default coloring)")
+		beta     = flag.Int("beta", 0, "ruling-set domination radius (0 = registry default 2; rulingset only)")
 		file     = flag.String("file", "", "read the graph from an edge-list file instead of generating (format: first line n, then 'u v' lines)")
 		dotOut   = flag.String("dot", "", "write the colored graph in Graphviz DOT format to this file")
 		verbose  = flag.Bool("v", false, "print the per-depth recursion trace")
@@ -57,7 +64,14 @@ func run() error {
 	if *scenName != "" && *file != "" {
 		return fmt.Errorf("-scenario and -file are mutually exclusive")
 	}
-	if *scenName != "" || *model == "all" {
+	prob, err := ccolor.ParseProblem(*probName)
+	if err != nil {
+		return err
+	}
+	if *beta != 0 && prob != ccolor.ProblemRulingSet {
+		return fmt.Errorf("-beta applies only to -problem rulingset")
+	}
+	if *scenName != "" || *model == "all" || prob != ccolor.ProblemColoring {
 		// Registry/differential path. With no -scenario the instance comes
 		// from the legacy flags (-file or -family, -list), same as below.
 		var inst *graph.Instance
@@ -79,7 +93,7 @@ func run() error {
 				inst = graph.DeltaPlus1Instance(g)
 			}
 		}
-		return runRegistry(*scenName, label, inst, *n, *seed, *model, *dotOut, *verbose)
+		return runRegistry(*scenName, label, inst, *n, *seed, *model, prob, *beta, *dotOut, *verbose)
 	}
 
 	g, err := legacyGraph(*file, *family, *n, *d, *p, *seed)
@@ -190,12 +204,12 @@ func legacyGraph(path, family string, n, d int, p float64, seed uint64) (*graph.
 	return graph.ReadEdgeList(f)
 }
 
-// runRegistry is the scenario/differential path: build one canonical
-// instance (from the registry when scenName is set; the caller supplies it
-// from the legacy flags otherwise) and solve it on the selected backend(s)
-// through the unified Solve facade, finishing with the verifier's
-// cross-model agreement report.
-func runRegistry(scenName, label string, inst *graph.Instance, n int, seed uint64, model, dotOut string, verbose bool) error {
+// runRegistry is the scenario/differential/problem path: build one
+// canonical instance (from the registry when scenName is set; the caller
+// supplies it from the legacy flags otherwise) and solve the selected
+// registry problem on the selected backend(s) through the unified Solve
+// facade, finishing with the verifier's cross-model agreement report.
+func runRegistry(scenName, label string, inst *graph.Instance, n int, seed uint64, model string, prob ccolor.Problem, beta int, dotOut string, verbose bool) error {
 	if scenName != "" {
 		spec, err := scenario.Lookup(scenName)
 		if err != nil {
@@ -223,6 +237,10 @@ func runRegistry(scenName, label string, inst *graph.Instance, n int, seed uint6
 		models = []ccolor.Model{ccolor.ModelLowSpace}
 	default:
 		return fmt.Errorf("unknown model %q (want clique, mpc, lowspace, or all)", model)
+	}
+
+	if ccolor.ProblemNeedsSet(prob) {
+		return runSetProblem(inst, models, prob, beta, dotOut, verbose)
 	}
 
 	runs := make([]verify.ModelColoring, 0, len(models))
@@ -258,6 +276,58 @@ func runRegistry(scenName, label string, inst *graph.Instance, n int, seed uint6
 		return fmt.Errorf("verification failed on %d model(s)", len(a.Failures))
 	}
 	return maybeDOT(dotOut, inst.G, firstColoring)
+}
+
+// runSetProblem solves a set-shaped registry problem (mis, rulingset) on
+// each selected model and prints the cross-model set-agreement report. With
+// -dot, set membership is rendered as a two-color DOT graph.
+func runSetProblem(inst *graph.Instance, models []ccolor.Model, prob ccolor.Problem, beta int, dotOut string, verbose bool) error {
+	runs := make([]verify.ModelSet, 0, len(models))
+	var firstSet []bool
+	effBeta := 0
+	for _, m := range models {
+		rep, err := ccolor.Solve(inst, &ccolor.Options{Model: m, Problem: prob, Beta: beta})
+		if err != nil {
+			return fmt.Errorf("%s/%s: %w", prob, m, err)
+		}
+		fmt.Printf("%-9s rounds=%d words=%d max-load=%d |set|=%d",
+			m, rep.Rounds, rep.WordsMoved, rep.MaxNodeLoad, rep.SetSize)
+		if rep.Beta > 0 {
+			fmt.Printf(" β=%d", rep.Beta)
+		}
+		if rep.Machines > 0 {
+			fmt.Printf(" machines=%d peak-space=%d", rep.Machines, rep.PeakSpace)
+		}
+		fmt.Println()
+		_ = verbose
+		runs = append(runs, verify.ModelSet{Model: string(m), Set: rep.Set})
+		if firstSet == nil {
+			firstSet = rep.Set
+		}
+		effBeta = rep.Beta
+	}
+	check := verify.MIS
+	if prob == ccolor.ProblemRulingSet {
+		b := effBeta
+		check = func(g *graph.Graph, set []bool) error { return verify.RulingSet(g, set, b) }
+	}
+	a := verify.CrossModelSets(inst, runs, check)
+	fmt.Print(a)
+	if !a.Clean() {
+		return fmt.Errorf("verification failed on %d model(s)", len(a.Failures))
+	}
+	if dotOut == "" {
+		return nil
+	}
+	// Membership as a 2-coloring: set members color 1, the rest color 2.
+	col := make(graph.Coloring, inst.G.N())
+	for v := range col {
+		col[v] = 2
+		if firstSet[v] {
+			col[v] = 1
+		}
+	}
+	return maybeDOT(dotOut, inst.G, col)
 }
 
 // maybeDOT writes the colored graph as Graphviz DOT when path is set.

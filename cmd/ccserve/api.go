@@ -148,10 +148,17 @@ func (ps *PaletteSpec) Build(g *ccolor.Graph, model ccolor.Model) (*ccolor.Insta
 	return nil, fmt.Errorf("unknown palette kind %q (want delta+1, list, or deg+1)", kind)
 }
 
-// ColorRequest is the POST /v1/color (and per-entry /v1/batch) body.
+// ColorRequest is the POST /v1/solve and /v1/color (and per-entry
+// /v1/batch) body.
 type ColorRequest struct {
 	// Model is "cclique" (default), "mpc", or "lowspace".
-	Model   string      `json:"model,omitempty"`
+	Model string `json:"model,omitempty"`
+	// Problem selects the registry problem next to the graph kind:
+	// "coloring" (default), "mis", or "rulingset".
+	Problem string `json:"problem,omitempty"`
+	// Beta is the ruling-set domination radius (0 = registry default 2);
+	// rejected for other problems.
+	Beta    int         `json:"beta,omitempty"`
 	Graph   GraphSpec   `json:"graph"`
 	Palette PaletteSpec `json:"palette,omitempty"`
 	// MPCSpaceFactor scales per-machine space for the mpc model (0 = default).
@@ -159,8 +166,8 @@ type ColorRequest struct {
 	// Async enqueues the job and returns 202 with a job id instead of the
 	// result (single-job endpoint only).
 	Async bool `json:"async,omitempty"`
-	// OmitColoring drops the coloring vector from the response (the
-	// telemetry and content key remain).
+	// OmitColoring drops the solution vector (coloring or set members) from
+	// the response; the telemetry, content key, and summary fields remain.
 	OmitColoring bool `json:"omit_coloring,omitempty"`
 	// Scenario is an optional label for metrics attribution.
 	Scenario string `json:"scenario,omitempty"`
@@ -175,6 +182,10 @@ func (cr *ColorRequest) Spec() (server.Spec, error) {
 			return server.Spec{}, err
 		}
 		model = m
+	}
+	prob, err := ccolor.ParseProblem(cr.Problem)
+	if err != nil {
+		return server.Spec{}, err
 	}
 	var inst *ccolor.Instance
 	if cr.Graph.Kind == "scenario" && cr.Palette.Kind == "" && len(cr.Palette.Palettes) == 0 {
@@ -203,6 +214,8 @@ func (cr *ColorRequest) Spec() (server.Spec, error) {
 	return server.Spec{
 		Model:          model,
 		Inst:           inst,
+		Problem:        prob,
+		Beta:           cr.Beta,
 		MPCSpaceFactor: cr.MPCSpaceFactor,
 		Scenario:       cr.Scenario,
 		OmitColoring:   cr.OmitColoring,
@@ -214,13 +227,20 @@ func (cr *ColorRequest) Spec() (server.Spec, error) {
 // declaration order and sorts map keys).
 type ColorResponse struct {
 	Model string `json:"model"`
+	// Problem is the registry problem the job solved.
+	Problem string `json:"problem"`
 	// Key is the content address of the instance (canonical-encoding
 	// fingerprint).
 	Key        string         `json:"key"`
 	N          int            `json:"n"`
 	M          int            `json:"m"`
-	ColorsUsed int            `json:"colors_used"`
+	ColorsUsed int            `json:"colors_used,omitempty"`
 	Coloring   []ccolor.Color `json:"coloring,omitempty"`
+	// Set lists the solution set's members (sorted node ids) for set-shaped
+	// problems; SetSize and Beta summarize it (Beta only for ruling sets).
+	Set     []int32 `json:"set,omitempty"`
+	SetSize int     `json:"set_size,omitempty"`
+	Beta    int     `json:"beta,omitempty"`
 	// Rounds / WordsMoved / MaxNodeLoad are the per-job model-cost ledger.
 	Rounds        int            `json:"rounds"`
 	WordsMoved    int64          `json:"words_moved"`
@@ -235,10 +255,13 @@ func buildColorResponse(res *server.Result, omitColoring bool) *ColorResponse {
 	rep := res.Report
 	out := &ColorResponse{
 		Model:         string(rep.Model),
+		Problem:       string(rep.Problem),
 		Key:           res.Key,
 		N:             res.N,
 		M:             res.M,
 		ColorsUsed:    rep.ColorsUsed,
+		SetSize:       rep.SetSize,
+		Beta:          rep.Beta,
 		Rounds:        rep.Rounds,
 		WordsMoved:    rep.WordsMoved,
 		MaxNodeLoad:   rep.MaxNodeLoad,
@@ -249,6 +272,14 @@ func buildColorResponse(res *server.Result, omitColoring bool) *ColorResponse {
 	}
 	if !omitColoring {
 		out.Coloring = rep.Coloring
+		if rep.Set != nil {
+			out.Set = make([]int32, 0, rep.SetSize)
+			for v, in := range rep.Set {
+				if in {
+					out.Set = append(out.Set, int32(v))
+				}
+			}
+		}
 	}
 	return out
 }

@@ -1,15 +1,20 @@
-// ccserve exposes ccolor's deterministic coloring algorithms as a concurrent
-// HTTP service backed by internal/server: a bounded job queue with
-// backpressure (429 on overflow), a worker pool, and a content-addressed
-// result cache that exploits the algorithms' determinism.
+// ccserve exposes ccolor's deterministic solvers — the full problem
+// registry: (Δ+1)/(deg+1)-list coloring, maximal independent sets, and
+// (2,β)-ruling sets — as a concurrent HTTP service backed by
+// internal/server: a bounded job queue with backpressure (429 on overflow),
+// a worker pool, and a content-addressed result cache that exploits the
+// algorithms' determinism.
 //
 // Endpoints:
 //
-//	POST /v1/color           one job; {"async":true} returns 202 + job id
+//	POST /v1/solve           one job ("problem": coloring|mis|rulingset);
+//	                         {"async":true} returns 202 + job id
+//	POST /v1/color           legacy alias for /v1/solve
 //	POST /v1/batch           many jobs in one request
 //	GET  /v1/jobs/{id}       async job status / result
 //	GET  /v1/jobs/{id}/trace phase-attributed telemetry spans for the solve
-//	GET  /metrics            per-model counters, latency percentiles, cache stats
+//	GET  /metrics            per-model and per-problem counters, latency
+//	                         percentiles, cache stats
 //	GET  /metrics/prom       the same, as Prometheus text exposition
 //	GET  /healthz            liveness + queue gauges (?format=prom for scraping)
 //
@@ -150,7 +155,8 @@ func (h *handler) releaseBuild() { <-h.build }
 
 func (h *handler) routes() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/color", h.color)
+	mux.HandleFunc("POST /v1/solve", h.color)
+	mux.HandleFunc("POST /v1/color", h.color) // legacy alias for /v1/solve
 	mux.HandleFunc("POST /v1/batch", h.batch)
 	mux.HandleFunc("GET /v1/jobs/{id}", h.job)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", h.jobTrace)

@@ -291,6 +291,91 @@ func TestScenarioGraphKind(t *testing.T) {
 	}
 }
 
+// TestSolveEndpointProblems drives the problem registry through POST
+// /v1/solve: set-shaped responses, per-problem cache identity, verify-on-
+// solve through the registry checkers, and the per-problem metrics rows.
+func TestSolveEndpointProblems(t *testing.T) {
+	h, _ := newTestHandler(t, server.Config{Workers: 2, QueueDepth: 16, VerifyOnSolve: true})
+
+	misBody := `{"model":"mpc","problem":"mis","graph":{"kind":"gnp","n":96,"p":0.06,"seed":11}}`
+	first := post(t, h, "/v1/solve", misBody)
+	if first.Code != http.StatusOK {
+		t.Fatalf("mis request: %d %s", first.Code, first.Body)
+	}
+	var misResp ColorResponse
+	if err := json.Unmarshal(first.Body.Bytes(), &misResp); err != nil {
+		t.Fatal(err)
+	}
+	if misResp.Problem != "mis" || len(misResp.Coloring) != 0 {
+		t.Fatalf("mis response shape: %+v", misResp)
+	}
+	if misResp.SetSize == 0 || len(misResp.Set) != misResp.SetSize {
+		t.Fatalf("mis set: size=%d members=%d", misResp.SetSize, len(misResp.Set))
+	}
+	second := post(t, h, "/v1/solve", misBody)
+	if got := second.Header().Get("X-CCServe-Cache"); got != "hit" {
+		t.Fatalf("repeat mis request cache header %q, want hit", got)
+	}
+	if !bytes.Equal(first.Body.Bytes(), second.Body.Bytes()) {
+		t.Fatal("mis responses not byte-identical")
+	}
+
+	// Same instance, different problem: must be a distinct cache entry.
+	colBody := `{"model":"mpc","graph":{"kind":"gnp","n":96,"p":0.06,"seed":11}}`
+	if rec := post(t, h, "/v1/solve", colBody); rec.Header().Get("X-CCServe-Cache") != "miss" {
+		t.Fatalf("coloring job collided with the mis cache entry: %s", rec.Body)
+	}
+
+	// Ruling set: explicit beta=2 and the implicit default share one entry.
+	rsBody := `{"problem":"rulingset","beta":2,"graph":{"kind":"gnp","n":96,"p":0.06,"seed":11}}`
+	rec := post(t, h, "/v1/solve", rsBody)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("rulingset request: %d %s", rec.Code, rec.Body)
+	}
+	var rsResp ColorResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &rsResp); err != nil {
+		t.Fatal(err)
+	}
+	if rsResp.Problem != "rulingset" || rsResp.Beta != 2 || rsResp.SetSize == 0 {
+		t.Fatalf("rulingset response shape: %+v", rsResp)
+	}
+	defBody := `{"problem":"rulingset","graph":{"kind":"gnp","n":96,"p":0.06,"seed":11}}`
+	if rec := post(t, h, "/v1/solve", defBody); rec.Header().Get("X-CCServe-Cache") != "hit" {
+		t.Fatalf("default-beta rulingset job missed the beta=2 cache entry: %s", rec.Body)
+	}
+
+	// Unknown problem names fail with the catalog; beta is rulingset-only.
+	if rec := post(t, h, "/v1/solve", `{"problem":"maxcut","graph":{"kind":"gnp","n":8,"p":0.5,"seed":1}}`); rec.Code != http.StatusBadRequest {
+		t.Fatalf("unknown problem: %d %s", rec.Code, rec.Body)
+	} else if !bytes.Contains(rec.Body.Bytes(), []byte("rulingset")) {
+		t.Fatalf("error does not list the problem catalog: %s", rec.Body)
+	}
+	if rec := post(t, h, "/v1/solve", `{"problem":"mis","beta":3,"graph":{"kind":"gnp","n":8,"p":0.5,"seed":1}}`); rec.Code != http.StatusBadRequest {
+		t.Fatalf("beta on mis: %d %s", rec.Code, rec.Body)
+	}
+
+	// Per-problem metrics rows: fresh solves were verified by the registry
+	// checkers, and each (model, problem) pair has its own counters.
+	mrec := get(t, h, "/metrics")
+	var snap server.Snapshot
+	if err := json.Unmarshal(mrec.Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	rows := make(map[string]server.ProblemSnapshot, len(snap.PerProblem))
+	for _, ps := range snap.PerProblem {
+		rows[ps.Model+"/"+ps.Problem] = ps
+	}
+	if r := rows["mpc/mis"]; r.Jobs != 2 || r.CacheHits != 1 || r.SetSizeTotal == 0 {
+		t.Fatalf("mpc/mis row = %+v: %s", r, mrec.Body)
+	}
+	if r := rows["cclique/rulingset"]; r.Jobs != 2 || r.CacheHits != 1 {
+		t.Fatalf("cclique/rulingset row = %+v: %s", r, mrec.Body)
+	}
+	if mpc := snap.PerModel["mpc"]; mpc.Verified != 2 || mpc.VerifyFailures != 0 {
+		t.Fatalf("mpc verify counters = %d/%d, want 2/0", mpc.Verified, mpc.VerifyFailures)
+	}
+}
+
 func TestBadRequests(t *testing.T) {
 	h, _ := newTestHandler(t, server.Config{Workers: 1, QueueDepth: 4})
 	cases := []string{

@@ -9,6 +9,7 @@
 //
 //	cctrace -model all -n 400 -d 40
 //	cctrace -model lowspace -n 1024 -d 32
+//	cctrace -problem rulingset -beta 3 -model all
 package main
 
 import (
@@ -30,6 +31,8 @@ func main() {
 func run() error {
 	var (
 		model    = flag.String("model", "cclique", "execution model: cclique, mpc, lowspace, or all")
+		probName = flag.String("problem", "", "registry problem: coloring|mis|rulingset (default coloring)")
+		beta     = flag.Int("beta", 0, "ruling-set domination radius (0 = registry default 2; rulingset only)")
 		n        = flag.Int("n", 400, "nodes")
 		d        = flag.Int("d", 40, "regular degree")
 		seed     = flag.Uint64("seed", 1, "workload seed")
@@ -38,6 +41,13 @@ func run() error {
 	flag.Parse()
 	if (*n**d)%2 != 0 {
 		*d++
+	}
+	prob, err := ccolor.ParseProblem(*probName)
+	if err != nil {
+		return err
+	}
+	if *beta != 0 && prob != ccolor.ProblemRulingSet {
+		return fmt.Errorf("-beta applies only to -problem rulingset")
 	}
 
 	var models []ccolor.Model
@@ -68,7 +78,9 @@ func run() error {
 				return err
 			}
 		}
-		rep, err := ccolor.Solve(inst, &ccolor.Options{Model: m, Trace: true, MPCSpaceFactor: *mpcSpace})
+		rep, err := ccolor.Solve(inst, &ccolor.Options{
+			Model: m, Problem: prob, Beta: *beta, Trace: true, MPCSpaceFactor: *mpcSpace,
+		})
 		if err != nil {
 			return err
 		}
@@ -86,8 +98,17 @@ func printReport(m ccolor.Model, rep *ccolor.Report) {
 		fmt.Printf("total: rounds=%d words=%d wall=%v\n\n", tel.Rounds, tel.Words, tel.Total)
 	}
 
-	fmt.Printf("— cost ledger —\nrounds=%d wordsMoved=%d maxNodeLoad=%d colorsUsed=%d\n",
-		rep.Rounds, rep.WordsMoved, rep.MaxNodeLoad, rep.ColorsUsed)
+	if rep.Set != nil {
+		fmt.Printf("— cost ledger (%s) —\nrounds=%d wordsMoved=%d maxNodeLoad=%d setSize=%d",
+			rep.Problem, rep.Rounds, rep.WordsMoved, rep.MaxNodeLoad, rep.SetSize)
+		if rep.Beta > 0 {
+			fmt.Printf(" beta=%d", rep.Beta)
+		}
+		fmt.Println()
+	} else {
+		fmt.Printf("— cost ledger —\nrounds=%d wordsMoved=%d maxNodeLoad=%d colorsUsed=%d\n",
+			rep.Rounds, rep.WordsMoved, rep.MaxNodeLoad, rep.ColorsUsed)
+	}
 	if rep.Machines > 0 {
 		fmt.Printf("machines=%d space=%d peakSpace=%d\n", rep.Machines, rep.Space, rep.PeakSpace)
 	}

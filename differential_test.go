@@ -20,6 +20,7 @@ import (
 	"testing"
 
 	"ccolor"
+	"ccolor/internal/graph"
 	"ccolor/internal/scenario"
 	"ccolor/internal/verify"
 )
@@ -89,6 +90,60 @@ func TestScenarioDifferential(t *testing.T) {
 				seed uint64
 			}{{48, 1}, {80, 2}} {
 				solveAll(t, spec, tc.n, tc.seed)
+			}
+		})
+	}
+}
+
+// solveAllSets is solveAll for the registry set problems: every backend
+// solves (problem, instance), each solution passes the independent oracle,
+// re-solves are byte-identical, and — since the derandomized seed selection
+// is fabric-independent — all backends must produce the *identical* set.
+func solveAllSets(t *testing.T, spec *scenario.Spec, n int, seed uint64, prob ccolor.Problem) {
+	t.Helper()
+	inst, err := spec.Instance(n, seed)
+	if err != nil {
+		t.Fatalf("%s(n=%d, seed=%d): %v", spec.Name, n, seed, err)
+	}
+	runs := make([]verify.ModelSet, 0, len(allModels))
+	beta := 0
+	for _, m := range allModels {
+		opts := &ccolor.Options{Model: m, Problem: prob, MPCSpaceFactor: 16}
+		rep, err := ccolor.Solve(inst, opts)
+		if err != nil {
+			t.Fatalf("%s/%s(n=%d, seed=%d) on %s: %v", prob, spec.Name, n, seed, m, err)
+		}
+		rep2, err := ccolor.Solve(inst, opts)
+		if err != nil {
+			t.Fatalf("%s/%s re-solve on %s: %v", prob, spec.Name, m, err)
+		}
+		if verify.SetFingerprint(rep.Set) != verify.SetFingerprint(rep2.Set) {
+			t.Errorf("%s/%s(n=%d, seed=%d) on %s: re-solve produced a different set",
+				prob, spec.Name, n, seed, m)
+		}
+		beta = rep.Beta
+		runs = append(runs, verify.ModelSet{Model: string(m), Set: rep.Set})
+	}
+	check := verify.MIS
+	if prob == ccolor.ProblemRulingSet {
+		b := beta
+		check = func(g *graph.Graph, set []bool) error { return verify.RulingSet(g, set, b) }
+	}
+	a := verify.CrossModelSets(inst, runs, check)
+	if !a.Clean() {
+		t.Errorf("%s/%s(n=%d, seed=%d): verifier failures:\n%s", prob, spec.Name, n, seed, a)
+	}
+	if !a.Unanimous() {
+		t.Errorf("%s/%s(n=%d, seed=%d): backends disagree:\n%s", prob, spec.Name, n, seed, a)
+	}
+}
+
+func TestScenarioProblemDifferential(t *testing.T) {
+	for _, spec := range scenario.All() {
+		t.Run(spec.Name, func(t *testing.T) {
+			for _, prob := range []ccolor.Problem{ccolor.ProblemMIS, ccolor.ProblemRulingSet} {
+				solveAllSets(t, spec, 48, 1, prob)
+				solveAllSets(t, spec, 80, 2, prob)
 			}
 		})
 	}

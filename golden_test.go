@@ -192,6 +192,162 @@ func TestScenarioGolden(t *testing.T) {
 	}
 }
 
+// --- per-problem golden ledger ------------------------------------------
+//
+// The registry problems (MIS, β-ruling set at the default β=2) are pinned
+// exactly like the coloring: set fingerprint, set size, executed model
+// rounds, and words moved for every scenario × backend at the canonical
+// size/seed. The same entry also gates warm≡cold: each subtest re-solves
+// through a pinned per-model SolverSession and requires a byte-identical
+// set and ledger. Regenerate with:
+//
+//	GOLDEN_DUMP=1 go test -run TestProblemGolden -v
+
+type problemLedger struct {
+	wantSetFP      uint64
+	wantSetSize    int
+	wantRounds     int
+	wantWordsMoved int64
+}
+
+// problemGolden is keyed by "problem/scenario/model". The cclique and mpc
+// rows of one (problem, scenario) share a fingerprint — the derandomized
+// seed selection is fabric-independent — and, empirically, lowspace picks
+// the same sets too; the differential tests assert the former, the pinned
+// values here record the latter.
+var problemGolden = map[string]problemLedger{
+	"mis/gnp/cclique":                     {wantSetFP: 0x15915b03fc0382c9, wantSetSize: 27, wantRounds: 8, wantWordsMoved: 3345},
+	"mis/gnp/mpc":                         {wantSetFP: 0x15915b03fc0382c9, wantSetSize: 27, wantRounds: 2, wantWordsMoved: 0},
+	"mis/gnp/lowspace":                    {wantSetFP: 0x15915b03fc0382c9, wantSetSize: 27, wantRounds: 12, wantWordsMoved: 413},
+	"mis/regular/cclique":                 {wantSetFP: 0xd58b768f7206387, wantSetSize: 24, wantRounds: 12, wantWordsMoved: 4970},
+	"mis/regular/mpc":                     {wantSetFP: 0xd58b768f7206387, wantSetSize: 24, wantRounds: 3, wantWordsMoved: 0},
+	"mis/regular/lowspace":                {wantSetFP: 0xd58b768f7206387, wantSetSize: 24, wantRounds: 18, wantWordsMoved: 572},
+	"mis/powerlaw/cclique":                {wantSetFP: 0x93895e506d543fe, wantSetSize: 37, wantRounds: 8, wantWordsMoved: 3339},
+	"mis/powerlaw/mpc":                    {wantSetFP: 0x93895e506d543fe, wantSetSize: 37, wantRounds: 2, wantWordsMoved: 0},
+	"mis/powerlaw/lowspace":               {wantSetFP: 0x93895e506d543fe, wantSetSize: 37, wantRounds: 12, wantWordsMoved: 335},
+	"mis/bipartite-blocks/cclique":        {wantSetFP: 0xc34738f95118db7, wantSetSize: 51, wantRounds: 8, wantWordsMoved: 3290},
+	"mis/bipartite-blocks/mpc":            {wantSetFP: 0xc34738f95118db7, wantSetSize: 51, wantRounds: 2, wantWordsMoved: 0},
+	"mis/bipartite-blocks/lowspace":       {wantSetFP: 0xc34738f95118db7, wantSetSize: 51, wantRounds: 8, wantWordsMoved: 118},
+	"mis/ring-of-cliques/cclique":         {wantSetFP: 0x11be6e461ea8178d, wantSetSize: 12, wantRounds: 4, wantWordsMoved: 1703},
+	"mis/ring-of-cliques/mpc":             {wantSetFP: 0x11be6e461ea8178d, wantSetSize: 12, wantRounds: 1, wantWordsMoved: 0},
+	"mis/ring-of-cliques/lowspace":        {wantSetFP: 0x11be6e461ea8178d, wantSetSize: 12, wantRounds: 6, wantWordsMoved: 160},
+	"mis/geometric/cclique":               {wantSetFP: 0x1e7a3bb0d7ad5729, wantSetSize: 20, wantRounds: 8, wantWordsMoved: 3331},
+	"mis/geometric/mpc":                   {wantSetFP: 0x1e7a3bb0d7ad5729, wantSetSize: 20, wantRounds: 2, wantWordsMoved: 0},
+	"mis/geometric/lowspace":              {wantSetFP: 0x1e7a3bb0d7ad5729, wantSetSize: 20, wantRounds: 12, wantWordsMoved: 318},
+	"mis/rmat/cclique":                    {wantSetFP: 0x1c09fff30ef4f8ce, wantSetSize: 58, wantRounds: 8, wantWordsMoved: 3336},
+	"mis/rmat/mpc":                        {wantSetFP: 0x1c09fff30ef4f8ce, wantSetSize: 58, wantRounds: 2, wantWordsMoved: 0},
+	"mis/rmat/lowspace":                   {wantSetFP: 0x1c09fff30ef4f8ce, wantSetSize: 58, wantRounds: 12, wantWordsMoved: 406},
+	"mis/torus/cclique":                   {wantSetFP: 0xd559e8be830afe1, wantSetSize: 28, wantRounds: 8, wantWordsMoved: 2804},
+	"mis/torus/mpc":                       {wantSetFP: 0xd559e8be830afe1, wantSetSize: 28, wantRounds: 2, wantWordsMoved: 0},
+	"mis/torus/lowspace":                  {wantSetFP: 0xd559e8be830afe1, wantSetSize: 28, wantRounds: 8, wantWordsMoved: 202},
+	"mis/hub-spoke/cclique":               {wantSetFP: 0x1dd547eb3a00d5e1, wantSetSize: 34, wantRounds: 12, wantWordsMoved: 4960},
+	"mis/hub-spoke/mpc":                   {wantSetFP: 0x1dd547eb3a00d5e1, wantSetSize: 34, wantRounds: 3, wantWordsMoved: 0},
+	"mis/hub-spoke/lowspace":              {wantSetFP: 0x1dd547eb3a00d5e1, wantSetSize: 34, wantRounds: 18, wantWordsMoved: 454},
+	"rulingset/gnp/cclique":               {wantSetFP: 0x3b856868f6ad4f8, wantSetSize: 5, wantRounds: 8, wantWordsMoved: 3429},
+	"rulingset/gnp/mpc":                   {wantSetFP: 0x3b856868f6ad4f8, wantSetSize: 5, wantRounds: 2, wantWordsMoved: 0},
+	"rulingset/gnp/lowspace":              {wantSetFP: 0x3b856868f6ad4f8, wantSetSize: 5, wantRounds: 12, wantWordsMoved: 485},
+	"rulingset/regular/cclique":           {wantSetFP: 0x10cba3dcff3edd89, wantSetSize: 6, wantRounds: 12, wantWordsMoved: 5006},
+	"rulingset/regular/mpc":               {wantSetFP: 0x10cba3dcff3edd89, wantSetSize: 6, wantRounds: 3, wantWordsMoved: 0},
+	"rulingset/regular/lowspace":          {wantSetFP: 0x10cba3dcff3edd89, wantSetSize: 6, wantRounds: 18, wantWordsMoved: 605},
+	"rulingset/powerlaw/cclique":          {wantSetFP: 0x72c05c79345d608, wantSetSize: 7, wantRounds: 8, wantWordsMoved: 3426},
+	"rulingset/powerlaw/mpc":              {wantSetFP: 0x72c05c79345d608, wantSetSize: 7, wantRounds: 2, wantWordsMoved: 0},
+	"rulingset/powerlaw/lowspace":         {wantSetFP: 0x72c05c79345d608, wantSetSize: 7, wantRounds: 12, wantWordsMoved: 406},
+	"rulingset/bipartite-blocks/cclique":  {wantSetFP: 0x87202bacb2f15f6, wantSetSize: 37, wantRounds: 12, wantWordsMoved: 4935},
+	"rulingset/bipartite-blocks/mpc":      {wantSetFP: 0x87202bacb2f15f6, wantSetSize: 37, wantRounds: 3, wantWordsMoved: 0},
+	"rulingset/bipartite-blocks/lowspace": {wantSetFP: 0x87202bacb2f15f6, wantSetSize: 37, wantRounds: 12, wantWordsMoved: 171},
+	"rulingset/ring-of-cliques/cclique":   {wantSetFP: 0x1757c3d9d0f3d620, wantSetSize: 10, wantRounds: 8, wantWordsMoved: 3330},
+	"rulingset/ring-of-cliques/mpc":       {wantSetFP: 0x1757c3d9d0f3d620, wantSetSize: 10, wantRounds: 2, wantWordsMoved: 0},
+	"rulingset/ring-of-cliques/lowspace":  {wantSetFP: 0x1757c3d9d0f3d620, wantSetSize: 10, wantRounds: 12, wantWordsMoved: 301},
+	"rulingset/geometric/cclique":         {wantSetFP: 0x110b67d40a677044, wantSetSize: 12, wantRounds: 8, wantWordsMoved: 3344},
+	"rulingset/geometric/mpc":             {wantSetFP: 0x110b67d40a677044, wantSetSize: 12, wantRounds: 2, wantWordsMoved: 0},
+	"rulingset/geometric/lowspace":        {wantSetFP: 0x110b67d40a677044, wantSetSize: 12, wantRounds: 12, wantWordsMoved: 341},
+	"rulingset/rmat/cclique":              {wantSetFP: 0xfc761761fb18824, wantSetSize: 23, wantRounds: 12, wantWordsMoved: 4953},
+	"rulingset/rmat/mpc":                  {wantSetFP: 0xfc761761fb18824, wantSetSize: 23, wantRounds: 3, wantWordsMoved: 0},
+	"rulingset/rmat/lowspace":             {wantSetFP: 0xfc761761fb18824, wantSetSize: 23, wantRounds: 18, wantWordsMoved: 554},
+	"rulingset/torus/cclique":             {wantSetFP: 0x18975cf3e542b7c7, wantSetSize: 12, wantRounds: 8, wantWordsMoved: 2834},
+	"rulingset/torus/mpc":                 {wantSetFP: 0x18975cf3e542b7c7, wantSetSize: 12, wantRounds: 2, wantWordsMoved: 0},
+	"rulingset/torus/lowspace":            {wantSetFP: 0x18975cf3e542b7c7, wantSetSize: 12, wantRounds: 8, wantWordsMoved: 235},
+	"rulingset/hub-spoke/cclique":         {wantSetFP: 0x622b6c0d6eb312e, wantSetSize: 4, wantRounds: 8, wantWordsMoved: 3374},
+	"rulingset/hub-spoke/mpc":             {wantSetFP: 0x622b6c0d6eb312e, wantSetSize: 4, wantRounds: 2, wantWordsMoved: 0},
+	"rulingset/hub-spoke/lowspace":        {wantSetFP: 0x622b6c0d6eb312e, wantSetSize: 4, wantRounds: 12, wantWordsMoved: 368},
+}
+
+func TestProblemGolden(t *testing.T) {
+	dump := os.Getenv("GOLDEN_DUMP") != ""
+	models := []ccolor.Model{ccolor.ModelCClique, ccolor.ModelMPC, ccolor.ModelLowSpace}
+	sessions := make(map[ccolor.Model]*ccolor.SolverSession, len(models))
+	for _, m := range models {
+		sess, err := ccolor.NewSolverSession(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions[m] = sess
+	}
+	for _, prob := range []ccolor.Problem{ccolor.ProblemMIS, ccolor.ProblemRulingSet} {
+		for _, spec := range scenario.All() {
+			for _, model := range models {
+				key := string(prob) + "/" + spec.Name + "/" + string(model)
+				t.Run(key, func(t *testing.T) {
+					inst, err := spec.Instance(scenarioGoldenN, scenarioGoldenSeed)
+					if err != nil {
+						t.Fatal(err)
+					}
+					opts := &ccolor.Options{Model: model, Problem: prob, MPCSpaceFactor: 16}
+					rep, err := ccolor.Solve(inst, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					// Pin only verifier-clean sets, via the independent oracle.
+					switch prob {
+					case ccolor.ProblemMIS:
+						err = verify.MIS(inst.G, rep.Set)
+					default:
+						err = verify.RulingSet(inst.G, rep.Set, rep.Beta)
+					}
+					if err != nil {
+						t.Fatalf("verify: %v", err)
+					}
+					fp := verify.SetFingerprint(rep.Set)
+					if dump {
+						fmt.Printf("\t%q: {wantSetFP: %#x, wantSetSize: %d, wantRounds: %d, wantWordsMoved: %d},\n",
+							key, fp, rep.SetSize, rep.Rounds, rep.WordsMoved)
+						return
+					}
+					want, ok := problemGolden[key]
+					if !ok {
+						t.Fatalf("no golden ledger entry for %s — every registry scenario must be pinned on every backend for every set problem (GOLDEN_DUMP=1 to generate)", key)
+					}
+					if fp != want.wantSetFP {
+						t.Errorf("set fingerprint = %#x, want %#x", fp, want.wantSetFP)
+					}
+					if rep.SetSize != want.wantSetSize {
+						t.Errorf("SetSize = %d, want %d", rep.SetSize, want.wantSetSize)
+					}
+					if rep.Rounds != want.wantRounds {
+						t.Errorf("Rounds = %d, want %d", rep.Rounds, want.wantRounds)
+					}
+					if rep.WordsMoved != want.wantWordsMoved {
+						t.Errorf("WordsMoved = %d, want %d", rep.WordsMoved, want.wantWordsMoved)
+					}
+					// Warm ≡ cold: the reusable session must reproduce the
+					// transient solve byte for byte, ledger included.
+					warm, err := sessions[model].Solve(inst, opts)
+					if err != nil {
+						t.Fatalf("warm solve: %v", err)
+					}
+					if wfp := verify.SetFingerprint(warm.Set); wfp != fp {
+						t.Errorf("warm set fingerprint = %#x, want %#x", wfp, fp)
+					}
+					if warm.Rounds != rep.Rounds || warm.WordsMoved != rep.WordsMoved {
+						t.Errorf("warm ledger (%d rounds, %d words) != cold (%d rounds, %d words)",
+							warm.Rounds, warm.WordsMoved, rep.Rounds, rep.WordsMoved)
+					}
+				})
+			}
+		}
+	}
+}
+
 func TestSolveGolden(t *testing.T) {
 	dump := os.Getenv("GOLDEN_DUMP") != ""
 	for i := range goldenCases {

@@ -13,29 +13,28 @@ import (
 // locally by greedy list coloring, scatter colors back, and notify
 // neighbors so palettes stay current.
 //
-// The wave-level lookup tables (call → target/live set, node → assigned
-// color, the per-node taken-color set) live in the session workspace and
-// are cleared per wave, so repeated collect waves allocate only what the
-// gather itself must retain (the per-sender payload blocks).
+// The wave-level lookup tables (call → target/live list, node → assigned
+// color, the per-node taken-color set) are epoch-stamped workspace slabs,
+// reset per wave by one counter bump, so repeated collect waves allocate
+// only what the gather itself must retain (the per-sender payload blocks).
 func (s *solver) collectAndColor(calls []*call) error {
-	targetOf := s.wsp.targetOf // call id → target node
-	liveOf := s.wsp.liveOf
-	clear(targetOf)
-	clear(liveOf)
+	ws := s.wsp
+	ws.beginCollectWave(s.nextID, s.bign, s.colorSlots())
 	var active []*call
 	for _, c := range calls {
-		var live []int32
+		start := len(ws.liveNodes)
 		for _, v := range c.nodes {
 			if s.color[v] == graph.NoColor {
-				live = append(live, v)
+				ws.liveNodes = append(ws.liveNodes, v)
 			}
 		}
-		if len(live) == 0 {
+		if len(ws.liveNodes) == start {
 			s.onComplete(c)
 			continue
 		}
-		targetOf[int32(c.id)] = live[0]
-		liveOf[int32(c.id)] = live
+		ws.targetOf[c.id] = ws.liveNodes[start]
+		ws.liveSpan[c.id] = [2]int32{int32(start), int32(len(ws.liveNodes))}
+		ws.callStamp[c.id] = ws.collectEpoch
 		active = append(active, c)
 		ds := s.trace.depth(c.depth)
 		ds.Collected++
@@ -60,17 +59,17 @@ func (s *solver) collectAndColor(calls []*call) error {
 		if cid < 0 || s.color[v] != graph.NoColor {
 			return -1, nil
 		}
-		target, ok := targetOf[cid]
-		if !ok {
+		if ws.callStamp[cid] != ws.collectEpoch {
 			return -1, nil
 		}
-		nbrs := s.wsp.nbrs[:0]
+		target := ws.targetOf[cid]
+		nbrs := ws.nbrs[:0]
 		for _, u := range s.g.Neighbors(v) {
 			if s.callOf[u] == cid && s.color[u] == graph.NoColor {
 				nbrs = append(nbrs, u)
 			}
 		}
-		s.wsp.nbrs = nbrs
+		ws.nbrs = nbrs
 		pal := s.palFirstKInto(v, len(nbrs)+1)
 		words := make([]uint64, 0, 2+len(nbrs)+len(pal))
 		words = append(words, uint64(len(nbrs)))
@@ -88,10 +87,8 @@ func (s *solver) collectAndColor(calls []*call) error {
 	}
 
 	// Local coloring at each target (the target machine's local step).
-	assigned := s.wsp.assigned
-	clear(assigned)
 	for _, c := range active {
-		target := targetOf[int32(c.id)]
+		target := ws.targetOf[c.id]
 		got := blocks[int(target)]
 		size := 0
 		for _, b := range got {
@@ -111,14 +108,14 @@ func (s *solver) collectAndColor(calls []*call) error {
 	if _, err := fabric.RoundFrames(s.fab, func(w int, sb *fabric.SendBuf) {
 		v := int32(w)
 		for _, c := range active {
-			if targetOf[int32(c.id)] != v {
+			if ws.targetOf[c.id] != v {
 				continue
 			}
-			for _, u := range liveOf[int32(c.id)] {
+			for _, u := range ws.liveOf(int32(c.id)) {
 				if u == v {
 					continue
 				}
-				sb.Put(int(u), uint64(assigned[u]))
+				sb.Put(int(u), uint64(ws.assigned[u]))
 			}
 		}
 	}); err != nil {
@@ -128,8 +125,8 @@ func (s *solver) collectAndColor(calls []*call) error {
 	// Commit colors.
 	var newlyColored []int32
 	for _, c := range active {
-		for _, v := range liveOf[int32(c.id)] {
-			col, ok := assigned[v]
+		for _, v := range ws.liveOf(int32(c.id)) {
+			col, ok := ws.assignedColor(v)
 			if !ok {
 				return fmt.Errorf("call %d: node %d missing assignment", c.id, v)
 			}
@@ -146,7 +143,7 @@ func (s *solver) collectAndColor(calls []*call) error {
 	s.fab.Ledger().SetPhase("collect:notify")
 	if _, err := fabric.RoundFrames(s.fab, func(w int, sb *fabric.SendBuf) {
 		v := int32(w)
-		col, ok := assigned[v]
+		col, ok := ws.assignedColor(v)
 		if !ok || s.color[v] == graph.NoColor {
 			return
 		}
@@ -170,14 +167,35 @@ func (s *solver) collectAndColor(calls []*call) error {
 	return nil
 }
 
+// colorSlots is the size of the dense color universe the collect taken
+// table is indexed by: the full {1..k} range in compact mode, the packed
+// domain's distinct colors otherwise.
+func (s *solver) colorSlots() int {
+	if s.p.CompactPalettes {
+		return int(s.colorDomain)
+	}
+	return len(s.dom.colors)
+}
+
+// colorSlot maps a palette color to its slot in the taken table.
+func (s *solver) colorSlot(c graph.Color) int {
+	if s.p.CompactPalettes {
+		return int(c)
+	}
+	i, _ := s.dom.index(c)
+	return i
+}
+
 // greedyListColor colors one gathered instance in sender order, reading
 // each sender's [d, neighbors…, p, colors…] block in place (no per-node
 // decode allocations): a node takes the first palette color no
 // already-colored in-instance neighbor holds, recorded in the workspace
-// assigned map. With p(v) > d(v) (maintained by the invariant and the
-// runtime demotion net), a free color always exists.
+// assignment slab. The taken set is the stamp slab over the dense color
+// universe — bumping its epoch empties it between senders. With
+// p(v) > d(v) (maintained by the invariant and the runtime demotion net),
+// a free color always exists.
 func (s *solver) greedyListColor(blocks []fabric.SenderBlock) error {
-	assigned, taken := s.wsp.assigned, s.wsp.taken
+	ws := s.wsp
 	for _, b := range blocks {
 		w := b.Words
 		if len(w) < 2 {
@@ -191,17 +209,22 @@ func (s *solver) greedyListColor(blocks []fabric.SenderBlock) error {
 		if len(w) != 2+d+p {
 			return fmt.Errorf("bad block length from %d: %d words for d=%d p=%d", b.From, len(w), d, p)
 		}
-		clear(taken)
+		ws.takenEpoch++
+		if ws.takenEpoch == 0 { // wrapped: stale stamps would alias, reset
+			clear(ws.takenStamp)
+			ws.takenEpoch = 1
+		}
 		for i := 0; i < d; i++ {
-			if c, ok := assigned[int32(w[1+i])]; ok {
-				taken[c] = struct{}{}
+			if c, ok := ws.assignedColor(int32(w[1+i])); ok {
+				ws.takenStamp[s.colorSlot(c)] = ws.takenEpoch
 			}
 		}
 		picked := false
 		for i := 0; i < p; i++ {
 			c := graph.Color(w[2+d+i])
-			if _, hit := taken[c]; !hit {
-				assigned[int32(b.From)] = c
+			if ws.takenStamp[s.colorSlot(c)] != ws.takenEpoch {
+				ws.assigned[b.From] = c
+				ws.asgStamp[b.From] = ws.collectEpoch
 				picked = true
 				break
 			}

@@ -86,13 +86,57 @@ type Workspace struct {
 	agg     fabric.VecScratch // wave-barrier aggregation
 	barrier []int64           // per-worker barrier contribution slab
 
-	// Collect-wave scratch (see collectAndColor).
-	targetOf map[int32]int32
-	liveOf   map[int32][]int32
-	assigned map[int32]graph.Color
-	taken    map[graph.Color]struct{}
-	firstK   []graph.Color
-	nbrs     []int32
+	// Collect-wave scratch (see collectAndColor): the wave-local lookup
+	// tables as epoch-stamped slabs rather than maps, so repeated collect
+	// waves are hash- and allocation-free. targetOf/liveSpan are indexed by
+	// call id, assigned by node, taken by dense color slot; an entry is live
+	// only when its stamp equals the current epoch, so per-wave (and, for
+	// taken, per-gathered-node) reset is one counter increment.
+	collectEpoch uint32
+	targetOf     []int32    // call id → target node
+	liveSpan     [][2]int32 // call id → [start, end) into liveNodes
+	callStamp    []uint32
+	liveNodes    []int32 // arena behind liveSpan, reset per wave
+	assigned     []graph.Color
+	asgStamp     []uint32
+	takenEpoch   uint32
+	takenStamp   []uint32
+	firstK       []graph.Color
+	nbrs         []int32
+}
+
+// beginCollectWave sizes the collect slabs for the wave (call-indexed
+// tables up to calls ids, node tables to n, the taken table to the dense
+// color universe) and advances the wave epoch, invalidating every entry of
+// the previous wave in O(1).
+func (ws *Workspace) beginCollectWave(calls, n, colorSlots int) {
+	ws.targetOf = graph.Grow(ws.targetOf, calls)
+	ws.liveSpan = graph.Grow(ws.liveSpan, calls)
+	ws.callStamp = graph.Grow(ws.callStamp, calls)
+	ws.assigned = graph.Grow(ws.assigned, n)
+	ws.asgStamp = graph.Grow(ws.asgStamp, n)
+	ws.takenStamp = graph.Grow(ws.takenStamp, colorSlots)
+	ws.liveNodes = ws.liveNodes[:0]
+	ws.collectEpoch++
+	if ws.collectEpoch == 0 { // wrapped: stale stamps would alias, reset
+		clear(ws.callStamp)
+		clear(ws.asgStamp)
+		ws.collectEpoch = 1
+	}
+}
+
+// liveOf returns the live-node list recorded for call id this wave.
+func (ws *Workspace) liveOf(id int32) []int32 {
+	span := ws.liveSpan[id]
+	return ws.liveNodes[span[0]:span[1]]
+}
+
+// assignedColor returns the color assigned to node v this wave, if any.
+func (ws *Workspace) assignedColor(v int32) (graph.Color, bool) {
+	if ws.asgStamp[v] != ws.collectEpoch {
+		return 0, false
+	}
+	return ws.assigned[v], true
 }
 
 func (ws *Workspace) ensure(n int) {
@@ -103,12 +147,6 @@ func (ws *Workspace) ensure(n int) {
 		ws.calls = make(map[int]*call)
 	} else {
 		clear(ws.calls)
-	}
-	if ws.targetOf == nil {
-		ws.targetOf = make(map[int32]int32)
-		ws.liveOf = make(map[int32][]int32)
-		ws.assigned = make(map[int32]graph.Color)
-		ws.taken = make(map[graph.Color]struct{})
 	}
 }
 

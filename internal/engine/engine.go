@@ -25,7 +25,9 @@ import (
 	"ccolor/internal/fabric"
 	"ccolor/internal/graph"
 	"ccolor/internal/lowspace"
+	"ccolor/internal/mis"
 	"ccolor/internal/mpc"
+	"ccolor/internal/problem"
 	"ccolor/internal/telemetry"
 	"ccolor/internal/verify"
 )
@@ -57,10 +59,20 @@ func ParseModel(s string) (Model, error) {
 }
 
 // Options configures a Solve call. The zero value (and nil) means
-// ModelCClique with paper-faithful defaults.
+// ModelCClique solving the coloring problem with paper-faithful defaults.
 type Options struct {
 	// Model picks the execution model; empty means ModelCClique.
 	Model Model
+	// Problem picks the registry problem to solve; empty means
+	// problem.Coloring. Set problems (MIS, ruling sets) run on the
+	// instance's graph and ignore its palettes.
+	Problem problem.Kind
+	// Beta is the ruling-set domination radius for problem.RulingSet; 0
+	// means the registry default of 2. Ignored by other problems.
+	Beta int
+	// MIS overrides the derandomized-MIS knobs for the MIS and RulingSet
+	// problems; nil means mis.DefaultParams.
+	MIS *mis.Params
 	// Params overrides the core-algorithm knobs for ModelCClique / ModelMPC;
 	// nil means core.DefaultParams.
 	Params *core.Params
@@ -84,8 +96,20 @@ type Options struct {
 // on this to cache and replay results byte-for-byte — and none of it
 // aliases session state, so a Report outlives the session that produced it.
 type Report struct {
-	Model    Model
+	Model Model
+	// Problem is the registry problem this report answers (never empty;
+	// legacy coloring entry points report problem.Coloring).
+	Problem problem.Kind
+	// Coloring is the solution of coloring solves; nil for set problems.
 	Coloring graph.Coloring
+	// Set is the solution of set-problem solves (MIS, ruling sets): one
+	// membership flag per node. Nil for coloring solves.
+	Set []bool
+	// SetSize is the number of set members (zero for coloring solves).
+	SetSize int
+	// Beta is the domination radius a ruling-set solve guaranteed (zero
+	// for other problems).
+	Beta int
 	// Rounds is the model round count: executed simulator rounds for
 	// ModelCClique/ModelMPC, the parallel-composition critical path for
 	// ModelLowSpace.
@@ -137,6 +161,19 @@ type Session struct {
 	// lowspace keeps its own session (solver-persistent slabs, pool
 	// workspace, recycled clusters).
 	ls *lowspace.Session
+
+	// Set-problem state: the derandomized-MIS and ruling-set workspaces
+	// plus the chunk-placement scratch the sublinear-space backend packs
+	// node data with. Retained like the coloring workspaces so warm
+	// set-problem solves allocate nothing on the solver path.
+	misWS      mis.Workspace
+	rsWS       mis.RulingWorkspace
+	setAssign  []int
+	setMachine []int64
+
+	// runners are the session's per-problem solve surfaces, built lazily;
+	// each retains no state of its own beyond the session pointer.
+	runners map[problem.Kind]sessionRunner
 
 	colorScratch []graph.Color // countColors sort buffer
 
@@ -191,9 +228,12 @@ func (s *Session) Release() {
 	}
 }
 
-// Solve runs the session's model on a list-coloring instance and returns a
-// verified coloring with full cost accounting. opts.Model must be empty or
-// match the session's model.
+// Solve runs the session's model on an instance and returns a verified
+// solution with full cost accounting. opts.Model must be empty or match
+// the session's model; opts.Problem selects the registry problem (empty
+// means coloring). The solve dispatches through the session's per-problem
+// runner, so every problem shares the warm backend state, telemetry
+// arming, and report assembly.
 func (s *Session) Solve(inst *graph.Instance, opts *Options) (*Report, error) {
 	var o Options
 	if opts != nil {
@@ -202,14 +242,71 @@ func (s *Session) Solve(inst *graph.Instance, opts *Options) (*Report, error) {
 	if o.Model != "" && o.Model != s.model {
 		return nil, fmt.Errorf("ccolor: session runs %q, options request %q", s.model, o.Model)
 	}
+	spec, err := problem.Lookup(string(o.Problem))
+	if err != nil {
+		return nil, fmt.Errorf("ccolor: %w", err)
+	}
+	r, err := s.runnerFor(spec.Kind)
+	if err != nil {
+		return nil, err
+	}
 	s.solves++
+	return r.run(inst, &o)
+}
+
+// Runner exposes the session's problem.Runner for a registry kind — the
+// problem-keyed solve surface serving layers and harnesses dispatch
+// through when they want solutions rather than full reports.
+func (s *Session) Runner(kind problem.Kind) (problem.Runner, error) {
+	return s.runnerFor(kind)
+}
+
+// sessionRunner is a problem.Runner that can also produce the engine's
+// full Report; every registered problem implements it over the session.
+type sessionRunner interface {
+	problem.Runner
+	run(inst *graph.Instance, o *Options) (*Report, error)
+}
+
+func (s *Session) runnerFor(kind problem.Kind) (sessionRunner, error) {
+	if s.runners == nil {
+		s.runners = map[problem.Kind]sessionRunner{
+			problem.Coloring:  &coloringRunner{s},
+			problem.MIS:       &misRunner{s},
+			problem.RulingSet: &rulingRunner{s},
+		}
+	}
+	r, ok := s.runners[kind]
+	if !ok {
+		return nil, fmt.Errorf("ccolor: problem %q has no session runner", kind)
+	}
+	return r, nil
+}
+
+// coloringRunner is the coloring problem's solve surface: the original
+// per-model paths, unchanged — their ledgers and outputs stay byte-
+// identical to the pre-registry engine.
+type coloringRunner struct{ s *Session }
+
+func (r *coloringRunner) Kind() problem.Kind { return problem.Coloring }
+
+func (r *coloringRunner) Solve(inst *graph.Instance, _ problem.Params) (*problem.Solution, error) {
+	rep, err := r.run(inst, &Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &problem.Solution{Coloring: rep.Coloring}, nil
+}
+
+func (r *coloringRunner) run(inst *graph.Instance, o *Options) (*Report, error) {
+	s := r.s
 	switch s.model {
 	case ModelCClique:
-		return s.solveCClique(inst, &o)
+		return s.solveCClique(inst, o)
 	case ModelMPC:
-		return s.solveMPC(inst, &o)
+		return s.solveMPC(inst, o)
 	case ModelLowSpace:
-		return s.solveLowSpace(inst, &o)
+		return s.solveLowSpace(inst, o)
 	}
 	return nil, fmt.Errorf("ccolor: unknown model %q", s.model)
 }
@@ -238,6 +335,7 @@ func (s *Session) solveCClique(inst *graph.Instance, o *Options) (*Report, error
 	}
 	return &Report{
 		Model:         ModelCClique,
+		Problem:       problem.Coloring,
 		Coloring:      col,
 		ColorsUsed:    s.countColors(col),
 		Rounds:        led.Rounds(),
@@ -299,6 +397,7 @@ func (s *Session) solveMPC(inst *graph.Instance, o *Options) (*Report, error) {
 	}
 	return &Report{
 		Model:         ModelMPC,
+		Problem:       problem.Coloring,
 		Coloring:      col,
 		ColorsUsed:    s.countColors(col),
 		Rounds:        led.Rounds(),
@@ -340,6 +439,7 @@ func (s *Session) solveLowSpace(inst *graph.Instance, o *Options) (*Report, erro
 	}
 	return &Report{
 		Model:         ModelLowSpace,
+		Problem:       problem.Coloring,
 		Coloring:      col,
 		ColorsUsed:    s.countColors(col),
 		Rounds:        tr.CriticalRounds,

@@ -111,7 +111,17 @@ type Workspace struct {
 // selected seed's realized progress is what the round envelope experiment
 // measures.
 func SolveDet(f fabric.Fabric, pairWords int, g *graph.Graph, p Params) ([]bool, Stats, error) {
-	return solveDet(f, pairWords, graphTopo{g}, p, nil)
+	return solveDet(f, pairWords, graphTopo{g}, nil, p, nil)
+}
+
+// SolveDetSubset runs SolveDet restricted to the nodes with active[v] true:
+// inactive nodes never participate, and the returned set is a maximal
+// independent set of the induced subgraph on the active nodes. The fabric
+// still has one worker per node of the full topology. active may be nil
+// (all nodes active); ws may be nil. When ws is non-nil the returned set
+// aliases it (valid until the next solve on the same workspace).
+func SolveDetSubset(f fabric.Fabric, pairWords int, g *graph.Graph, active []bool, p Params, ws *Workspace) ([]bool, Stats, error) {
+	return solveDet(f, pairWords, graphTopo{g}, active, p, ws)
 }
 
 // SolveDetReduction runs the same algorithm over a Reduction's implicit
@@ -120,13 +130,16 @@ func SolveDet(f fabric.Fabric, pairWords int, g *graph.Graph, p Params) ([]bool,
 // may be nil; when non-nil its scratch backs the run and the returned set
 // aliases it (valid until the next solve on the same workspace).
 func SolveDetReduction(f fabric.Fabric, pairWords int, r *Reduction, p Params, ws *Workspace) ([]bool, Stats, error) {
-	return solveDet(f, pairWords, r, p, ws)
+	return solveDet(f, pairWords, r, nil, p, ws)
 }
 
-func solveDet[T topology](f fabric.Fabric, pairWords int, t T, p Params, ws *Workspace) ([]bool, Stats, error) {
+func solveDet[T topology](f fabric.Fabric, pairWords int, t T, active []bool, p Params, ws *Workspace) ([]bool, Stats, error) {
 	n := t.N()
 	if f.Workers() != n {
 		return nil, Stats{}, fmt.Errorf("mis: fabric has %d workers for %d nodes", f.Workers(), n)
+	}
+	if active != nil && len(active) != n {
+		return nil, Stats{}, fmt.Errorf("mis: active mask has %d entries for %d nodes", len(active), n)
 	}
 	if p.Independence == 0 {
 		p = DefaultParams()
@@ -143,6 +156,9 @@ func solveDet[T topology](f fabric.Fabric, pairWords int, t T, p Params, ws *Wor
 	clear(joined)
 	liveCount := 0
 	for v := range live {
+		if active != nil && !active[v] {
+			continue
+		}
 		live[v] = true
 		liveCount++
 	}

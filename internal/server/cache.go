@@ -39,26 +39,43 @@ func sumWords(words []uint64) [sha256.Size]byte {
 	return out
 }
 
-// keyFor builds the canonical key for a spec. Params are folded in via
-// their canonical string rendering (fixed field order for a struct), packed
-// bytewise into words — exactness again comes from the 256-bit sum.
+// keyFor builds the canonical key for a spec: a model word, a problem word,
+// then the parameters that actually steer that (model × problem) pair,
+// folded in via their canonical string rendering (fixed field order for a
+// struct) packed bytewise into words — exactness again comes from the
+// 256-bit sum. Parameters a pair ignores stay out of its key, so e.g. two
+// MIS jobs differing only in coloring Params share one entry.
 func keyFor(spec *Spec) cacheKey {
-	words := []uint64{0}
+	words := []uint64{0, 0}
 	switch spec.model() {
 	case ccolor.ModelMPC:
 		words[0] = 1
 	case ccolor.ModelLowSpace:
 		words[0] = 2
 	}
+	switch spec.problem() {
+	case ccolor.ProblemMIS:
+		words[1] = 1
+	case ccolor.ProblemRulingSet:
+		words[1] = 2
+	}
 	var paramText string
-	switch spec.model() {
-	case ccolor.ModelLowSpace:
+	switch {
+	case spec.problem() != ccolor.ProblemColoring:
+		// Set problems ignore the coloring Params; beta (normalized, so the
+		// explicit default and zero coincide) and — on mpc, where it sizes
+		// the linear-space cluster — the space factor are the knobs.
+		paramText = fmt.Sprintf("beta=%d", spec.beta())
+		if spec.model() == ccolor.ModelMPC {
+			paramText = fmt.Sprintf("%s|mpcfactor=%d", paramText, spec.MPCSpaceFactor)
+		}
+	case spec.model() == ccolor.ModelLowSpace:
 		p := ccolor.DefaultLowSpaceParams()
 		if spec.LowSpace != nil {
 			p = *spec.LowSpace
 		}
 		paramText = fmt.Sprintf("%v", p)
-	case ccolor.ModelMPC:
+	case spec.model() == ccolor.ModelMPC:
 		p := ccolor.DefaultParams()
 		if spec.Params != nil {
 			p = *spec.Params
@@ -77,6 +94,12 @@ func keyFor(spec *Spec) cacheKey {
 	}
 	words = graph.AppendInstanceWords(words, spec.Inst)
 	return cacheKey{digest: hashing.Fingerprint(words), sum: sumWords(words)}
+}
+
+// reportWords approximates a report's resident size in words: the coloring
+// vector dominates coloring jobs, the set vector (1 byte/node) set jobs.
+func reportWords(rep *ccolor.Report) int64 {
+	return int64(len(rep.Coloring)) + int64((len(rep.Set)+7)/8)
 }
 
 // Cache is a thread-safe LRU over solved Reports, content-addressed by
@@ -141,7 +164,7 @@ func (c *Cache) Put(key cacheKey, rep *ccolor.Report) {
 	}
 	el := c.ll.PushFront(&cacheEntry{key: key, report: rep})
 	c.byDigest[key.digest] = append(c.byDigest[key.digest], el)
-	c.words += int64(len(rep.Coloring))
+	c.words += reportWords(rep)
 	for c.ll.Len() > c.capacity ||
 		(c.maxWords > 0 && c.words > c.maxWords && c.ll.Len() > 1) {
 		c.evictOldest()
@@ -155,7 +178,7 @@ func (c *Cache) evictOldest() {
 	}
 	c.ll.Remove(el)
 	e := el.Value.(*cacheEntry)
-	c.words -= int64(len(e.report.Coloring))
+	c.words -= reportWords(e.report)
 	bucket := c.byDigest[e.key.digest]
 	for i, cand := range bucket {
 		if cand == el {

@@ -8,12 +8,19 @@ import (
 	"ccolor"
 )
 
-// Spec is the unit of work the service executes: one list-coloring instance
-// under one execution model. Identical specs are deterministic — they always
-// produce identical Reports — which is what makes the result cache sound.
+// Spec is the unit of work the service executes: one registry problem over
+// one instance under one execution model. Identical specs are deterministic
+// — they always produce identical Reports — which is what makes the result
+// cache sound.
 type Spec struct {
 	Model ccolor.Model
 	Inst  *ccolor.Instance
+	// Problem selects the registry problem (empty = coloring). It
+	// participates in the cache key and in per-problem metrics.
+	Problem ccolor.Problem
+	// Beta is the ruling-set domination radius (0 = registry default 2);
+	// rejected for other problems.
+	Beta int
 	// Params / LowSpace / MPCSpaceFactor mirror ccolor.Options; nil/zero
 	// means paper defaults. They participate in the cache key.
 	Params         *ccolor.Params
@@ -36,6 +43,16 @@ func (s *Spec) Validate() error {
 	if _, err := ccolor.ParseModel(string(s.model())); err != nil {
 		return err
 	}
+	if _, err := ccolor.ParseProblem(string(s.Problem)); err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	if s.Beta < 0 {
+		return fmt.Errorf("server: negative beta %d", s.Beta)
+	}
+	if s.Beta != 0 && s.problem() != ccolor.ProblemRulingSet {
+		return fmt.Errorf("server: beta applies only to problem %q (got problem %q)",
+			ccolor.ProblemRulingSet, s.problem())
+	}
 	return nil
 }
 
@@ -46,9 +63,30 @@ func (s *Spec) model() ccolor.Model {
 	return s.Model
 }
 
+func (s *Spec) problem() ccolor.Problem {
+	if s.Problem == "" {
+		return ccolor.ProblemColoring
+	}
+	return s.Problem
+}
+
+// beta returns the effective domination radius: the registry default fills
+// in for zero, so Beta:0 and Beta:2 ruling-set jobs share one cache entry.
+func (s *Spec) beta() int {
+	if s.problem() != ccolor.ProblemRulingSet {
+		return 0
+	}
+	if s.Beta > 0 {
+		return s.Beta
+	}
+	return ccolor.DefaultBeta(ccolor.ProblemRulingSet)
+}
+
 func (s *Spec) options() *ccolor.Options {
 	return &ccolor.Options{
 		Model:          s.model(),
+		Problem:        s.problem(),
+		Beta:           s.Beta,
 		Params:         s.Params,
 		LowSpace:       s.LowSpace,
 		MPCSpaceFactor: s.MPCSpaceFactor,
@@ -67,8 +105,9 @@ const (
 
 // Result is the outcome of one executed job.
 type Result struct {
-	// Report is the verified coloring and cost ledger; shared (read-only)
-	// between all jobs that hit the same cache entry.
+	// Report is the verified solution (coloring or set, per the spec's
+	// problem) and cost ledger; shared (read-only) between all jobs that
+	// hit the same cache entry.
 	Report *ccolor.Report
 	// Key is the content address of the instance (canonical-encoding
 	// fingerprint, hex).

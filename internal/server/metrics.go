@@ -169,6 +169,20 @@ type ModelSnapshot struct {
 	LatencyHist LatencyHist `json:"-"`
 }
 
+// ProblemSnapshot is one (model × problem) row of job counters. Rows carry
+// their own labels (rather than a nested map) so the JSON body and the
+// Prometheus exposition both render them in a stable sorted order.
+type ProblemSnapshot struct {
+	Model     string `json:"model"`
+	Problem   string `json:"problem"`
+	Jobs      uint64 `json:"jobs"`
+	Errors    uint64 `json:"errors"`
+	CacheHits uint64 `json:"cache_hits"`
+	// SetSizeTotal sums the solution-set sizes of fresh set-problem solves
+	// (zero for coloring rows) — a cheap drift canary per problem.
+	SetSizeTotal uint64 `json:"set_size_total,omitempty"`
+}
+
 // Snapshot is one consistent view of the whole service's metrics.
 type Snapshot struct {
 	Uptime         time.Duration            `json:"uptime_ns"`
@@ -184,6 +198,25 @@ type Snapshot struct {
 	CacheMiss      uint64                   `json:"cache_misses"`
 	TracesRetained int                      `json:"traces_retained"`
 	PerModel       map[string]ModelSnapshot `json:"per_model"`
+	// PerProblem breaks job counters down by (model × problem), sorted by
+	// model then problem.
+	PerProblem []ProblemSnapshot `json:"per_problem,omitempty"`
+}
+
+// problemKey dimensions the per-problem counters.
+type problemKey struct {
+	model   ccolor.Model
+	problem ccolor.Problem
+}
+
+// problemStats accumulates per-(model × problem) counters; guarded by
+// Metrics.mu. The heavyweight rollups (latency windows, phase attribution)
+// stay per-model — the problem dimension carries job accounting only.
+type problemStats struct {
+	Jobs         uint64
+	Errors       uint64
+	CacheHits    uint64
+	SetSizeTotal uint64
 }
 
 // Metrics aggregates service counters; all methods are safe for concurrent
@@ -193,10 +226,15 @@ type Metrics struct {
 	start    time.Time
 	rejected uint64
 	models   map[ccolor.Model]*modelStats
+	problems map[problemKey]*problemStats
 }
 
 func newMetrics(now time.Time) *Metrics {
-	return &Metrics{start: now, models: make(map[ccolor.Model]*modelStats)}
+	return &Metrics{
+		start:    now,
+		models:   make(map[ccolor.Model]*modelStats),
+		problems: make(map[problemKey]*problemStats),
+	}
 }
 
 func (m *Metrics) model(model ccolor.Model) *modelStats {
@@ -245,13 +283,20 @@ func (m *Metrics) RecordRejected() {
 }
 
 // RecordJob folds one finished job into the rollups.
-func (m *Metrics) RecordJob(model ccolor.Model, res *Result, err error, lat time.Duration) {
+func (m *Metrics) RecordJob(model ccolor.Model, prob ccolor.Problem, res *Result, err error, lat time.Duration) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s := m.model(model)
+	p := m.problems[problemKey{model, prob}]
+	if p == nil {
+		p = &problemStats{}
+		m.problems[problemKey{model, prob}] = p
+	}
 	s.Jobs++
+	p.Jobs++
 	if err != nil {
 		s.Errors++
+		p.Errors++
 		s.errLat.observe(lat)
 		return
 	}
@@ -259,8 +304,10 @@ func (m *Metrics) RecordJob(model ccolor.Model, res *Result, err error, lat time
 	s.okHist.observe(lat)
 	if res.Cached {
 		s.CacheHits++
+		p.CacheHits++
 		return
 	}
+	p.SetSizeTotal += uint64(res.Report.SetSize)
 	s.RoundsTotal += uint64(res.Report.Rounds)
 	s.WordsTotal += uint64(res.Report.WordsMoved)
 	for phase, ps := range res.Report.PhaseProfile {
@@ -329,5 +376,23 @@ func (m *Metrics) snapshot(now time.Time) Snapshot {
 		out.JobsTotal += s.Jobs
 		out.Errors += s.Errors
 	}
+	out.PerProblem = make([]ProblemSnapshot, 0, len(m.problems))
+	for k, p := range m.problems {
+		out.PerProblem = append(out.PerProblem, ProblemSnapshot{
+			Model:        string(k.model),
+			Problem:      string(k.problem),
+			Jobs:         p.Jobs,
+			Errors:       p.Errors,
+			CacheHits:    p.CacheHits,
+			SetSizeTotal: p.SetSizeTotal,
+		})
+	}
+	sort.Slice(out.PerProblem, func(i, j int) bool {
+		a, b := out.PerProblem[i], out.PerProblem[j]
+		if a.Model != b.Model {
+			return a.Model < b.Model
+		}
+		return a.Problem < b.Problem
+	})
 	return out
 }

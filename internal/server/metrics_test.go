@@ -61,9 +61,9 @@ func TestLatencyWindowWraps(t *testing.T) {
 
 func TestErrorLatenciesTrackedSeparately(t *testing.T) {
 	m := newMetrics(time.Now())
-	m.RecordJob(ccolor.ModelCClique, &Result{Cached: true}, nil, 10*time.Millisecond)
+	m.RecordJob(ccolor.ModelCClique, ccolor.ProblemColoring, &Result{Cached: true}, nil, 10*time.Millisecond)
 	// A slow erroring job must not leak into the success percentiles.
-	m.RecordJob(ccolor.ModelCClique, nil, errors.New("boom"), 10*time.Second)
+	m.RecordJob(ccolor.ModelCClique, ccolor.ProblemColoring, nil, errors.New("boom"), 10*time.Second)
 	snap := m.snapshot(time.Now())
 	ms, ok := snap.PerModel[string(ccolor.ModelCClique)]
 	if !ok {

@@ -9,9 +9,10 @@ import (
 
 // WritePrometheus renders one metrics snapshot in the Prometheus text
 // exposition format (version 0.0.4). Every family carries HELP and TYPE
-// lines, per-model series are label-dimensioned on {model="..."} (and
-// {model,phase} for the ledger phase attribution), and map iteration is
-// sorted so successive scrapes emit series in a stable order.
+// lines, per-model series are label-dimensioned on {model="..."} (plus
+// {model,phase} for the ledger phase attribution and {model,problem} for
+// the registry-problem job counters), and map iteration is sorted so
+// successive scrapes emit series in a stable order.
 func WritePrometheus(w io.Writer, snap Snapshot) {
 	pw := &promWriter{w: w}
 
@@ -74,6 +75,21 @@ func WritePrometheus(w io.Writer, snap Snapshot) {
 		func(ms ModelSnapshot) float64 { return float64(ms.SessionReuses) })
 	eachModel("ccserve_sessions_active", "gauge", "Worker-pinned solver sessions currently alive, per model.",
 		func(ms ModelSnapshot) float64 { return float64(ms.SessionsActive) })
+
+	eachProblem := func(name, typ, help string, value func(ProblemSnapshot) float64) {
+		pw.family(name, typ, help)
+		for _, ps := range snap.PerProblem {
+			pw.sample(name, modelLabel(ps.Model)+`,problem="`+ps.Problem+`"`, value(ps))
+		}
+	}
+	eachProblem("ccserve_problem_jobs_total", "counter", "Jobs finished per (model, registry problem), including errors and cache hits.",
+		func(ps ProblemSnapshot) float64 { return float64(ps.Jobs) })
+	eachProblem("ccserve_problem_job_errors_total", "counter", "Jobs that finished with an error, per (model, problem).",
+		func(ps ProblemSnapshot) float64 { return float64(ps.Errors) })
+	eachProblem("ccserve_problem_cache_hits_total", "counter", "Jobs served from the result cache, per (model, problem).",
+		func(ps ProblemSnapshot) float64 { return float64(ps.CacheHits) })
+	eachProblem("ccserve_problem_set_size_total", "counter", "Solution-set sizes summed over fresh set-problem solves, per (model, problem).",
+		func(ps ProblemSnapshot) float64 { return float64(ps.SetSizeTotal) })
 
 	pw.family("ccserve_phase_rounds_total", "counter", "Communication rounds attributed to each algorithm phase, per model.")
 	for _, m := range models {

@@ -1,13 +1,14 @@
 // Package server is ccolor's serving layer: a bounded job queue with
-// backpressure, a worker pool executing coloring jobs through the public
-// ccolor.Solve facade, a deterministic content-addressed LRU result cache,
-// and per-model metrics (jobs, latency percentiles, cache hit rate, and
-// rounds/words ledger rollups).
+// backpressure, a worker pool executing registry-problem jobs (coloring,
+// MIS, ruling sets) through the public ccolor.Solve facade, a deterministic
+// content-addressed LRU result cache, and per-model plus per-problem
+// metrics (jobs, latency percentiles, cache hit rate, and rounds/words
+// ledger rollups).
 //
 // The design leans on the paper's determinism: the algorithms are
-// deterministic, so identical instances always produce identical colorings
-// and identical cost ledgers, and a cached Report is indistinguishable from
-// a recomputed one. cmd/ccserve exposes this package over HTTP.
+// deterministic, so identical specs always produce identical solutions and
+// identical cost ledgers, and a cached Report is indistinguishable from a
+// recomputed one. cmd/ccserve exposes this package over HTTP.
 package server
 
 import (
@@ -20,6 +21,7 @@ import (
 	"time"
 
 	"ccolor"
+	"ccolor/internal/problem"
 	"ccolor/internal/telemetry"
 	"ccolor/internal/verify"
 )
@@ -363,6 +365,21 @@ func (ws *workerSessions) release(m *Metrics) {
 	}
 }
 
+// verifySolve re-derives the report's claims through the job's problem
+// oracle: the full coloring oracle (properness, palette membership, the
+// Δ+1/deg+1 bound the instance implies) for coloring jobs, the registry
+// checker (independence, maximality / domination radius) for set jobs.
+func verifySolve(spec *Spec, rep *ccolor.Report) error {
+	p, err := problem.Lookup(string(spec.problem()))
+	if err != nil {
+		return err
+	}
+	if p.Output == problem.OutputColoring {
+		return verify.Full(spec.Inst, rep.Coloring)
+	}
+	return p.Check(spec.Inst, &problem.Solution{Set: rep.Set, Beta: rep.Beta})
+}
+
 // flight is one in-progress solve; identical jobs arriving while it runs
 // park on it instead of duplicating the (deterministic) work or blocking a
 // worker goroutine.
@@ -399,8 +416,8 @@ func (s *Server) run(job *Job, sessions *workerSessions) bool {
 	if err == nil && s.cfg.VerifyOnSolve {
 		// The instance is still attached here (it is only released when the
 		// job finishes), so the oracle can re-derive every claim from it.
-		if verr := verify.Full(job.Spec.Inst, rep.Coloring); verr != nil {
-			err = fmt.Errorf("server: verify-on-solve rejected the coloring: %w", verr)
+		if verr := verifySolve(&job.Spec, rep); verr != nil {
+			err = fmt.Errorf("server: verify-on-solve rejected the solution: %w", verr)
 			rep = nil
 			s.metrics.RecordVerify(job.Spec.model(), false)
 		} else {
@@ -453,7 +470,7 @@ func (s *Server) complete(job *Job, res *Result, err error, start time.Time) {
 		res.N = job.Spec.Inst.G.N()
 		res.M = job.Spec.Inst.G.M()
 	}
-	s.metrics.RecordJob(job.Spec.model(), res, err, lat)
+	s.metrics.RecordJob(job.Spec.model(), job.Spec.problem(), res, err, lat)
 	job.finish(res, err)
 	s.retain(job)
 }
@@ -488,11 +505,12 @@ func (s *Server) retain(job *Job) {
 }
 
 // resultWords approximates a finished job's resident result size (the
-// coloring dominates; the instance itself was released at finish).
+// coloring or set vector dominates; the instance itself was released at
+// finish).
 func resultWords(job *Job) int64 {
 	res, _ := job.Result()
 	if res == nil || res.Report == nil {
 		return 0
 	}
-	return int64(len(res.Report.Coloring))
+	return reportWords(res.Report)
 }

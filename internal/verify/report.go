@@ -139,6 +139,9 @@ type Agreement struct {
 	// Groups partitions the models by identical coloring fingerprints, in
 	// first-seen input order; one group per distinct coloring.
 	Groups [][]string
+	// Output names the solution shape in the rendered report; empty means
+	// "coloring" (CrossModelSets sets "set").
+	Output string
 }
 
 // CrossModel verifies every model's coloring against the shared instance
@@ -178,6 +181,10 @@ func (a *Agreement) Unanimous() bool { return len(a.Groups) == 1 }
 
 // String renders the report for humans (cmd/ccolor -model all).
 func (a *Agreement) String() string {
+	label := a.Output
+	if label == "" {
+		label = "coloring"
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "instance %016x\n", a.InstanceFP)
 	models := make([]string, 0, len(a.ColoringFP))
@@ -190,7 +197,7 @@ func (a *Agreement) String() string {
 		if err, bad := a.Failures[m]; bad {
 			status = "FAILED: " + err.Error()
 		}
-		fmt.Fprintf(&b, "  %-9s coloring %016x  %s\n", m, a.ColoringFP[m], status)
+		fmt.Fprintf(&b, "  %-9s %s %016x  %s\n", m, label, a.ColoringFP[m], status)
 	}
 	switch {
 	case !a.Clean():
@@ -202,8 +209,8 @@ func (a *Agreement) String() string {
 		for i, g := range a.Groups {
 			groups[i] = "{" + strings.Join(g, ",") + "}"
 		}
-		fmt.Fprintf(&b, "agreement: %d distinct verified colorings: %s\n",
-			len(a.Groups), strings.Join(groups, " "))
+		fmt.Fprintf(&b, "agreement: %d distinct verified %ss: %s\n",
+			len(a.Groups), label, strings.Join(groups, " "))
 	}
 	return b.String()
 }

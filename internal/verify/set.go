@@ -1,0 +1,168 @@
+package verify
+
+import (
+	"errors"
+	"fmt"
+
+	"ccolor/internal/graph"
+	"ccolor/internal/hashing"
+)
+
+// This file is the oracle for the node-set problems (MIS, β-ruling sets):
+// independent re-derivations of the solution contracts, written against the
+// graph alone so a solver-side bookkeeping bug cannot mask itself. The
+// golden ledgers and cross-model agreement reports compare sets through
+// SetFingerprint exactly as colorings go through ColoringFingerprint.
+
+// ErrDependent reports two adjacent nodes both in a set that must be
+// independent.
+var ErrDependent = errors.New("verify: set not independent")
+
+// ErrNotMaximal reports a node that could join an MIS without violating
+// independence.
+var ErrNotMaximal = errors.New("verify: independent set not maximal")
+
+// ErrNotDominated reports a node farther than the domination radius from a
+// ruling set.
+var ErrNotDominated = errors.New("verify: node outside domination radius")
+
+func checkSetLen(g *graph.Graph, set []bool) error {
+	if len(set) != g.N() {
+		return fmt.Errorf("verify: set has %d entries for %d nodes", len(set), g.N())
+	}
+	return nil
+}
+
+// Independent checks that no edge of g has both endpoints in the set.
+func Independent(g *graph.Graph, set []bool) error {
+	if err := checkSetLen(g, set); err != nil {
+		return err
+	}
+	for v := 0; v < g.N(); v++ {
+		if !set[v] {
+			continue
+		}
+		for _, u := range g.Neighbors(int32(v)) {
+			if set[u] {
+				return fmt.Errorf("edge (%d,%d) both in set: %w", v, u, ErrDependent)
+			}
+		}
+	}
+	return nil
+}
+
+// MIS checks that set is a maximal independent set of g: independent, and
+// every node outside the set has a neighbor inside it.
+func MIS(g *graph.Graph, set []bool) error {
+	if err := Independent(g, set); err != nil {
+		return err
+	}
+	for v := 0; v < g.N(); v++ {
+		if set[v] {
+			continue
+		}
+		dominated := false
+		for _, u := range g.Neighbors(int32(v)) {
+			if set[u] {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			return fmt.Errorf("node %d joinable: %w", v, ErrNotMaximal)
+		}
+	}
+	return nil
+}
+
+// RulingSet checks that set is a (2,β)-ruling set of g: independent in g,
+// with every node within beta hops of a set member. Domination is
+// re-derived by a multi-source BFS from the set.
+func RulingSet(g *graph.Graph, set []bool, beta int) error {
+	if err := Independent(g, set); err != nil {
+		return err
+	}
+	if beta < 1 {
+		return fmt.Errorf("verify: domination radius %d < 1", beta)
+	}
+	n := g.N()
+	dist := make([]int, n)
+	queue := make([]int32, 0, n)
+	for v := 0; v < n; v++ {
+		if set[v] {
+			dist[v] = 0
+			queue = append(queue, int32(v))
+		} else {
+			dist[v] = -1
+		}
+	}
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		for _, u := range g.Neighbors(v) {
+			if dist[u] < 0 {
+				dist[u] = dist[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		if dist[v] < 0 || dist[v] > beta {
+			d := "unreachable from set"
+			if dist[v] >= 0 {
+				d = fmt.Sprintf("distance %d", dist[v])
+			}
+			return fmt.Errorf("node %d %s > β=%d: %w", v, d, beta, ErrNotDominated)
+		}
+	}
+	return nil
+}
+
+// SetFingerprint is the canonical 61-bit fingerprint of a node set — the
+// set-problem counterpart of ColoringFingerprint. The stream is the set
+// size followed by the bit-packed membership vector, so sets over different
+// node counts never collide structurally.
+func SetFingerprint(set []bool) uint64 {
+	words := make([]uint64, 1+(len(set)+63)/64)
+	words[0] = uint64(len(set))
+	for i, ok := range set {
+		if ok {
+			words[1+i/64] |= 1 << uint(i%64)
+		}
+	}
+	return hashing.Fingerprint(words)
+}
+
+// ModelSet is one backend's set output on a shared instance.
+type ModelSet struct {
+	Model string
+	Set   []bool
+}
+
+// CrossModelSets is CrossModel for node-set problems: it verifies every
+// model's set with check (e.g. a MIS or RulingSet closure) and reports
+// which models agree by set fingerprint.
+func CrossModelSets(inst *graph.Instance, runs []ModelSet, check func(g *graph.Graph, set []bool) error) *Agreement {
+	a := &Agreement{
+		InstanceFP: InstanceFingerprint(inst),
+		ColoringFP: make(map[string]uint64, len(runs)),
+		Failures:   make(map[string]error),
+		Output:     "set",
+	}
+	order := make([]uint64, 0, len(runs))
+	byFP := make(map[uint64][]string, len(runs))
+	for _, r := range runs {
+		fp := SetFingerprint(r.Set)
+		a.ColoringFP[r.Model] = fp
+		if err := check(inst.G, r.Set); err != nil {
+			a.Failures[r.Model] = err
+		}
+		if _, seen := byFP[fp]; !seen {
+			order = append(order, fp)
+		}
+		byFP[fp] = append(byFP[fp], r.Model)
+	}
+	for _, fp := range order {
+		a.Groups = append(a.Groups, byFP[fp])
+	}
+	return a
+}

@@ -1,0 +1,239 @@
+package verify
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"ccolor/internal/graph"
+)
+
+// greedyMIS builds a maximal independent set by scanning nodes in order —
+// an intentionally different construction from the solver's derandomized
+// procedure, so these tests exercise the checkers, not the solver.
+func greedyMIS(g *graph.Graph) []bool {
+	set := make([]bool, g.N())
+	for v := 0; v < g.N(); v++ {
+		ok := true
+		for _, u := range g.Neighbors(int32(v)) {
+			if set[u] {
+				ok = false
+				break
+			}
+		}
+		set[v] = ok
+	}
+	return set
+}
+
+// mustGraph adapts a graph-constructor result for use inside a test.
+func mustGraph(g *graph.Graph, err error) *graph.Graph {
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestMISAcceptsGreedyAcrossFamilies(t *testing.T) {
+	families := map[string]*graph.Graph{
+		"gnp":      mustGraph(graph.GNP(60, 0.12, 7)),
+		"cycle":    mustGraph(graph.Cycle(17)),
+		"star":     mustGraph(graph.Star(25)),
+		"complete": mustGraph(graph.Complete(9)),
+		"grid":     mustGraph(graph.Grid(6, 7)),
+		"powerlaw": mustGraph(graph.PowerLaw(50, 3, 11)),
+	}
+	for name, g := range families {
+		set := greedyMIS(g)
+		if err := MIS(g, set); err != nil {
+			t.Errorf("%s: greedy MIS rejected: %v", name, err)
+		}
+		// Every MIS is a (2,1)-ruling set, hence also rules at any β ≥ 1.
+		for _, beta := range []int{1, 2, 3} {
+			if err := RulingSet(g, set, beta); err != nil {
+				t.Errorf("%s: MIS rejected as β=%d ruling set: %v", name, beta, err)
+			}
+		}
+	}
+}
+
+func TestIndependentRejectsAdjacentPair(t *testing.T) {
+	g := mustGraph(graph.Cycle(10))
+	set := make([]bool, g.N())
+	set[3], set[4] = true, true // adjacent on the cycle
+	if err := Independent(g, set); !errors.Is(err, ErrDependent) {
+		t.Fatalf("want ErrDependent, got %v", err)
+	}
+	// MIS and RulingSet inherit the independence check.
+	if err := MIS(g, set); !errors.Is(err, ErrDependent) {
+		t.Fatalf("MIS: want ErrDependent, got %v", err)
+	}
+	if err := RulingSet(g, set, 2); !errors.Is(err, ErrDependent) {
+		t.Fatalf("RulingSet: want ErrDependent, got %v", err)
+	}
+}
+
+func TestMISRejectsPlantedNonMaximal(t *testing.T) {
+	g := mustGraph(graph.GNP(40, 0.15, 3))
+	set := greedyMIS(g)
+	// Removing any member leaves that node joinable: by independence it had
+	// no neighbor in the set, and removal cannot create one.
+	for v := range set {
+		if !set[v] {
+			continue
+		}
+		set[v] = false
+		if err := MIS(g, set); !errors.Is(err, ErrNotMaximal) {
+			t.Fatalf("remove %d: want ErrNotMaximal, got %v", v, err)
+		}
+		set[v] = true
+	}
+}
+
+func TestRulingSetRejectsRadiusViolation(t *testing.T) {
+	// A single member on a 12-cycle dominates radius ≤ 2 only up to
+	// distance 2; the antipodal node sits at distance 6.
+	g := mustGraph(graph.Cycle(12))
+	set := make([]bool, g.N())
+	set[0] = true
+	if err := RulingSet(g, set, 2); !errors.Is(err, ErrNotDominated) {
+		t.Fatalf("want ErrNotDominated, got %v", err)
+	}
+	// Radius 6 reaches everything.
+	if err := RulingSet(g, set, 6); err != nil {
+		t.Fatalf("β=6 should dominate the 12-cycle: %v", err)
+	}
+}
+
+func TestRulingSetRejectsUnreachableNode(t *testing.T) {
+	// Node 3 is isolated: no radius can reach it from the triangle.
+	g, err := graph.FromEdges(4, [][2]int32{{0, 1}, {1, 2}, {0, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := []bool{true, false, false, false}
+	if err := RulingSet(g, set, 100); !errors.Is(err, ErrNotDominated) {
+		t.Fatalf("want ErrNotDominated for unreachable node, got %v", err)
+	}
+	// Adding the isolated node fixes domination.
+	set[3] = true
+	if err := RulingSet(g, set, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRulingSetRejectsBadRadius(t *testing.T) {
+	g := mustGraph(graph.Cycle(5))
+	if err := RulingSet(g, greedyMIS(g), 0); err == nil {
+		t.Fatal("β=0 accepted")
+	}
+}
+
+func TestSetCheckersRejectWrongLength(t *testing.T) {
+	g := mustGraph(graph.Cycle(6))
+	short := make([]bool, 5)
+	if err := Independent(g, short); err == nil {
+		t.Fatal("short set accepted by Independent")
+	}
+	if err := MIS(g, short); err == nil {
+		t.Fatal("short set accepted by MIS")
+	}
+	if err := RulingSet(g, short, 2); err == nil {
+		t.Fatal("short set accepted by RulingSet")
+	}
+}
+
+func TestSetFingerprint(t *testing.T) {
+	set := []bool{true, false, true, false, false, true}
+	if SetFingerprint(set) != SetFingerprint(append([]bool(nil), set...)) {
+		t.Fatal("fingerprint not deterministic")
+	}
+	flipped := append([]bool(nil), set...)
+	flipped[4] = true
+	if SetFingerprint(set) == SetFingerprint(flipped) {
+		t.Fatal("membership flip did not change the fingerprint")
+	}
+	// The length prefix separates sets over different node counts even when
+	// the membership bits coincide.
+	if SetFingerprint([]bool{true}) == SetFingerprint([]bool{true, false}) {
+		t.Fatal("fingerprint ignores node count")
+	}
+}
+
+func TestCrossModelSets(t *testing.T) {
+	g := mustGraph(graph.GNP(30, 0.2, 5))
+	inst := graph.DeltaPlus1Instance(g)
+	set := greedyMIS(g)
+	a := CrossModelSets(inst, []ModelSet{
+		{Model: "cclique", Set: set},
+		{Model: "mpc", Set: append([]bool(nil), set...)},
+	}, MIS)
+	if !a.Clean() {
+		t.Fatalf("clean runs reported dirty:\n%s", a)
+	}
+	if len(a.Groups) != 1 {
+		t.Fatalf("identical sets split into %d groups", len(a.Groups))
+	}
+	if a.Output != "set" || !strings.Contains(a.String(), "set") {
+		t.Fatalf("agreement not labeled as set output:\n%s", a)
+	}
+
+	// A planted dependence shows up as that model's failure and its own
+	// fingerprint group.
+	bad := append([]bool(nil), set...)
+	for v := range bad {
+		if !bad[v] && len(g.Neighbors(int32(v))) > 0 {
+			bad[v] = true
+			break
+		}
+	}
+	a = CrossModelSets(inst, []ModelSet{
+		{Model: "cclique", Set: set},
+		{Model: "mpc", Set: bad},
+	}, MIS)
+	if a.Clean() {
+		t.Fatal("planted violation went unreported")
+	}
+	if err := a.Failures["mpc"]; !errors.Is(err, ErrDependent) && !errors.Is(err, ErrNotMaximal) {
+		t.Fatalf("mpc failure = %v", err)
+	}
+	if len(a.Groups) != 2 {
+		t.Fatalf("distinct sets grouped together: %d groups", len(a.Groups))
+	}
+}
+
+// FuzzPlantedSetViolations checks the two central checker guarantees on
+// arbitrary (n, p-ish, seed) G(n,p) graphs: a greedy MIS always passes MIS
+// and RulingSet, and flipping any single node's membership always fails —
+// removal of a member as non-maximality, addition of a non-member as a
+// dependence (greedy maximality means every outsider has a member
+// neighbor; isolated nodes are always members).
+func FuzzPlantedSetViolations(f *testing.F) {
+	f.Add(uint8(40), uint8(15), uint64(1), uint8(0))
+	f.Add(uint8(9), uint8(80), uint64(2), uint8(3))
+	f.Add(uint8(63), uint8(2), uint64(3), uint8(17))
+	f.Fuzz(func(t *testing.T, rawN, rawP uint8, seed uint64, pick uint8) {
+		n := 4 + int(rawN)%61
+		p := float64(1+int(rawP)%99) / 100
+		g, err := graph.GNP(n, p, seed)
+		if err != nil {
+			t.Skip()
+		}
+		set := greedyMIS(g)
+		if err := MIS(g, set); err != nil {
+			t.Fatalf("greedy MIS rejected: %v", err)
+		}
+		if err := RulingSet(g, set, 1); err != nil {
+			t.Fatalf("MIS rejected as (2,1)-ruling set: %v", err)
+		}
+		v := int(pick) % n
+		set[v] = !set[v]
+		err = MIS(g, set)
+		switch {
+		case set[v] && !errors.Is(err, ErrDependent):
+			t.Fatalf("added node %d: want ErrDependent, got %v", v, err)
+		case !set[v] && !errors.Is(err, ErrNotMaximal):
+			t.Fatalf("removed node %d: want ErrNotMaximal, got %v", v, err)
+		}
+	})
+}

@@ -1,0 +1,79 @@
+package ccolor_test
+
+import (
+	"testing"
+
+	"ccolor"
+	"ccolor/internal/graph"
+	"ccolor/internal/verify"
+)
+
+// solveAllProblems runs one set problem on every model and returns the
+// per-model reports keyed by model name.
+func solveAllProblems(t *testing.T, inst *graph.Instance, prob ccolor.Problem, beta int) map[string]*ccolor.Report {
+	t.Helper()
+	out := make(map[string]*ccolor.Report, 3)
+	for _, m := range []ccolor.Model{ccolor.ModelCClique, ccolor.ModelMPC, ccolor.ModelLowSpace} {
+		rep, err := ccolor.Solve(inst, &ccolor.Options{Model: m, Problem: prob, Beta: beta})
+		if err != nil {
+			t.Fatalf("%s/%s: %v", prob, m, err)
+		}
+		if rep.Problem != prob {
+			t.Fatalf("%s/%s: report problem %q", prob, m, rep.Problem)
+		}
+		if rep.Coloring != nil {
+			t.Fatalf("%s/%s: set problem returned a coloring", prob, m)
+		}
+		if rep.SetSize == 0 {
+			t.Fatalf("%s/%s: empty set", prob, m)
+		}
+		out[string(m)] = rep
+	}
+	return out
+}
+
+func TestProblemSolveAgreement(t *testing.T) {
+	g, err := graph.GNP(96, 0.06, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := graph.DeltaPlus1Instance(g)
+
+	misReps := solveAllProblems(t, inst, ccolor.ProblemMIS, 0)
+	runs := make([]verify.ModelSet, 0, len(misReps))
+	for m, rep := range misReps {
+		runs = append(runs, verify.ModelSet{Model: m, Set: rep.Set})
+	}
+	a := verify.CrossModelSets(inst, runs, verify.MIS)
+	if !a.Clean() {
+		t.Fatalf("mis agreement unclean: %v", a.Failures)
+	}
+	if !a.Unanimous() {
+		t.Fatalf("mis models disagree: %v", a.Groups)
+	}
+
+	rsReps := solveAllProblems(t, inst, ccolor.ProblemRulingSet, 0)
+	runs = runs[:0]
+	for m, rep := range rsReps {
+		if rep.Beta != 2 {
+			t.Fatalf("rulingset/%s: beta %d, want default 2", m, rep.Beta)
+		}
+		runs = append(runs, verify.ModelSet{Model: m, Set: rep.Set})
+	}
+	a = verify.CrossModelSets(inst, runs, func(g *graph.Graph, set []bool) error {
+		return verify.RulingSet(g, set, 2)
+	})
+	if !a.Clean() {
+		t.Fatalf("rulingset agreement unclean: %v", a.Failures)
+	}
+	if !a.Unanimous() {
+		t.Fatalf("rulingset models disagree: %v", a.Groups)
+	}
+
+	// Ruling sets sparsify: at β=2 the set is no larger than the MIS.
+	for m := range misReps {
+		if rsReps[m].SetSize > misReps[m].SetSize {
+			t.Errorf("%s: rulingset size %d > mis size %d", m, rsReps[m].SetSize, misReps[m].SetSize)
+		}
+	}
+}

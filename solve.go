@@ -3,6 +3,7 @@ package ccolor
 import (
 	"ccolor/internal/engine"
 	"ccolor/internal/graph"
+	"ccolor/internal/problem"
 )
 
 // Model selects which of the paper's execution models runs a job.
@@ -20,6 +21,54 @@ const (
 
 // ParseModel validates a model name.
 func ParseModel(s string) (Model, error) { return engine.ParseModel(s) }
+
+// Problem selects which registry problem (internal/problem) a Solve call
+// answers. Every problem runs on all three models through the same warm
+// session machinery.
+type Problem = problem.Kind
+
+const (
+	// ProblemColoring is (Δ+1)/(deg+1)-list coloring — the default.
+	ProblemColoring = problem.Coloring
+	// ProblemMIS is the maximal independent set problem.
+	ProblemMIS = problem.MIS
+	// ProblemRulingSet is the deterministic (2,β)-ruling set problem
+	// (default β = 2), built by iterated MIS on power graphs.
+	ProblemRulingSet = problem.RulingSet
+)
+
+// Problems lists the registered problems in catalog order.
+func Problems() []Problem { return problem.Kinds() }
+
+// ParseProblem validates a problem name; the empty string means
+// ProblemColoring.
+func ParseProblem(s string) (Problem, error) {
+	spec, err := problem.Lookup(s)
+	if err != nil {
+		return "", err
+	}
+	return spec.Kind, nil
+}
+
+// DefaultBeta returns the registry-default domination radius for a problem
+// (2 for ProblemRulingSet, 0 for everything else).
+func DefaultBeta(p Problem) int {
+	spec, err := problem.Lookup(string(p))
+	if err != nil {
+		return 0
+	}
+	return spec.DefaultBeta
+}
+
+// ProblemNeedsSet reports whether the problem's solution is a node subset
+// (Report.Set) rather than a coloring.
+func ProblemNeedsSet(p Problem) bool {
+	spec, err := problem.Lookup(string(p))
+	if err != nil {
+		return false
+	}
+	return spec.Output == problem.OutputSet
+}
 
 // Options configures a Solve call. The zero value (and nil) means
 // ModelCClique with paper-faithful defaults.
@@ -42,13 +91,15 @@ type SolverSession = engine.Session
 // sizes it.
 func NewSolverSession(model Model) (*SolverSession, error) { return engine.NewSession(model) }
 
-// Solve runs the selected model's algorithm on a list-coloring instance and
-// returns a verified coloring with full cost accounting. It is a thin
-// wrapper over a package-level session pool — repeated calls reuse warm
-// solver sessions (simulators, workspaces, derandomization buffers) with
-// results byte-identical to fresh-session solves. It is the single entry
-// point the serving layer (internal/server) drives; ColorList,
-// ColorListMPC, and ColorDegPlus1LowSpace remain as convenience wrappers.
+// Solve is the problem-keyed entry point: it runs the selected model's
+// algorithm for the selected registry problem (Options.Problem; coloring by
+// default) and returns a verified solution with full cost accounting. It
+// is a thin wrapper over a package-level session pool — repeated calls
+// reuse warm solver sessions (simulators, workspaces, derandomization
+// buffers) with results byte-identical to fresh-session solves. It is the
+// single entry point the serving layer (internal/server) drives; ColorList,
+// ColorListMPC, and ColorDegPlus1LowSpace remain as deprecated
+// coloring-only compatibility wrappers.
 func Solve(inst *Instance, opts *Options) (*Report, error) {
 	return engine.Solve(inst, opts)
 }
