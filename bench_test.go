@@ -370,6 +370,25 @@ func BenchmarkSolveWarmLowSpace(b *testing.B) {
 	})
 }
 
+// --- scaling curve (large-instance tier; exponent gated by benchguard) ---
+
+// benchSolveScale is a warm congested-clique solve of the registry gnp
+// scenario at size n — one point on the tier's scaling curve. The pair of
+// sizes below differ 16x in n (and, at gnp's fixed expected degree, 16x in
+// m), so cmd/benchguard's -scaling gate can fit the growth exponent
+// log(ns_large/ns_small)/log(16) and fail CI when a superlinear hotspot
+// creeps back into the solve path. The ratio basis makes the gate robust to
+// common-mode runner slowdowns that would flake an absolute ns gate.
+func benchSolveScale(b *testing.B, n int) {
+	b.Helper()
+	benchSolveWarm(b, ccolor.ModelCClique, solveScenarioInstance("gnp", n, 11))
+}
+
+func BenchmarkSolveScaling(b *testing.B) {
+	b.Run("gnp4k", func(b *testing.B) { benchSolveScale(b, 1<<12) })
+	b.Run("gnp64k", func(b *testing.B) { benchSolveScale(b, 1<<16) })
+}
+
 // --- traced warm solves (Options.Trace on; pins the tracing overhead) ---
 
 // benchSolveWarmTraced is benchSolveWarm with telemetry tracing enabled:

@@ -27,6 +27,13 @@
 // baselined. Matching at least one baseline entry is always required (a
 // filter typo must not pass vacuously); use -require to insist specific
 // benchmarks were both run and checked.
+//
+// The -scaling flag adds a fitted-exponent gate over a size pair: given
+// 'small:large:sizeRatio:maxExponent', the growth exponent
+// log(ns_large/ns_small)/log(sizeRatio) must stay at or below maxExponent.
+// Being a ratio of two same-run measurements, it cancels common-mode
+// runner slowdowns — it is the CI tripwire for superlinear hotspots
+// creeping back into the solve path, complementing the absolute gates.
 package main
 
 import (
@@ -34,6 +41,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"regexp"
 	"strconv"
@@ -76,6 +84,7 @@ func main() {
 	nsThreshold := flag.Float64("ns-threshold", 0.35, "maximum tolerated fractional ns/op regression (entries without ns_per_op are exempt)")
 	require := flag.String("require", "", "comma-separated benchmark name substrings that must be checked")
 	unknown := flag.String("unknown", "skip", "benchmarks absent from the baseline: 'skip' (tolerate, report) or 'fail'")
+	scaling := flag.String("scaling", "", "fitted-exponent gate 'small:large:sizeRatio:maxExponent' — both benchmarks must be in the input; fails when log(ns_large/ns_small)/log(sizeRatio) exceeds maxExponent")
 	flag.Parse()
 	if *unknown != "skip" && *unknown != "fail" {
 		fatalf("-unknown must be 'skip' or 'fail', got %q", *unknown)
@@ -196,6 +205,40 @@ func main() {
 		if !found {
 			fatalf("required benchmark %q was not checked (ran: %s)", want, strings.Join(checked, ", "))
 		}
+	}
+	if *scaling != "" {
+		// The exponent gate is ratio-based: a common-mode runner slowdown
+		// multiplies both points and cancels, so it stays meaningful on
+		// noisy machines where an absolute ns gate would flake. It exists
+		// to catch superlinear (accidentally quadratic) growth on the
+		// solve path, not constant-factor drift.
+		parts := strings.Split(*scaling, ":")
+		if len(parts) != 4 {
+			fatalf("-scaling wants 'small:large:sizeRatio:maxExponent', got %q", *scaling)
+		}
+		sizeRatio, err1 := strconv.ParseFloat(parts[2], 64)
+		maxExp, err2 := strconv.ParseFloat(parts[3], 64)
+		if err1 != nil || err2 != nil || sizeRatio <= 1 || maxExp <= 0 {
+			fatalf("-scaling: bad sizeRatio/maxExponent in %q", *scaling)
+		}
+		small, okS := measured[parts[0]]
+		large, okL := measured[parts[1]]
+		if !okS || !okL {
+			fatalf("-scaling: benchmarks %q and %q must both be in the input", parts[0], parts[1])
+		}
+		if small.ns <= 0 || large.ns <= 0 {
+			fatalf("-scaling: %q and %q need ns/op measurements", parts[0], parts[1])
+		}
+		exp := math.Log(large.ns/small.ns) / math.Log(sizeRatio)
+		status := "ok"
+		if exp > maxExp {
+			status = "REGRESSION"
+			regressions = append(regressions, fmt.Sprintf(
+				"scaling exponent %.2f exceeds %.2f (%s %.0f ns/op → %s %.0f ns/op over size ratio %.0fx)",
+				exp, maxExp, parts[0], small.ns, parts[1], large.ns, sizeRatio))
+		}
+		fmt.Printf("benchguard: scaling %s: fitted exponent %.2f (limit %.2f; %.0f ns/op → %.0f ns/op over %.0fx)\n",
+			status, exp, maxExp, small.ns, large.ns, sizeRatio)
 	}
 	if *unknown == "fail" && len(unknowns) > 0 {
 		fatalf("%d benchmark(s) missing from the baseline (-unknown=fail): %s",

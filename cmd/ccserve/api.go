@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ccolor"
+	"ccolor/internal/graph"
 	"ccolor/internal/scenario"
 	"ccolor/internal/server"
 	"ccolor/internal/telemetry"
@@ -41,10 +42,15 @@ type GraphSpec struct {
 const (
 	maxRequestNodes = 1 << 20
 	maxRequestEdges = 4 << 20
-	// maxScenarioNodes bounds registry-scenario requests: the densest
-	// family (hub-spoke's hub clique, ~(n/16)²/2 edges) stays under
-	// maxRequestEdges at this size.
-	maxScenarioNodes = 1 << 15
+	// maxRequestWords bounds registry-scenario requests (and heavy palette
+	// disciplines) by canonical encoded size — words of graph plus palettes —
+	// instead of a flat node cap. The cap a node count implies varies by
+	// orders of magnitude across families: a flat node limit both rejected
+	// cheap sparse instances (a 2¹⁷-node torus is ~650Ki words) and admitted
+	// monsters (rmat at the old 2¹⁵ limit carries ~55Mi words of list
+	// palettes). 32 Mi words ≈ 256 MiB of canonical payload, checked before
+	// palettes are materialized.
+	maxRequestWords = 32 << 20
 )
 
 // Build materializes the graph.
@@ -84,19 +90,29 @@ func (gs *GraphSpec) Build() (*ccolor.Graph, error) {
 		if err != nil {
 			return nil, err
 		}
-		return spec.Graph(gs.N, gs.Seed)
+		g, err := spec.Graph(gs.N, gs.Seed)
+		if err != nil {
+			return nil, err
+		}
+		if w := graph.GraphWordCount(g); w > maxRequestWords {
+			return nil, fmt.Errorf("scenario %s at n=%d encodes to %d words, over the %d limit",
+				gs.Name, gs.N, w, maxRequestWords)
+		}
+		return g, nil
 	}
 	return nil, fmt.Errorf("unknown graph kind %q (want gnp, regular, powerlaw, edges, or scenario)", gs.Kind)
 }
 
-// scenario resolves and bounds a kind "scenario" spec.
+// scenario resolves a kind "scenario" spec. The real admission bound is
+// maxRequestWords on the built result; the node check here only keeps
+// generation itself affordable (every registry generator is ~O(n + m)).
 func (gs *GraphSpec) scenario() (*scenario.Spec, error) {
 	spec, err := scenario.Lookup(gs.Name)
 	if err != nil {
 		return nil, err
 	}
-	if gs.N > maxScenarioNodes {
-		return nil, fmt.Errorf("scenario n=%d over the %d limit", gs.N, maxScenarioNodes)
+	if gs.N > maxRequestNodes {
+		return nil, fmt.Errorf("scenario n=%d over the %d limit", gs.N, maxRequestNodes)
 	}
 	return spec, nil
 }
@@ -141,6 +157,13 @@ func (ps *PaletteSpec) Build(g *ccolor.Graph, model ccolor.Model) (*ccolor.Insta
 	case "delta+1":
 		return ccolor.DeltaPlus1Instance(g), nil
 	case "list":
+		// List palettes carry Δ+1 colors per node; bound the mass before
+		// allocating it (deg+1 palettes total only 2m+n words and are
+		// covered by the edge budget).
+		if w := graph.GraphWordCount(g) + int64(g.N())*int64(g.MaxDegree()+2); w > maxRequestWords {
+			return nil, fmt.Errorf("list palettes for n=%d, Δ=%d encode to %d words, over the %d limit",
+				g.N(), g.MaxDegree(), w, maxRequestWords)
+		}
 		return ccolor.ListInstance(g, universe, ps.Seed)
 	case "deg+1":
 		return ccolor.DegPlus1Instance(g, universe, ps.Seed)
@@ -197,7 +220,18 @@ func (cr *ColorRequest) Spec() (server.Spec, error) {
 		if err != nil {
 			return server.Spec{}, fmt.Errorf("graph: %w", err)
 		}
-		inst, err = spec.Instance(cr.Graph.N, cr.Graph.Seed)
+		g, err := spec.Graph(cr.Graph.N, cr.Graph.Seed)
+		if err != nil {
+			return server.Spec{}, fmt.Errorf("graph: %w", err)
+		}
+		// Bound by predicted canonical size before palettes exist: for the
+		// heavy-tailed list-palette families the palette mass n·(Δ+1)
+		// dominates the graph by orders of magnitude.
+		if w := spec.InstanceWords(g); w > maxRequestWords {
+			return server.Spec{}, fmt.Errorf("graph: scenario %s at n=%d encodes to %d words, over the %d limit",
+				cr.Graph.Name, cr.Graph.N, w, maxRequestWords)
+		}
+		inst, err = spec.InstanceFromGraph(g, cr.Graph.N, cr.Graph.Seed)
 		if err != nil {
 			return server.Spec{}, fmt.Errorf("graph: %w", err)
 		}

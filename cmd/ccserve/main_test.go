@@ -273,10 +273,14 @@ func TestScenarioGraphKind(t *testing.T) {
 		t.Fatalf("error does not list the catalog: %s", rec.Body)
 	}
 
-	// Oversized scenario: bounded before generation.
+	// Oversized scenario: the canonical encoding of gnp at n=10⁶ predicts
+	// over the word budget, rejected before palettes are materialized.
 	rec = post(t, h, "/v1/color", `{"graph":{"kind":"scenario","name":"gnp","n":1000000}}`)
 	if rec.Code != http.StatusBadRequest {
 		t.Fatalf("oversized scenario: %d %s", rec.Code, rec.Body)
+	}
+	if !bytes.Contains(rec.Body.Bytes(), []byte("words")) {
+		t.Fatalf("oversized scenario error does not name the word budget: %s", rec.Body)
 	}
 
 	// The fresh solve above was verified once; the cache hit was not.
@@ -288,6 +292,42 @@ func TestScenarioGraphKind(t *testing.T) {
 	ls := snap.PerModel["lowspace"]
 	if ls.Verified != 1 || ls.VerifyFailures != 0 {
 		t.Fatalf("verify counters = %d/%d, want 1/0: %s", ls.Verified, ls.VerifyFailures, mrec.Body)
+	}
+}
+
+// TestScenarioScaleTier drives the large-instance tier through the wire
+// format: admission is bounded by canonical encoded words, not a flat node
+// cap. A 2¹⁴-node gnp request — over the old 2¹⁵-limit era's comfort zone
+// once palettes are counted, yet only ~0.5 Mi words — must solve; an rmat
+// request whose heavy-tailed list palettes predict ~250 Mi words must be
+// rejected even though its node count is modest.
+func TestScenarioScaleTier(t *testing.T) {
+	if testing.Short() {
+		t.Skip("2¹⁴-node HTTP solve skipped in -short mode")
+	}
+	h, _ := newTestHandler(t, server.Config{Workers: 2, QueueDepth: 16})
+
+	body := `{"model":"cclique","graph":{"kind":"scenario","name":"gnp","n":16384,"seed":11},"omit_coloring":true}`
+	rec := post(t, h, "/v1/color", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("16k scenario request: %d %s", rec.Code, rec.Body)
+	}
+	var resp ColorResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.N != 16384 || resp.Rounds <= 0 || resp.ColorsUsed <= 0 {
+		t.Fatalf("16k scenario response shape: %+v", resp)
+	}
+
+	// rmat at 2¹⁶ nodes is within every node/edge cap but its canonical
+	// encoding is ~250 Mi words of list palettes.
+	rec = post(t, h, "/v1/color", `{"graph":{"kind":"scenario","name":"rmat","n":65536}}`)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("rmat 64k scenario: %d %s", rec.Code, rec.Body)
+	}
+	if !bytes.Contains(rec.Body.Bytes(), []byte("words")) {
+		t.Fatalf("rmat 64k error does not name the word budget: %s", rec.Body)
 	}
 }
 

@@ -149,6 +149,93 @@ func TestScenarioProblemDifferential(t *testing.T) {
 	}
 }
 
+// TestScaleDifferentialSmoke is the large-instance tier's correctness gate:
+// one 2¹⁶-node gnp instance, every backend, every registry problem, each
+// solution checked by the independent oracle. One solve per (model, problem)
+// — run-to-run determinism is already pinned at small n, and a single pass
+// keeps the tier affordable under -race. The memory budget must be
+// populated, and the low-space backend must honor its per-machine
+// sublinear-space contract at a size where "sublinear" is unambiguous.
+func TestScaleDifferentialSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("2¹⁶-node differential smoke skipped in -short mode")
+	}
+	spec, err := scenario.Lookup("gnp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n, seed = 1 << 16, 11
+	inst, err := spec.Instance(n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	checkMemory := func(t *testing.T, m ccolor.Model, rep *ccolor.Report) {
+		t.Helper()
+		if rep.Memory.InstanceWords == 0 {
+			t.Errorf("%s: memory budget not populated: %+v", m, rep.Memory)
+		}
+		if m != ccolor.ModelLowSpace {
+			return
+		}
+		if rep.Memory.SublinearBound == 0 ||
+			rep.Memory.PeakMachineWords > rep.Memory.SublinearBound {
+			t.Errorf("lowspace per-machine peak %d exceeds bound %d",
+				rep.Memory.PeakMachineWords, rep.Memory.SublinearBound)
+		}
+		if rep.Memory.SublinearBound > int64(n)/8 {
+			t.Errorf("lowspace bound %d not sublinear at n=%d",
+				rep.Memory.SublinearBound, n)
+		}
+	}
+
+	t.Run("coloring", func(t *testing.T) {
+		runs := make([]verify.ModelColoring, 0, len(allModels))
+		for _, m := range allModels {
+			rep, err := ccolor.Solve(inst, &ccolor.Options{Model: m})
+			if err != nil {
+				t.Fatalf("%s: %v", m, err)
+			}
+			checkMemory(t, m, rep)
+			runs = append(runs, verify.ModelColoring{Model: string(m), Coloring: rep.Coloring})
+		}
+		a := verify.CrossModel(inst, runs)
+		if !a.Clean() {
+			t.Errorf("verifier failures at n=2^16:\n%s", a)
+		}
+		if a.ColoringFP[string(ccolor.ModelCClique)] != a.ColoringFP[string(ccolor.ModelMPC)] {
+			t.Errorf("cclique and mpc disagree at n=2^16:\n%s", a)
+		}
+	})
+	for _, prob := range []ccolor.Problem{ccolor.ProblemMIS, ccolor.ProblemRulingSet} {
+		t.Run(string(prob), func(t *testing.T) {
+			runs := make([]verify.ModelSet, 0, len(allModels))
+			beta := 0
+			for _, m := range allModels {
+				rep, err := ccolor.Solve(inst, &ccolor.Options{Model: m, Problem: prob})
+				if err != nil {
+					t.Fatalf("%s: %v", m, err)
+				}
+				checkMemory(t, m, rep)
+				beta = rep.Beta
+				runs = append(runs, verify.ModelSet{Model: string(m), Set: rep.Set})
+			}
+			check := verify.MIS
+			if prob == ccolor.ProblemRulingSet {
+				b := beta
+				check = func(g *graph.Graph, set []bool) error { return verify.RulingSet(g, set, b) }
+			}
+			a := verify.CrossModelSets(inst, runs, check)
+			if !a.Clean() {
+				t.Errorf("%s verifier failures at n=2^16:\n%s", prob, a)
+			}
+			if !a.Unanimous() {
+				t.Errorf("%s backends disagree at n=2^16:\n%s", prob, a)
+			}
+		})
+	}
+}
+
 // FuzzScenarioDifferential seeds the corpus with every registry scenario;
 // the fuzzer then explores (scenario, n, seed) space. Under `go test` only
 // the seed corpus runs (smoke mode, deterministic); under -fuzz it hunts

@@ -184,12 +184,39 @@ func RouteAll(nw *Network, units []UnitMsg) ([][]UnitMsg, error) {
 		word uint64
 	}
 	held := make([][]rec, n)
+	// Bucket units by (sub-round, sender) so each sub-round's staging
+	// callback touches only its own worker's units: scanning the full unit
+	// list from every worker was an O(workers·units) term per sub-round.
+	slices.SortFunc(perm, func(a, b int32) int {
+		if subOf[a] != subOf[b] {
+			return subOf[a] - subOf[b]
+		}
+		ua, ub := units[a], units[b]
+		if ua.From != ub.From {
+			return ua.From - ub.From
+		}
+		return int(a - b) // keep staging order per (sub-round, sender) stable
+	})
+	subStart := make([]int32, maxSub+2)
+	pos := 0
+	for s := 0; s <= maxSub; s++ {
+		for pos < len(perm) && subOf[perm[pos]] < s {
+			pos++
+		}
+		subStart[s] = int32(pos)
+	}
+	subStart[maxSub+1] = int32(len(perm))
 	nw.Ledger().SetPhase("route:spread")
 	for s := 0; s <= maxSub; s++ {
+		seg := perm[subStart[s]:subStart[s+1]]
 		in, err := nw.FrameRound(func(w int, sb *fabric.SendBuf) {
-			for i, u := range units {
-				if u.From != w || subOf[i] != s {
-					continue
+			lo, _ := slices.BinarySearchFunc(seg, int32(w), func(i int32, want int32) int {
+				return units[i].From - int(want)
+			})
+			for _, i := range seg[lo:] {
+				u := units[i]
+				if u.From != w {
+					break
 				}
 				inter := ranked[i] % n
 				if inter == w {

@@ -255,6 +255,14 @@ func SolveWS(f fabric.Fabric, pairWords int, inst *graph.Instance, p Params, ws 
 	return s.color, s.trace, nil
 }
 
+// tmplCacheMaxWords bounds the packed-palette template cache: a template is
+// a second full copy of the n×W slab, which for wide list domains is the
+// workspace's dominant allocation (W grows with the color universe, so the
+// slab is superlinear in n). Above the bound, warm solves re-pack from the
+// input palettes instead of memcpy-ing a cached template — same O(n·W)
+// work, half the resident memory. A var so tests can exercise both paths.
+var tmplCacheMaxWords = 1 << 23 // 64 MiB of template
+
 // initPackedPalettes builds the solve's dense color domain and packs every
 // node's palette as a bitset over it, all carved out of one workspace word
 // slab (a set only ever loses bits, so per-node views never reallocate).
@@ -280,9 +288,13 @@ func (s *solver) initPackedPalettes(pals []graph.Palette) graph.Color {
 		slab := ws.setSlab[:need]
 		clear(slab)
 		ws.setSlab = slab
+		cache := need <= tmplCacheMaxWords
 		ws.tmplPals = ws.tmplPals[:0]
-		ws.tmplOff = graph.Grow(ws.tmplOff, len(pals)+1)
+		ws.tmplOff = ws.tmplOff[:0]
 		ws.tmplSize = graph.Grow(ws.tmplSize, len(pals))
+		if cache {
+			ws.tmplOff = graph.Grow(ws.tmplOff, len(pals)+1)
+		}
 		for v := range pals {
 			set := graph.PaletteSet(slab[v*w : (v+1)*w])
 			for _, c := range pals[v] {
@@ -291,17 +303,38 @@ func (s *solver) initPackedPalettes(pals []graph.Palette) graph.Color {
 			}
 			sz := set.Len()
 			s.pal[v] = palState{set: set, size: sz}
-			ws.tmplOff[v] = int32(len(ws.tmplPals))
-			ws.tmplPals = append(ws.tmplPals, pals[v]...)
 			ws.tmplSize[v] = int32(sz)
+			if cache {
+				ws.tmplOff[v] = int32(len(ws.tmplPals))
+				ws.tmplPals = append(ws.tmplPals, pals[v]...)
+			}
 		}
-		ws.tmplOff[len(pals)] = int32(len(ws.tmplPals))
-		ws.tmpl = append(ws.tmpl[:0], slab...)
+		if cache {
+			ws.tmplOff[len(pals)] = int32(len(ws.tmplPals))
+			ws.tmpl = append(ws.tmpl[:0], slab...)
+		} else {
+			ws.tmpl = ws.tmpl[:0]
+		}
 	}
 	if len(ws.dom.colors) == 0 {
 		return 0
 	}
 	return ws.dom.colors[len(ws.dom.colors)-1]
+}
+
+// MemoryWords reports the workspace's retained scratch footprint in 64-bit
+// words after a solve — the per-layer memory budget the engine surfaces in
+// its Report. The packed palette slab and its warm template dominate; the
+// remaining slabs are folded in at their word-equivalent sizes.
+func (ws *Workspace) MemoryWords() int64 {
+	words := int64(cap(ws.setSlab) + cap(ws.tmpl) + cap(ws.candMasks) + cap(ws.winMasks) + cap(ws.palUnion))
+	words += int64(cap(ws.barrier)) // int64 slab
+	words += int64(cap(ws.tmplPals))
+	// int32 slabs: two entries per word.
+	i32 := cap(ws.callOf) + cap(ws.tmplOff) + cap(ws.tmplSize) +
+		cap(ws.candBins) + cap(ws.winBins) + cap(ws.dx) + cap(ws.targetOf) + cap(ws.liveNodes)
+	words += int64(i32) / 2
+	return words
 }
 
 // tmplMatches reports whether pals is content-identical to the instance the

@@ -137,6 +137,10 @@ type Report struct {
 	// precomputed at solve time so serving a cached Report stays O(1).
 	ColorsUsed int
 
+	// Memory is the per-solve memory budget: peak workspace words per
+	// layer. Always populated.
+	Memory MemoryBudget
+
 	// Trace is the recursion telemetry for ModelCClique / ModelMPC runs.
 	Trace *core.Trace
 	// LowTrace is the telemetry for ModelLowSpace runs.
@@ -145,6 +149,39 @@ type Report struct {
 	// Options.Trace was set. The serving layer detaches it from cached
 	// Reports and retains it behind a per-job trace ID.
 	Telemetry *telemetry.Trace
+}
+
+// MemoryBudget is a solve's peak memory accounting in 64-bit words, broken
+// down by layer. It makes the large-instance tier auditable: scaling tests
+// assert per-layer budgets — in particular the sublinear-space model's
+// 𝔫^φ-per-machine contract — instead of guessing from process RSS.
+type MemoryBudget struct {
+	// InstanceWords is the canonical encoded size of the input: the graph
+	// words (2 + (n+1) + 2m) plus, for coloring solves, the palette words
+	// (n + Σp(v)). Set-problem solves ignore palettes and charge only the
+	// graph.
+	InstanceWords int64
+	// WorkspaceWords is the core coloring workspace's footprint after the
+	// solve (palette slabs, candidate masks, aggregation buffers) — the
+	// dominant resident term of ModelCClique/ModelMPC coloring runs. Zero
+	// for set problems and for ModelLowSpace, whose pool solver works in
+	// per-machine chunks by construction.
+	WorkspaceWords int64
+	// PeakRoundWords is the largest total word volume any single fabric
+	// round moved — the transient delivery footprint of the solve.
+	PeakRoundWords int64
+	// MachineSpace and PeakMachineWords are the MPC-family per-machine
+	// budget and measured peak per-machine residency (zero for
+	// ModelCClique). The backends hard-fail any round that would push a
+	// machine past its budget, so PeakMachineWords ≤ MachineSpace is
+	// enforced, not just observed.
+	MachineSpace     int64
+	PeakMachineWords int64
+	// SublinearBound is ModelLowSpace's per-machine space contract in
+	// words (c·𝔫^φ for the configured φ < 1; zero for the other models).
+	// It equals MachineSpace for that model and exists as its own field so
+	// scaling tests can assert sublinearity without model switches.
+	SublinearBound int64
 }
 
 // Session is a reusable per-model solver. It is not safe for concurrent
@@ -343,8 +380,13 @@ func (s *Session) solveCClique(inst *graph.Instance, o *Options) (*Report, error
 		MaxNodeLoad:   maxLoad(led.MaxSendLoad(), led.MaxRecvLoad()),
 		RoundsByPhase: led.ByPhase(),
 		PhaseProfile:  led.PhaseProfile(),
-		Trace:         tr,
-		Telemetry:     rec.Finish(string(ModelCClique)),
+		Memory: MemoryBudget{
+			InstanceWords:  graph.InstanceWordCount(inst),
+			WorkspaceWords: s.cw.MemoryWords(),
+			PeakRoundWords: led.PeakRoundWords(),
+		},
+		Trace:     tr,
+		Telemetry: rec.Finish(string(ModelCClique)),
 	}, nil
 }
 
@@ -408,8 +450,15 @@ func (s *Session) solveMPC(inst *graph.Instance, o *Options) (*Report, error) {
 		Machines:      cl.Machines(),
 		Space:         cl.Space(),
 		PeakSpace:     cl.PeakMachineSpace(),
-		Trace:         tr,
-		Telemetry:     rec.Finish(string(ModelMPC)),
+		Memory: MemoryBudget{
+			InstanceWords:    graph.InstanceWordCount(inst),
+			WorkspaceWords:   s.cw.MemoryWords(),
+			PeakRoundWords:   led.PeakRoundWords(),
+			MachineSpace:     cl.Space(),
+			PeakMachineWords: cl.PeakMachineSpace(),
+		},
+		Trace:     tr,
+		Telemetry: rec.Finish(string(ModelMPC)),
 	}, nil
 }
 
@@ -450,8 +499,15 @@ func (s *Session) solveLowSpace(inst *graph.Instance, o *Options) (*Report, erro
 		Machines:      tr.Machines,
 		Space:         tr.SpaceWords,
 		PeakSpace:     tr.PeakMachineWords,
-		LowTrace:      tr,
-		Telemetry:     rec.Finish(string(ModelLowSpace)),
+		Memory: MemoryBudget{
+			InstanceWords:    graph.InstanceWordCount(inst),
+			PeakRoundWords:   tr.PeakRoundWords,
+			MachineSpace:     tr.SpaceWords,
+			PeakMachineWords: tr.PeakMachineWords,
+			SublinearBound:   tr.SpaceWords,
+		},
+		LowTrace:  tr,
+		Telemetry: rec.Finish(string(ModelLowSpace)),
 	}, nil
 }
 

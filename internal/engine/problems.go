@@ -28,6 +28,7 @@ type setBackend struct {
 	pairWords int
 	machines  int
 	space     int64
+	sublinear int64 // ModelLowSpace's per-machine contract; zero elsewhere
 	peak      func() int64
 	release   func()
 }
@@ -125,7 +126,7 @@ func (s *Session) setFabric(g *graph.Graph, o *Options) (*setBackend, error) {
 		}
 		return &setBackend{
 			f: cl, pairWords: 8,
-			machines: machines, space: space,
+			machines: machines, space: space, sublinear: space,
 			peak: cl.PeakMachineSpace, release: cl.Release,
 		}, nil
 	}
@@ -134,8 +135,9 @@ func (s *Session) setFabric(g *graph.Graph, o *Options) (*setBackend, error) {
 
 // setReport assembles the shared Report shape of a set-problem solve: the
 // set is copied out of session workspace so the report outlives the
-// session, and the ledger is read before release.
-func (s *Session) setReport(kind problem.Kind, bk *setBackend, set []bool, rec *telemetry.Recorder) *Report {
+// session, and the ledger is read before release. Set problems ignore
+// palettes, so the memory budget charges only the graph's encoded words.
+func (s *Session) setReport(kind problem.Kind, g *graph.Graph, bk *setBackend, set []bool, rec *telemetry.Recorder) *Report {
 	led := bk.f.Ledger()
 	out := make([]bool, len(set))
 	size := 0
@@ -157,10 +159,17 @@ func (s *Session) setReport(kind problem.Kind, bk *setBackend, set []bool, rec *
 		PhaseProfile:  led.PhaseProfile(),
 		Machines:      bk.machines,
 		Space:         bk.space,
-		Telemetry:     rec.Finish(string(s.model)),
+		Memory: MemoryBudget{
+			InstanceWords:  graph.GraphWordCount(g),
+			PeakRoundWords: led.PeakRoundWords(),
+			MachineSpace:   bk.space,
+			SublinearBound: bk.sublinear,
+		},
+		Telemetry: rec.Finish(string(s.model)),
 	}
 	if bk.peak != nil {
 		rep.PeakSpace = bk.peak()
+		rep.Memory.PeakMachineWords = rep.PeakSpace
 	}
 	return rep
 }
@@ -197,7 +206,7 @@ func (r *misRunner) run(inst *graph.Instance, o *Options) (*Report, error) {
 	if err := verify.MIS(inst.G, set); err != nil {
 		return nil, fmt.Errorf("ccolor: internal verification failed: %w", err)
 	}
-	return s.setReport(problem.MIS, bk, set, rec), nil
+	return s.setReport(problem.MIS, inst.G, bk, set, rec), nil
 }
 
 // rulingRunner solves the (2,β)-ruling set problem on the session's
@@ -236,7 +245,7 @@ func (r *rulingRunner) run(inst *graph.Instance, o *Options) (*Report, error) {
 	if err := verify.RulingSet(inst.G, set, rp.Beta); err != nil {
 		return nil, fmt.Errorf("ccolor: internal verification failed: %w", err)
 	}
-	rep := s.setReport(problem.RulingSet, bk, set, rec)
+	rep := s.setReport(problem.RulingSet, inst.G, bk, set, rec)
 	rep.Beta = rp.Beta
 	return rep, nil
 }

@@ -176,3 +176,79 @@ func TestSessionResetAfterError(t *testing.T) {
 	}
 	sameReport(t, "post-reset", got, want)
 }
+
+// TestSessionSizeCliff is the large-instance warm-session check: a session
+// that has just solved a 2¹⁶-node instance must solve a 256-node instance
+// byte-identically to a fresh session — and vice versa — on every backend.
+// Retained state that is sized once and never re-dimensioned downward (a
+// slab view, a stale palette template, an over-wide routing table) shows up
+// here, where the small-n isolation test cannot see it.
+func TestSessionSizeCliff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("2¹⁶-node size-cliff test skipped in -short mode")
+	}
+	spec, err := scenario.Lookup("gnp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	instA, err := spec.Instance(256, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instB, err := spec.Instance(1<<16, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, model := range engine.Models() {
+		t.Run(string(model), func(t *testing.T) {
+			opts := &engine.Options{Model: model}
+			freshSess, err := engine.NewSession(model)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantA, err := freshSess.Solve(instA, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			sess, err := engine.NewSession(model)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotA1, err := sess.Solve(instA, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameReport(t, "A#1", gotA1, wantA)
+			repB, err := sess.Solve(instB, opts)
+			if err != nil {
+				t.Fatalf("2^16-node solve: %v", err)
+			}
+			// MPC may fit the whole instance on one machine (all traffic
+			// intra-machine and free), so PeakRoundWords is only required
+			// of the models that must communicate.
+			if mem := repB.Memory; mem.InstanceWords == 0 ||
+				(model != engine.ModelMPC && mem.PeakRoundWords == 0) {
+				t.Errorf("memory budget not populated at n=2^16: %+v", mem)
+			}
+			if model == engine.ModelLowSpace {
+				if repB.Memory.SublinearBound == 0 ||
+					repB.Memory.PeakMachineWords > repB.Memory.SublinearBound {
+					t.Errorf("lowspace per-machine peak %d exceeds sublinear bound %d",
+						repB.Memory.PeakMachineWords, repB.Memory.SublinearBound)
+				}
+				// The contract is per-machine space n^φ with φ < 1: at n=2¹⁶
+				// the bound must be far below linear.
+				if repB.Memory.SublinearBound > int64(instB.G.N())/8 {
+					t.Errorf("lowspace bound %d not sublinear at n=%d",
+						repB.Memory.SublinearBound, instB.G.N())
+				}
+			}
+			gotA2, err := sess.Solve(instA, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameReport(t, "A#2 (post-cliff)", gotA2, wantA)
+		})
+	}
+}

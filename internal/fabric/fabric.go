@@ -63,6 +63,7 @@ type Ledger struct {
 	wordsMoved  int64
 	maxSendLoad int64 // max words sent by one worker in one round
 	maxRecvLoad int64 // max words received by one worker in one round
+	peakRound   int64 // max total words moved in one round
 	byLabel     map[string]*PhaseStats
 	cur         *PhaseStats // byLabel[label]; nil while unlabeled
 	label       string
@@ -117,6 +118,7 @@ func (l *Ledger) Reset() {
 	l.wordsMoved = 0
 	l.maxSendLoad = 0
 	l.maxRecvLoad = 0
+	l.peakRound = 0
 	l.label = ""
 	l.cur = nil
 	l.rec = nil
@@ -132,6 +134,9 @@ func (l *Ledger) Phase() string { return l.label }
 func (l *Ledger) AddRound(words, maxSend, maxRecv int64) {
 	l.rounds++
 	l.wordsMoved += words
+	if words > l.peakRound {
+		l.peakRound = words
+	}
 	if maxSend > l.maxSendLoad {
 		l.maxSendLoad = maxSend
 	}
@@ -166,6 +171,10 @@ func (l *Ledger) MaxSendLoad() int64 { return l.maxSendLoad }
 // MaxRecvLoad returns the maximum words received by a single worker in any
 // one round.
 func (l *Ledger) MaxRecvLoad() int64 { return l.maxRecvLoad }
+
+// PeakRoundWords returns the largest total word volume any single round
+// moved — the fabric layer's peak live-traffic footprint.
+func (l *Ledger) PeakRoundWords() int64 { return l.peakRound }
 
 // ByPhase returns a copy of the per-phase round counts. Phases that ran no
 // rounds (including entries zeroed by Reset) are omitted.

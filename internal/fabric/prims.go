@@ -163,6 +163,8 @@ type VecScratch struct {
 	have    []bool  // worker -> holds the result (tree distribution)
 	levels  []int   // flattened reduction-tree levels (level 0 = reps)
 	loff    []int32 // per-level offsets into levels
+	sendTo  []int32 // worker -> this level's block leader + 1 (0 = not a member)
+	blockAt []int32 // worker -> this level's block start in cur + 1 (0 = not a leader)
 }
 
 // AggregateVec computes the element-wise sum over all workers of the
@@ -404,35 +406,48 @@ func (ws *VecScratch) aggregateTree(f Fabric, vlen int, combineInto func(slot in
 		return ws.acc[int(s)*vlen : (int(s)+1)*vlen]
 	}
 	// Reduce up: levels of blocks of `branch` representatives, flattened
-	// into one levels buffer with per-level offsets.
+	// into one levels buffer with per-level offsets. Per-level block
+	// membership is precomputed into worker-indexed tables so each staging
+	// callback is O(1) per worker — scanning cur from every worker made the
+	// reduction O(workers·reps) per level, a dominant term at large n.
 	ws.levels = append(ws.levels[:0], reps...)
 	ws.loff = append(ws.loff[:0], 0, int32(len(ws.levels)))
+	ws.sendTo = growInt32(ws.sendTo, f.Workers())
+	ws.blockAt = growInt32(ws.blockAt, f.Workers())
 	for {
 		lv := len(ws.loff) - 2
 		cur := ws.levels[ws.loff[lv]:ws.loff[lv+1]]
 		if len(cur) <= 1 {
 			break
 		}
+		for i := 0; i < len(cur); i += branch {
+			end := i + branch
+			if end > len(cur) {
+				end = len(cur)
+			}
+			for j := i + 1; j < end; j++ {
+				ws.sendTo[cur[j]] = int32(cur[i]) + 1
+			}
+		}
 		in, err := RoundFrames(f, func(w int, sb *SendBuf) {
 			// Block members (non-leaders) send their accumulator to the
 			// block leader.
-			for i := 0; i < len(cur); i += branch {
-				end := i + branch
-				if end > len(cur) {
-					end = len(cur)
-				}
-				for j := i + 1; j < end; j++ {
-					if cur[j] != w {
-						continue
-					}
-					payload := sb.Begin(cur[i], vlen)
-					for k, x := range accOf(w) {
-						payload[k] = uint64(x)
-					}
-					return
+			if t := ws.sendTo[w]; t != 0 {
+				payload := sb.Begin(int(t-1), vlen)
+				for k, x := range accOf(w) {
+					payload[k] = uint64(x)
 				}
 			}
 		})
+		for i := 0; i < len(cur); i += branch {
+			end := i + branch
+			if end > len(cur) {
+				end = len(cur)
+			}
+			for j := i + 1; j < end; j++ {
+				ws.sendTo[cur[j]] = 0
+			}
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -456,26 +471,33 @@ func (ws *VecScratch) aggregateTree(f Fabric, vlen int, combineInto func(slot in
 	ws.have[root] = true
 	for li := len(ws.loff) - 3; li >= 0; li-- {
 		cur := ws.levels[ws.loff[li]:ws.loff[li+1]]
-		if _, err := RoundFrames(f, func(w int, sb *SendBuf) {
+		for i := 0; i < len(cur); i += branch {
+			ws.blockAt[cur[i]] = int32(i) + 1
+		}
+		_, err := RoundFrames(f, func(w int, sb *SendBuf) {
 			if !ws.have[w] {
 				return
 			}
-			for i := 0; i < len(cur); i += branch {
-				if cur[i] != w {
-					continue
-				}
-				end := i + branch
-				if end > len(cur) {
-					end = len(cur)
-				}
-				for j := i + 1; j < end; j++ {
-					payload := sb.Begin(cur[j], vlen)
-					for k, x := range result {
-						payload[k] = uint64(x)
-					}
+			bi := ws.blockAt[w]
+			if bi == 0 {
+				return
+			}
+			i := int(bi - 1)
+			end := i + branch
+			if end > len(cur) {
+				end = len(cur)
+			}
+			for j := i + 1; j < end; j++ {
+				payload := sb.Begin(cur[j], vlen)
+				for k, x := range result {
+					payload[k] = uint64(x)
 				}
 			}
-		}); err != nil {
+		})
+		for i := 0; i < len(cur); i += branch {
+			ws.blockAt[cur[i]] = 0
+		}
+		if err != nil {
 			return nil, err
 		}
 		for i := 0; i < len(cur); i += branch {

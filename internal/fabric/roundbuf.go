@@ -2,6 +2,7 @@ package fabric
 
 import (
 	"fmt"
+	"slices"
 	"sync"
 )
 
@@ -172,13 +173,16 @@ type DeliverOpts struct {
 
 // RoundStats is the traffic profile of one delivered round. SendLoad and
 // RecvLoad are per group and borrowed from the RoundBuffer: valid until its
-// next Deliver.
+// next Deliver, and valid only at the indices listed in Groups — the groups
+// that moved charged traffic this round (every other group's load is zero,
+// but its array entry may hold a stale value from an earlier round).
 type RoundStats struct {
 	TotalWords  int64
 	MaxSendLoad int64
 	MaxRecvLoad int64
 	SendLoad    []int64
 	RecvLoad    []int64
+	Groups      []int32 // groups with nonzero charged traffic, ascending
 }
 
 // RoundBuffer holds the pooled arenas and scratch state for flat rounds.
@@ -189,17 +193,31 @@ type RoundBuffer struct {
 	n    int
 	send []SendBuf
 
-	cnt       []int32  // per destination: frame count, then fill cursor
-	off       []int32  // per destination: msg slab offsets (len n+1)
+	cnt       []int32 // per destination: frame count, then fill cursor (epoch-stamped)
+	off       []int32 // per destination: msg slab offset (epoch-stamped)
+	destStamp []int64 // per destination: epoch of last touch
+	touched   []int32 // destinations with frames this round
+	prevTouch []int32 // last round's touched list (inbox entries to reset)
+	gStamp    []int64 // per group: epoch of last charged traffic
+	tgroups   []int32 // groups with charged traffic this round
+	epoch     int64
 	loc       []uint64 // counting-sorted frame locators: sender<<32 | payload offset
+	locFrom   []int32  // wide-path senders (offsets no longer fit the packing)
 	msgs      []Msg    // header slab; inboxes are windows into it
-	inboxes   [][]Msg
+	inboxes   [][]Msg  // full-length backing; untouched entries stay empty
 	sendLoad  []int64
 	recvLoad  []int64
 	pairCnt   []int32 // per destination, epoch-stamped per sender
 	pairStamp []int64
 	stamp     int64
 }
+
+// locOffsetLimit is the first arena offset that no longer fits the packed
+// sender<<32|offset locator. Arenas at or past it (≥32 GiB staged by one
+// sender) take the wide path: full-width offsets in loc with senders in a
+// parallel slab. A var so tests can exercise the wide path without staging
+// 2³² words.
+var locOffsetLimit uint64 = 1 << 32
 
 var roundBufPool = sync.Pool{New: func() any { return new(RoundBuffer) }}
 
@@ -252,6 +270,12 @@ func growBool(s []bool, n int) []bool {
 // inboxes sorted exactly as SortInbox orders them: by sender, then by
 // lexicographic payload. The counting sort over destinations visits senders
 // in ascending order, so only equal-sender runs need payload ordering.
+//
+// All per-destination and per-group state is epoch-stamped and driven off
+// lists of the destinations/groups actually touched, so a round's delivery
+// cost scales with its live traffic, not with the full worker domain — at
+// large n most rounds of the recursive solvers touch a small residual set,
+// and the old full-width zero/prefix/scan passes dominated wall clock.
 func (rb *RoundBuffer) Deliver(opts DeliverOpts) ([][]Msg, RoundStats, error) {
 	n := rb.n
 	groups := opts.Groups
@@ -259,16 +283,26 @@ func (rb *RoundBuffer) Deliver(opts DeliverOpts) ([][]Msg, RoundStats, error) {
 	if groupOf == nil {
 		groups = n
 	}
+	rb.epoch++
+	ep := rb.epoch
+	// Reset the inbox entries the previous round on this buffer populated;
+	// everything else is empty by invariant.
+	for _, d := range rb.prevTouch {
+		rb.inboxes[d] = nil
+	}
+	rb.prevTouch = rb.prevTouch[:0]
+	rb.touched = rb.touched[:0]
+	rb.tgroups = rb.tgroups[:0]
 	rb.cnt = growInt32(rb.cnt, n)
-	rb.off = growInt32(rb.off, n+1)
+	rb.off = growInt32(rb.off, n)
+	rb.destStamp = growInt64(rb.destStamp, n)
 	rb.sendLoad = growInt64(rb.sendLoad, groups)
 	rb.recvLoad = growInt64(rb.recvLoad, groups)
-	for i := 0; i < n; i++ {
-		rb.cnt[i] = 0
-	}
-	for g := 0; g < groups; g++ {
-		rb.sendLoad[g] = 0
-		rb.recvLoad[g] = 0
+	rb.gStamp = growInt64(rb.gStamp, groups)
+	if cap(rb.inboxes) < n {
+		grown := make([][]Msg, n)
+		copy(grown, rb.inboxes)
+		rb.inboxes = grown
 	}
 	if opts.PairWords > 0 {
 		rb.pairCnt = growInt32(rb.pairCnt, n)
@@ -278,13 +312,28 @@ func (rb *RoundBuffer) Deliver(opts DeliverOpts) ([][]Msg, RoundStats, error) {
 		}
 		rb.pairStamp = rb.pairStamp[:n]
 	}
+	chargeGroup := func(g int) {
+		if rb.gStamp[g] != ep {
+			rb.gStamp[g] = ep
+			rb.sendLoad[g] = 0
+			rb.recvLoad[g] = 0
+			rb.tgroups = append(rb.tgroups, int32(g))
+		}
+	}
 
 	// Pass 1: validate in staging order, count frames per destination, and
 	// charge group loads.
 	var total int64
 	nmsg := 0
+	maxArena := 0
 	for w := 0; w < n; w++ {
 		buf := rb.send[w].buf
+		if len(buf) == 0 {
+			continue
+		}
+		if len(buf) > maxArena {
+			maxArena = len(buf)
+		}
 		rb.stamp++
 		gw := w
 		if groupOf != nil {
@@ -307,6 +356,11 @@ func (rb *RoundBuffer) Deliver(opts DeliverOpts) ([][]Msg, RoundStats, error) {
 					}
 				}
 			}
+			if rb.destStamp[to] != ep {
+				rb.destStamp[to] = ep
+				rb.cnt[to] = 0
+				rb.touched = append(rb.touched, int32(to))
+			}
 			rb.cnt[to]++
 			nmsg++
 			gt := to
@@ -315,6 +369,8 @@ func (rb *RoundBuffer) Deliver(opts DeliverOpts) ([][]Msg, RoundStats, error) {
 			}
 			if !opts.FreeIntraGroup || gt != gw {
 				words := int64(nw)
+				chargeGroup(gw)
+				chargeGroup(gt)
 				rb.sendLoad[gw] += words
 				rb.recvLoad[gt] += words
 				total += words
@@ -322,24 +378,37 @@ func (rb *RoundBuffer) Deliver(opts DeliverOpts) ([][]Msg, RoundStats, error) {
 			i += frameHeader + nw
 		}
 	}
+	if !slices.IsSorted(rb.touched) {
+		slices.Sort(rb.touched)
+	}
+	if !slices.IsSorted(rb.tgroups) {
+		slices.Sort(rb.tgroups)
+	}
 
-	// Pass 2: prefix offsets, then counting-sort the frames. The scattered
-	// (random-order) stores are 8-byte pointer-free locators — sender and
-	// payload offset packed in one word — which stay cache-resident and take
-	// no write barriers; the 40-byte Msg structs are then materialized in a
-	// sequential sweep over the sorted locators. Scattering the Msg structs
-	// directly was measured and lost: random 40-byte stores with pointer
-	// write barriers dominated Deliver. Staging order visits senders
-	// ascending, so each inbox comes out From-sorted.
-	rb.off[0] = 0
-	for d := 0; d < n; d++ {
-		rb.off[d+1] = rb.off[d] + rb.cnt[d]
+	// Pass 2: prefix offsets over the touched destinations, then
+	// counting-sort the frames. The scattered (random-order) stores are
+	// 8-byte pointer-free locators — sender and payload offset packed in one
+	// word — which stay cache-resident and take no write barriers; the
+	// 40-byte Msg structs are then materialized in a sequential sweep over
+	// the sorted locators. Scattering the Msg structs directly was measured
+	// and lost: random 40-byte stores with pointer write barriers dominated
+	// Deliver. Staging order visits senders ascending, so each inbox comes
+	// out From-sorted. If any sender's arena outgrew the packed offset
+	// range, senders ride in a parallel slab instead (the wide path).
+	run := int32(0)
+	for _, d := range rb.touched {
+		rb.off[d] = run
+		run += rb.cnt[d]
 		rb.cnt[d] = 0 // reuse as fill cursor
 	}
 	if cap(rb.loc) < nmsg {
 		rb.loc = make([]uint64, nmsg)
 	}
 	rb.loc = rb.loc[:nmsg]
+	wide := uint64(maxArena) >= locOffsetLimit
+	if wide {
+		rb.locFrom = growInt32(rb.locFrom, nmsg)
+	}
 	for w := 0; w < n; w++ {
 		buf := rb.send[w].buf
 		for i := 0; i < len(buf); {
@@ -347,7 +416,12 @@ func (rb *RoundBuffer) Deliver(opts DeliverOpts) ([][]Msg, RoundStats, error) {
 			idx := rb.off[to] + rb.cnt[to]
 			rb.cnt[to]++
 			lo := i + frameHeader
-			rb.loc[idx] = uint64(w)<<32 | uint64(uint32(lo))
+			if wide {
+				rb.loc[idx] = uint64(lo)
+				rb.locFrom[idx] = int32(w)
+			} else {
+				rb.loc[idx] = uint64(w)<<32 | uint64(uint32(lo))
+			}
 			i = lo + nw
 		}
 	}
@@ -355,25 +429,31 @@ func (rb *RoundBuffer) Deliver(opts DeliverOpts) ([][]Msg, RoundStats, error) {
 		rb.msgs = make([]Msg, nmsg)
 	}
 	rb.msgs = rb.msgs[:nmsg]
-	for d := 0; d < n; d++ {
-		for idx := int(rb.off[d]); idx < int(rb.off[d+1]); idx++ {
-			l := rb.loc[idx]
-			from, lo := int(l>>32), int(uint32(l))
+	for ti, d := range rb.touched {
+		lo32 := rb.off[d]
+		hi32 := int32(nmsg)
+		if ti+1 < len(rb.touched) {
+			hi32 = rb.off[rb.touched[ti+1]]
+		}
+		for idx := int(lo32); idx < int(hi32); idx++ {
+			var from, lo int
+			if wide {
+				from, lo = int(rb.locFrom[idx]), int(rb.loc[idx])
+			} else {
+				l := rb.loc[idx]
+				from, lo = int(l>>32), int(uint32(l))
+			}
 			buf := rb.send[from].buf
 			_, nw := unpackHeader(buf[lo-1])
 			hi := lo + nw
-			rb.msgs[idx] = Msg{To: d, From: from, Words: buf[lo:hi:hi]}
+			rb.msgs[idx] = Msg{To: int(d), From: from, Words: buf[lo:hi:hi]}
 		}
 	}
 
 	// Pass 3: slice inboxes out of the slab and order equal-sender runs by
 	// payload (SortInbox's tie-break; runs are per ordered pair and tiny).
-	if cap(rb.inboxes) < n {
-		rb.inboxes = make([][]Msg, n)
-	}
-	rb.inboxes = rb.inboxes[:n]
 	var maxSend, maxRecv int64
-	for g := 0; g < groups; g++ {
+	for _, g := range rb.tgroups {
 		if rb.sendLoad[g] > maxSend {
 			maxSend = rb.sendLoad[g]
 		}
@@ -381,8 +461,13 @@ func (rb *RoundBuffer) Deliver(opts DeliverOpts) ([][]Msg, RoundStats, error) {
 			maxRecv = rb.recvLoad[g]
 		}
 	}
-	for d := 0; d < n; d++ {
-		in := rb.msgs[rb.off[d]:rb.off[d+1]]
+	for ti, d := range rb.touched {
+		lo := rb.off[d]
+		hi := int32(nmsg)
+		if ti+1 < len(rb.touched) {
+			hi = rb.off[rb.touched[ti+1]]
+		}
+		in := rb.msgs[lo:hi]
 		rb.inboxes[d] = in
 		for i := 1; i < len(in); {
 			if in[i].From != in[i-1].From {
@@ -396,12 +481,16 @@ func (rb *RoundBuffer) Deliver(opts DeliverOpts) ([][]Msg, RoundStats, error) {
 			insertionSortByWords(in[j:i])
 		}
 	}
-	return rb.inboxes, RoundStats{
+	// The touched list becomes next round's inbox-reset list (swap so both
+	// stay allocation-free in steady state).
+	rb.touched, rb.prevTouch = rb.prevTouch, rb.touched
+	return rb.inboxes[:n], RoundStats{
 		TotalWords:  total,
 		MaxSendLoad: maxSend,
 		MaxRecvLoad: maxRecv,
 		SendLoad:    rb.sendLoad,
 		RecvLoad:    rb.recvLoad,
+		Groups:      rb.tgroups,
 	}, nil
 }
 

@@ -87,6 +87,82 @@ func TestRoundBufferGroupedLoads(t *testing.T) {
 	}
 }
 
+// TestRoundBufferWideLocators drives a frame whose payload offset lies past
+// the packed-locator boundary. The packed form truncates offsets to 32 bits
+// (sender<<32 | uint32(offset)), which silently scrambles delivery once a
+// sender stages ≥2³² words in one round; lowering the boundary lets the
+// test construct an out-of-range offset without staging 32 GiB.
+func TestRoundBufferWideLocators(t *testing.T) {
+	old := locOffsetLimit
+	locOffsetLimit = 8
+	defer func() { locOffsetLimit = old }()
+
+	rb := AcquireRoundBuffer(3)
+	defer ReleaseRoundBuffer(rb)
+	// Sender 1's arena: 3 frames of 4-word payloads = 15 words, so the third
+	// frame's payload starts at offset 11 ≥ the lowered boundary. With the
+	// packed path forced (offset % 8 semantics) the third frame would
+	// materialize from the wrong arena position.
+	want := [][]uint64{{10, 11, 12, 13}, {20, 21, 22, 23}, {30, 31, 32, 33}}
+	for _, wds := range want {
+		rb.Sender(1).Put(2, wds...)
+	}
+	rb.Sender(0).Put(2, 99)
+	in, _, err := rb.Deliver(DeliverOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in[2]) != 4 {
+		t.Fatalf("inbox 2 has %d msgs, want 4", len(in[2]))
+	}
+	if in[2][0].From != 0 || in[2][0].Words[0] != 99 {
+		t.Fatalf("msg 0: %+v", in[2][0])
+	}
+	for i, wds := range want {
+		m := in[2][i+1]
+		if m.From != 1 {
+			t.Fatalf("msg %d from %d, want 1", i+1, m.From)
+		}
+		for j, x := range wds {
+			if m.Words[j] != x {
+				t.Fatalf("msg %d word %d = %d, want %d (offset past the packed boundary scrambled)", i+1, j, m.Words[j], x)
+			}
+		}
+	}
+}
+
+// TestRoundBufferReuseClearsStaleInboxes pins the live-work delivery
+// invariant: a destination touched in one round and idle in the next must
+// read an empty inbox, even though per-destination state is no longer
+// rebuilt from scratch each round.
+func TestRoundBufferReuseClearsStaleInboxes(t *testing.T) {
+	rb := AcquireRoundBuffer(4)
+	defer ReleaseRoundBuffer(rb)
+	stageInto(rb, 0, Msg{To: 3, Words: []uint64{7}})
+	in, _, err := rb.Deliver(DeliverOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in[3]) != 1 {
+		t.Fatalf("round 1 inbox 3 has %d msgs, want 1", len(in[3]))
+	}
+	// Next round on the same buffer (backends re-stage every sender).
+	for w := 0; w < 4; w++ {
+		rb.send[w].reset(w)
+	}
+	stageInto(rb, 2, Msg{To: 1, Words: []uint64{8}})
+	in, _, err = rb.Deliver(DeliverOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in[3]) != 0 {
+		t.Fatalf("round 2 inbox 3 has %d stale msgs, want 0", len(in[3]))
+	}
+	if len(in[1]) != 1 || in[1][0].Words[0] != 8 {
+		t.Fatalf("round 2 inbox 1: %+v", in[1])
+	}
+}
+
 func TestSendBufBeginGrowthKeepsEarlierPayloads(t *testing.T) {
 	var sb SendBuf
 	sb.reset(0)

@@ -1,0 +1,114 @@
+package graph
+
+import (
+	"fmt"
+	"slices"
+)
+
+// edgeSinkChunk is the number of edges per EdgeSink chunk: 64Ki edges =
+// 512 KiB per chunk, large enough to amortize allocation and small enough
+// that a generator's working set grows smoothly instead of doubling a
+// single giant slab.
+const edgeSinkChunk = 1 << 16
+
+// EdgeSink accumulates an undirected edge stream and builds the CSR graph
+// directly. Generators feed it one edge at a time; it tracks degrees as
+// edges arrive and Build fills the adjacency array in a single counting
+// pass, so no per-node []int32 lists and no second full edge copy are ever
+// materialized. Edges are stored in fixed-size chunks rather than one
+// contiguous slab, so a large instance's construction footprint grows
+// incrementally instead of by realloc-and-copy doubling.
+//
+// A sink is single-use: after Build it must be discarded. Errors (range,
+// self loop) are latched at Add time and reported by Build.
+type EdgeSink struct {
+	n      int
+	deg    []int32
+	chunks [][][2]int32 // sealed full chunks
+	cur    [][2]int32   // chunk being filled
+	m      int64
+	err    error
+}
+
+// NewEdgeSink returns a sink for a graph on n nodes. It rejects node counts
+// outside the int32 ID space with ErrTooManyNodes.
+func NewEdgeSink(n int) (*EdgeSink, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("graph: negative node count %d", n)
+	}
+	if err := checkNodeCount(n); err != nil {
+		return nil, err
+	}
+	return &EdgeSink{n: n, deg: make([]int32, n)}, nil
+}
+
+// Add records the undirected edge {u,v}. Out-of-range endpoints and self
+// loops latch an error; subsequent Adds become no-ops and Build reports it.
+func (s *EdgeSink) Add(u, v int32) {
+	if s.err != nil {
+		return
+	}
+	if u < 0 || int(u) >= s.n || v < 0 || int(v) >= s.n {
+		s.err = fmt.Errorf("graph: edge (%d,%d) out of range for n=%d", u, v, s.n)
+		return
+	}
+	if u == v {
+		s.err = fmt.Errorf("graph: node %d has a self loop", u)
+		return
+	}
+	if len(s.cur) == cap(s.cur) {
+		if s.cur != nil {
+			s.chunks = append(s.chunks, s.cur)
+		}
+		s.cur = make([][2]int32, 0, edgeSinkChunk)
+	}
+	s.cur = append(s.cur, [2]int32{u, v})
+	s.deg[u]++
+	s.deg[v]++
+	s.m++
+}
+
+// M returns the number of edges added so far.
+func (s *EdgeSink) M() int64 { return s.m }
+
+// Build assembles the CSR graph: prefix-sum the degrees, scatter both
+// directions of every edge, sort each neighbor list, and reject duplicates.
+// Symmetry holds by construction, so no post-hoc symmetry scan is needed.
+func (s *EdgeSink) Build() (*Graph, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	if 2*s.m > int64(MaxNodes) {
+		return nil, fmt.Errorf("graph: %d adjacency entries overflow int32 offsets: %w", 2*s.m, ErrTooManyNodes)
+	}
+	offsets := make([]int32, s.n+1)
+	for v := 0; v < s.n; v++ {
+		offsets[v+1] = offsets[v] + s.deg[v]
+	}
+	adj := make([]int32, 2*s.m)
+	next := s.deg // reuse the degree array as the per-node fill cursor
+	copy(next, offsets[:s.n])
+	scatter := func(chunk [][2]int32) {
+		for _, e := range chunk {
+			adj[next[e[0]]] = e[1]
+			next[e[0]]++
+			adj[next[e[1]]] = e[0]
+			next[e[1]]++
+		}
+	}
+	for _, ch := range s.chunks {
+		scatter(ch)
+	}
+	scatter(s.cur)
+	for v := 0; v < s.n; v++ {
+		l := adj[offsets[v]:offsets[v+1]]
+		slices.Sort(l)
+		for i := 1; i < len(l); i++ {
+			if l[i] == l[i-1] {
+				return nil, fmt.Errorf("graph: node %d has duplicate neighbor %d", v, l[i])
+			}
+		}
+	}
+	s.chunks, s.cur, s.deg = nil, nil, nil // single-use: release edge storage
+	return &Graph{offsets: offsets, adj: adj}, nil
+}

@@ -30,8 +30,11 @@ func BipartiteBlocks(n, blocks int, p float64, seed uint64) (*Graph, error) {
 	if p < 0 || p > 1 {
 		return nil, fmt.Errorf("graph: bipartite probability %v out of [0,1]", p)
 	}
+	sink, err := NewEdgeSink(n)
+	if err != nil {
+		return nil, err
+	}
 	rng := NewRand(seed)
-	var edges [][2]int32
 	start := 0
 	prevRight := -1 // a right-side node of the previous block, for bridging
 	for b := 0; b < blocks; b++ {
@@ -43,7 +46,7 @@ func BipartiteBlocks(n, blocks int, p float64, seed uint64) (*Graph, error) {
 		for i := 0; i < left; i++ {
 			for j := left; j < size; j++ {
 				if rng.Float64() < p {
-					edges = append(edges, [2]int32{int32(start + i), int32(start + j)})
+					sink.Add(int32(start+i), int32(start+j))
 				}
 			}
 		}
@@ -51,13 +54,13 @@ func BipartiteBlocks(n, blocks int, p float64, seed uint64) (*Graph, error) {
 			// Bridge to this block's first node. Each bridge is a cut edge
 			// between consecutive blocks, so bipartiteness is preserved even
 			// for 1-node blocks (whose lone node sits on the right side).
-			edges = append(edges, [2]int32{int32(prevRight), int32(start)})
+			sink.Add(int32(prevRight), int32(start))
 		}
 		// The block's last node is always on the right side (left < size).
 		prevRight = start + size - 1
 		start += size
 	}
-	return FromEdges(n, edges)
+	return sink.Build()
 }
 
 // RingOfCliques returns ⌈n/cliqueSize⌉ cliques covering nodes 0..n-1 in
@@ -73,8 +76,11 @@ func RingOfCliques(n, cliqueSize int) (*Graph, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("graph: ring of cliques needs n ≥ 1, got %d", n)
 	}
+	sink, err := NewEdgeSink(n)
+	if err != nil {
+		return nil, err
+	}
 	k := (n + cliqueSize - 1) / cliqueSize
-	var edges [][2]int32
 	for c := 0; c < k; c++ {
 		lo := c * cliqueSize
 		hi := lo + cliqueSize
@@ -83,11 +89,12 @@ func RingOfCliques(n, cliqueSize int) (*Graph, error) {
 		}
 		for u := lo; u < hi; u++ {
 			for v := u + 1; v < hi; v++ {
-				edges = append(edges, [2]int32{int32(u), int32(v)})
+				sink.Add(int32(u), int32(v))
 			}
 		}
 	}
 	if k > 1 {
+		var prevBridge [2]int32
 		for c := 0; c < k; c++ {
 			lo := c * cliqueSize
 			hi := lo + cliqueSize
@@ -99,15 +106,15 @@ func RingOfCliques(n, cliqueSize int) (*Graph, error) {
 			// With exactly two 1-node cliques the forward and wrap bridges
 			// are the same undirected edge; emit it once.
 			if k == 2 && c == 1 {
-				prev := edges[len(edges)-1]
-				if (prev[0] == u && prev[1] == v) || (prev[0] == v && prev[1] == u) {
+				if (prevBridge[0] == u && prevBridge[1] == v) || (prevBridge[0] == v && prevBridge[1] == u) {
 					continue
 				}
 			}
-			edges = append(edges, [2]int32{u, v})
+			sink.Add(u, v)
+			prevBridge = [2]int32{u, v}
 		}
 	}
-	return FromEdges(n, edges)
+	return sink.Build()
 }
 
 // geomScaleBits is the lattice resolution for RandomGeometric coordinates.
@@ -124,6 +131,10 @@ func RandomGeometric(n int, radius float64, seed uint64) (*Graph, error) {
 	if radius < 0 || radius > 1 {
 		return nil, fmt.Errorf("graph: geometric radius %v out of [0,1]", radius)
 	}
+	sink, err := NewEdgeSink(n)
+	if err != nil {
+		return nil, err
+	}
 	rng := NewRand(seed)
 	scale := int64(1) << geomScaleBits
 	r := int64(radius * float64(scale)) // lattice-unit radius, truncated
@@ -134,9 +145,8 @@ func RandomGeometric(n int, radius float64, seed uint64) (*Graph, error) {
 		xs[i] = rng.Intn(scale)
 		ys[i] = rng.Intn(scale)
 	}
-	var edges [][2]int32
 	if r <= 0 {
-		return FromEdges(n, edges)
+		return sink.Build()
 	}
 	// Bucket points into cells of side r; a node's neighbors live in its
 	// 3×3 cell block. Iterating nodes in ID order with a u<v guard emits
@@ -175,13 +185,13 @@ func RandomGeometric(n int, radius float64, seed uint64) (*Graph, error) {
 					}
 					ddx, ddy := xs[u]-xs[v], ys[u]-ys[v]
 					if ddx*ddx+ddy*ddy <= r2 {
-						edges = append(edges, [2]int32{int32(v), u})
+						sink.Add(int32(v), u)
 					}
 				}
 			}
 		}
 	}
-	return FromEdges(n, edges)
+	return sink.Build()
 }
 
 // RMAT returns a recursive-matrix (Kronecker) graph: targetEdges distinct
@@ -201,16 +211,19 @@ func RMAT(n, targetEdges int, a, b, c float64, seed uint64) (*Graph, error) {
 		}
 		return FromEdges(n, nil)
 	}
+	sink, err := NewEdgeSink(n)
+	if err != nil {
+		return nil, err
+	}
 	levels := 0
 	for 1<<levels < n {
 		levels++
 	}
 	rng := NewRand(seed)
 	seen := make(map[uint64]struct{}, targetEdges)
-	edges := make([][2]int32, 0, targetEdges)
 	attempts := 0
 	maxAttempts := 20*targetEdges + 100
-	for len(edges) < targetEdges && attempts < maxAttempts {
+	for sink.M() < int64(targetEdges) && attempts < maxAttempts {
 		attempts++
 		u, v := 0, 0
 		for l := 0; l < levels; l++ {
@@ -240,9 +253,9 @@ func RMAT(n, targetEdges int, a, b, c float64, seed uint64) (*Graph, error) {
 			continue
 		}
 		seen[key] = struct{}{}
-		edges = append(edges, [2]int32{int32(u), int32(v)})
+		sink.Add(int32(u), int32(v))
 	}
-	return FromEdges(n, edges)
+	return sink.Build()
 }
 
 // Torus returns the rows×cols torus (grid with wraparound): every node has
@@ -253,15 +266,18 @@ func Torus(rows, cols int) (*Graph, error) {
 	if rows < 3 || cols < 3 {
 		return nil, fmt.Errorf("graph: torus needs rows, cols ≥ 3, got %d×%d", rows, cols)
 	}
+	sink, err := NewEdgeSink(rows * cols)
+	if err != nil {
+		return nil, err
+	}
 	id := func(r, c int) int32 { return int32(r*cols + c) }
-	edges := make([][2]int32, 0, 2*rows*cols)
 	for r := 0; r < rows; r++ {
 		for c := 0; c < cols; c++ {
-			edges = append(edges, [2]int32{id(r, c), id(r, (c+1)%cols)})
-			edges = append(edges, [2]int32{id(r, c), id((r+1)%rows, c)})
+			sink.Add(id(r, c), id(r, (c+1)%cols))
+			sink.Add(id(r, c), id((r+1)%rows, c))
 		}
 	}
-	return FromEdges(rows*cols, edges)
+	return sink.Build()
 }
 
 // HubAndSpoke returns a power-law variant with an explicit core: nodes
@@ -276,11 +292,14 @@ func HubAndSpoke(n, hubs, attach int, seed uint64) (*Graph, error) {
 	if attach < 1 {
 		return nil, fmt.Errorf("graph: attach %d < 1", attach)
 	}
+	sink, err := NewEdgeSink(n)
+	if err != nil {
+		return nil, err
+	}
 	rng := NewRand(seed)
-	var edges [][2]int32
 	for u := 0; u < hubs; u++ {
 		for v := u + 1; v < hubs; v++ {
-			edges = append(edges, [2]int32{int32(u), int32(v)})
+			sink.Add(int32(u), int32(v))
 		}
 	}
 	chosen := make([]int32, 0, attach)
@@ -306,10 +325,10 @@ func HubAndSpoke(n, hubs, attach int, seed uint64) (*Graph, error) {
 			}
 		}
 		for _, t := range chosen {
-			edges = append(edges, [2]int32{int32(v), t})
+			sink.Add(int32(v), t)
 		}
 	}
-	return FromEdges(n, edges)
+	return sink.Build()
 }
 
 // GeometricRadiusForDegree returns the lattice-safe radius giving expected

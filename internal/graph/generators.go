@@ -6,53 +6,59 @@ import (
 )
 
 // Generators for the workload families used in the experiment suite. All
-// generators are deterministic in (parameters, seed).
+// generators are deterministic in (parameters, seed), and all except the
+// configuration-model RandomRegular (whose rewiring step needs random
+// access to the edge list) stream edges into an EdgeSink, so no generator
+// ever materializes one giant edge slab before CSR construction.
 
 // GNP returns an Erdős–Rényi G(n, p) graph.
 func GNP(n int, p float64, seed uint64) (*Graph, error) {
 	if p < 0 || p > 1 {
 		return nil, fmt.Errorf("graph: gnp probability %v out of [0,1]", p)
 	}
+	sink, err := NewEdgeSink(n)
+	if err != nil {
+		return nil, err
+	}
 	rng := NewRand(seed)
-	var edges [][2]int32
 	if p >= 0.25 {
 		// Dense: test every pair.
 		for u := 0; u < n; u++ {
 			for v := u + 1; v < n; v++ {
 				if rng.Float64() < p {
-					edges = append(edges, [2]int32{int32(u), int32(v)})
+					sink.Add(int32(u), int32(v))
 				}
 			}
 		}
 	} else if p > 0 {
-		// Sparse: geometric skipping over the pair sequence.
+		// Sparse: geometric skipping over the pair sequence. The cursor into
+		// the row-major pair order (u, offset-in-row) advances incrementally
+		// with each skip — each row is crossed at most once over the whole
+		// generation, so mapping indices to pairs is amortized O(n + m)
+		// rather than O(n) per edge (which made large-n generation
+		// quadratic). The emitted edge sequence is unchanged.
 		total := int64(n) * int64(n-1) / 2
 		logq := math.Log1p(-p)
 		pos := int64(-1)
+		u := int64(0)          // current row (smaller endpoint)
+		rowLen := int64(n - 1) // pairs remaining in rows ≥ u
+		off := int64(-1)       // pos's offset within row u
 		for {
 			skip := int64(math.Floor(math.Log(1-rng.Float64()) / logq))
 			pos += 1 + skip
 			if pos >= total {
 				break
 			}
-			u, v := pairFromIndex(pos, n)
-			edges = append(edges, [2]int32{u, v})
+			off += 1 + skip
+			for off >= rowLen {
+				off -= rowLen
+				u++
+				rowLen--
+			}
+			sink.Add(int32(u), int32(u+1+off))
 		}
 	}
-	return FromEdges(n, edges)
-}
-
-// pairFromIndex maps a linear index in [0, n(n-1)/2) to the corresponding
-// unordered pair (u, v) with u < v, in row-major order.
-func pairFromIndex(idx int64, n int) (int32, int32) {
-	u := int64(0)
-	rowLen := int64(n - 1)
-	for idx >= rowLen {
-		idx -= rowLen
-		u++
-		rowLen--
-	}
-	return int32(u), int32(u + 1 + idx)
+	return sink.Build()
 }
 
 // RandomRegular returns a d-regular graph on n nodes via the configuration
@@ -143,34 +149,43 @@ func Cycle(n int) (*Graph, error) {
 	if n < 3 {
 		return nil, fmt.Errorf("graph: cycle needs n ≥ 3, got %d", n)
 	}
-	edges := make([][2]int32, n)
-	for i := 0; i < n; i++ {
-		edges[i] = [2]int32{int32(i), int32((i + 1) % n)}
+	sink, err := NewEdgeSink(n)
+	if err != nil {
+		return nil, err
 	}
-	return FromEdges(n, edges)
+	for i := 0; i < n; i++ {
+		sink.Add(int32(i), int32((i+1)%n))
+	}
+	return sink.Build()
 }
 
 // Complete returns the complete graph K_n.
 func Complete(n int) (*Graph, error) {
-	var edges [][2]int32
+	sink, err := NewEdgeSink(n)
+	if err != nil {
+		return nil, err
+	}
 	for u := 0; u < n; u++ {
 		for v := u + 1; v < n; v++ {
-			edges = append(edges, [2]int32{int32(u), int32(v)})
+			sink.Add(int32(u), int32(v))
 		}
 	}
-	return FromEdges(n, edges)
+	return sink.Build()
 }
 
 // CompleteBipartite returns K_{a,b}: nodes 0..a-1 on one side, a..a+b-1 on
 // the other.
 func CompleteBipartite(a, b int) (*Graph, error) {
-	var edges [][2]int32
+	sink, err := NewEdgeSink(a + b)
+	if err != nil {
+		return nil, err
+	}
 	for u := 0; u < a; u++ {
 		for v := 0; v < b; v++ {
-			edges = append(edges, [2]int32{int32(u), int32(a + v)})
+			sink.Add(int32(u), int32(a+v))
 		}
 	}
-	return FromEdges(a+b, edges)
+	return sink.Build()
 }
 
 // Star returns the star K_{1,n-1} with center 0.
@@ -178,28 +193,34 @@ func Star(n int) (*Graph, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("graph: star needs n ≥ 1, got %d", n)
 	}
-	edges := make([][2]int32, 0, n-1)
-	for v := 1; v < n; v++ {
-		edges = append(edges, [2]int32{0, int32(v)})
+	sink, err := NewEdgeSink(n)
+	if err != nil {
+		return nil, err
 	}
-	return FromEdges(n, edges)
+	for v := 1; v < n; v++ {
+		sink.Add(0, int32(v))
+	}
+	return sink.Build()
 }
 
 // Grid returns the rows×cols grid graph.
 func Grid(rows, cols int) (*Graph, error) {
+	sink, err := NewEdgeSink(rows * cols)
+	if err != nil {
+		return nil, err
+	}
 	id := func(r, c int) int32 { return int32(r*cols + c) }
-	var edges [][2]int32
 	for r := 0; r < rows; r++ {
 		for c := 0; c < cols; c++ {
 			if c+1 < cols {
-				edges = append(edges, [2]int32{id(r, c), id(r, c+1)})
+				sink.Add(id(r, c), id(r, c+1))
 			}
 			if r+1 < rows {
-				edges = append(edges, [2]int32{id(r, c), id(r+1, c)})
+				sink.Add(id(r, c), id(r+1, c))
 			}
 		}
 	}
-	return FromEdges(rows*cols, edges)
+	return sink.Build()
 }
 
 // PowerLaw returns a Barabási–Albert style preferential-attachment graph:
@@ -209,17 +230,20 @@ func PowerLaw(n, mAttach int, seed uint64) (*Graph, error) {
 	if mAttach < 1 || mAttach >= n {
 		return nil, fmt.Errorf("graph: power-law attach %d out of range for n=%d", mAttach, n)
 	}
+	sink, err := NewEdgeSink(n)
+	if err != nil {
+		return nil, err
+	}
 	rng := NewRand(seed)
 	// Repeated-node list: node v appears deg(v)+1 times.
 	targets := make([]int32, 0, 2*n*mAttach)
 	for v := 0; v <= mAttach; v++ {
 		targets = append(targets, int32(v))
 	}
-	var edges [][2]int32
 	// Seed clique on the first mAttach+1 nodes.
 	for u := 0; u <= mAttach; u++ {
 		for v := u + 1; v <= mAttach; v++ {
-			edges = append(edges, [2]int32{int32(u), int32(v)})
+			sink.Add(int32(u), int32(v))
 			targets = append(targets, int32(u), int32(v))
 		}
 	}
@@ -243,12 +267,12 @@ func PowerLaw(n, mAttach int, seed uint64) (*Graph, error) {
 			}
 		}
 		for _, t := range chosen {
-			edges = append(edges, [2]int32{int32(v), t})
+			sink.Add(int32(v), t)
 			targets = append(targets, int32(v), t)
 		}
 		targets = append(targets, int32(v))
 	}
-	return FromEdges(n, edges)
+	return sink.Build()
 }
 
 // Caterpillar returns a path of length spine where every spine node carries
@@ -258,16 +282,19 @@ func Caterpillar(spine, legs int) (*Graph, error) {
 		return nil, fmt.Errorf("graph: caterpillar needs spine ≥ 1, got %d", spine)
 	}
 	n := spine + spine*legs
-	var edges [][2]int32
+	sink, err := NewEdgeSink(n)
+	if err != nil {
+		return nil, err
+	}
 	for i := 0; i+1 < spine; i++ {
-		edges = append(edges, [2]int32{int32(i), int32(i + 1)})
+		sink.Add(int32(i), int32(i+1))
 	}
 	next := spine
 	for i := 0; i < spine; i++ {
 		for l := 0; l < legs; l++ {
-			edges = append(edges, [2]int32{int32(i), int32(next)})
+			sink.Add(int32(i), int32(next))
 			next++
 		}
 	}
-	return FromEdges(n, edges)
+	return sink.Build()
 }

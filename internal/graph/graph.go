@@ -27,10 +27,30 @@ type Graph struct {
 	adj     []int32 // len 2m, neighbor lists, each sorted ascending
 }
 
+// MaxNodes is the largest node count any constructor accepts: node IDs are
+// int32 throughout (CSR entries, edge lists, wire encodings), so one more
+// node than this would silently truncate on the int32 casts.
+const MaxNodes = 1<<31 - 1
+
+// ErrTooManyNodes is returned (wrapped) by constructors, generators, and
+// decoders handed a node count that does not fit the int32 ID space.
+var ErrTooManyNodes = errors.New("graph: node count exceeds int32 ID space")
+
+// checkNodeCount guards every path that casts node IDs to int32.
+func checkNodeCount(n int) error {
+	if n > MaxNodes {
+		return fmt.Errorf("n=%d > %d: %w", n, MaxNodes, ErrTooManyNodes)
+	}
+	return nil
+}
+
 // NewGraph builds a Graph from an adjacency list. Each neighbor list is
 // copied, sorted, and validated (no self loops, no duplicates, symmetric).
 func NewGraph(adj [][]int32) (*Graph, error) {
 	n := len(adj)
+	if err := checkNodeCount(n); err != nil {
+		return nil, err
+	}
 	total := 0
 	for _, l := range adj {
 		total += len(l)
@@ -66,23 +86,14 @@ func NewGraph(adj [][]int32) (*Graph, error) {
 // FromEdges builds a Graph on n nodes from an undirected edge list.
 // Duplicate edges and self loops are rejected.
 func FromEdges(n int, edges [][2]int32) (*Graph, error) {
-	adj := make([][]int32, n)
-	deg := make([]int, n)
-	for _, e := range edges {
-		if e[0] < 0 || int(e[0]) >= n || e[1] < 0 || int(e[1]) >= n {
-			return nil, fmt.Errorf("graph: edge (%d,%d) out of range for n=%d", e[0], e[1], n)
-		}
-		deg[e[0]]++
-		deg[e[1]]++
-	}
-	for v := range adj {
-		adj[v] = make([]int32, 0, deg[v])
+	sink, err := NewEdgeSink(n)
+	if err != nil {
+		return nil, err
 	}
 	for _, e := range edges {
-		adj[e[0]] = append(adj[e[0]], e[1])
-		adj[e[1]] = append(adj[e[1]], e[0])
+		sink.Add(e[0], e[1])
 	}
-	return NewGraph(adj)
+	return sink.Build()
 }
 
 func (g *Graph) checkSymmetry() error {

@@ -1,6 +1,8 @@
 package graph
 
 import (
+	"math"
+	"slices"
 	"testing"
 	"testing/quick"
 )
@@ -199,20 +201,52 @@ func TestGenerators(t *testing.T) {
 	})
 }
 
-func TestPairFromIndex(t *testing.T) {
-	n := 6
-	seen := make(map[[2]int32]bool)
-	total := int64(n * (n - 1) / 2)
-	for i := int64(0); i < total; i++ {
-		u, v := pairFromIndex(i, n)
-		if u >= v || v >= int32(n) {
-			t.Fatalf("bad pair (%d,%d) at index %d", u, v, i)
+// TestGNPSparseCursor pins the sparse generator's incremental pair cursor
+// to the row-major index mapping: GNP's sparse path must emit exactly the
+// pairs a direct (O(n)-per-index) mapping of its skip sequence produces.
+func TestGNPSparseCursor(t *testing.T) {
+	pairFromIndex := func(idx int64, n int) (int32, int32) {
+		u := int64(0)
+		rowLen := int64(n - 1)
+		for idx >= rowLen {
+			idx -= rowLen
+			u++
+			rowLen--
 		}
-		key := [2]int32{u, v}
-		if seen[key] {
-			t.Fatalf("pair %v repeated", key)
+		return int32(u), int32(u + 1 + idx)
+	}
+	const n, p, seed = 200, 0.05, 9
+	g, err := GNP(n, p, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replay the same skip sequence through the reference mapping.
+	rng := NewRand(seed)
+	total := int64(n) * int64(n-1) / 2
+	logq := math.Log1p(-p)
+	pos := int64(-1)
+	var want [][2]int32
+	for {
+		skip := int64(math.Floor(math.Log(1-rng.Float64()) / logq))
+		pos += 1 + skip
+		if pos >= total {
+			break
 		}
-		seen[key] = true
+		u, v := pairFromIndex(pos, n)
+		want = append(want, [2]int32{u, v})
+	}
+	ref, err := FromEdges(n, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != ref.M() {
+		t.Fatalf("cursor emitted %d edges, reference %d", g.M(), ref.M())
+	}
+	for v := 0; v < n; v++ {
+		got, exp := g.Neighbors(int32(v)), ref.Neighbors(int32(v))
+		if !slices.Equal(got, exp) {
+			t.Fatalf("node %d: %v != %v", v, got, exp)
+		}
 	}
 }
 

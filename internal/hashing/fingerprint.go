@@ -21,3 +21,32 @@ func Fingerprint(words []uint64) uint64 {
 	}
 	return acc
 }
+
+// Stream is an incremental Fingerprint over a word stream whose total
+// length is known up front (the fingerprint seeds with the length, so it
+// cannot be computed without it). Feeding exactly totalWords words through
+// Write and calling Sum yields the same value as Fingerprint over the
+// concatenated stream — callers stream large canonical encodings chunk by
+// chunk instead of materializing a second full copy.
+type Stream struct {
+	acc uint64
+}
+
+// NewStream starts a streaming fingerprint of a stream of exactly
+// totalWords words.
+func NewStream(totalWords int64) *Stream {
+	return &Stream{acc: field.Reduce(uint64(totalWords))}
+}
+
+// Write folds the next chunk of the stream into the fingerprint.
+func (s *Stream) Write(words []uint64) {
+	acc := s.acc
+	for _, w := range words {
+		acc = field.Add(field.Mul(acc, fpPoint), field.Reduce(w))
+	}
+	s.acc = acc
+}
+
+// Sum returns the fingerprint of the words written so far; it equals
+// Fingerprint(all words) once exactly totalWords words have been written.
+func (s *Stream) Sum() uint64 { return s.acc }

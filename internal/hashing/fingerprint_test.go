@@ -1,0 +1,19 @@
+package hashing
+
+import "testing"
+
+func TestStreamMatchesFingerprint(t *testing.T) {
+	words := make([]uint64, 1000)
+	for i := range words {
+		words[i] = uint64(i) * 0x9e3779b97f4a7c15
+	}
+	want := Fingerprint(words)
+	s := NewStream(int64(len(words)))
+	// Uneven chunking must not matter.
+	s.Write(words[:1])
+	s.Write(words[1:700])
+	s.Write(words[700:])
+	if got := s.Sum(); got != want {
+		t.Fatalf("streamed fingerprint %016x != %016x", got, want)
+	}
+}

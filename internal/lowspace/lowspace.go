@@ -84,6 +84,7 @@ type Trace struct {
 	PoolNodes        int   // nodes colored through MIS pools
 	BadNodes         int   // nodes demoted by bad chunk machines
 	PeakMachineWords int64 // max resident+inbound on any machine
+	PeakRoundWords   int64 // max words one round moved, across all clusters
 	SeedCandidates   int
 	// Phases merges per-phase rounds/words/loads across the main cluster
 	// and every MIS cluster incarnation of the solve.
@@ -347,6 +348,9 @@ func (ss *Session) Solve(inst *graph.Instance, p Params) (graph.Coloring, *Trace
 	// cluster incarnation (colorPool folds those in as it reads them).
 	if pk := cluster.PeakMachineSpace(); pk > s.trace.PeakMachineWords {
 		s.trace.PeakMachineWords = pk
+	}
+	if pr := cluster.Ledger().PeakRoundWords(); pr > s.trace.PeakRoundWords {
+		s.trace.PeakRoundWords = pr
 	}
 	return s.color, s.trace, nil
 }

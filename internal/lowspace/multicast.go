@@ -2,6 +2,7 @@ package lowspace
 
 import (
 	"fmt"
+	"sort"
 
 	"ccolor/internal/fabric"
 	"ccolor/internal/graph"
@@ -19,6 +20,8 @@ type msgPair struct {
 type mcastScratch struct {
 	roundOf []int32
 	rounds  []mcastLoad
+	order   []int32 // pair indices sorted by (round, from)
+	rstart  []int32 // per-round segment offsets into order
 }
 
 type mcastLoad struct{ snd, rcv []int64 }
@@ -89,12 +92,44 @@ func (s *solver) spacedMulticast(phase string, pairs []msgPair) error {
 		}
 	}
 	mws.roundOf = roundOf
+	// Bucket the pairs by (sub-round, sender) so each sub-round's staging
+	// callback touches only its own worker's pairs: the naive form scanned
+	// every pair from every worker, an O(workers·pairs) term per sub-round
+	// that dominated large-n solves.
+	order := graph.Grow(mws.order, len(pairs))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		if roundOf[ia] != roundOf[ib] {
+			return roundOf[ia] < roundOf[ib]
+		}
+		if pairs[ia].from != pairs[ib].from {
+			return pairs[ia].from < pairs[ib].from
+		}
+		return ia < ib // keep staging order per (round, sender) stable
+	})
+	mws.order = order
+	rstart := graph.Grow(mws.rstart, nrounds+1)
+	pos := 0
+	for r := 0; r <= nrounds; r++ {
+		for pos < len(order) && int(roundOf[order[pos]]) < r {
+			pos++
+		}
+		rstart[r] = int32(pos)
+	}
+	rstart[nrounds] = int32(len(order))
+	mws.rstart = rstart
 	s.cluster.Ledger().SetPhase(phase)
 	for r := 0; r < nrounds; r++ {
+		seg := order[rstart[r]:rstart[r+1]]
 		if _, err := s.cluster.FrameRound(func(w int, sb *fabric.SendBuf) {
-			for i, p := range pairs {
-				if roundOf[i] != int32(r) || int(p.from) != w {
-					continue
+			lo := sort.Search(len(seg), func(k int) bool { return int(pairs[seg[k]].from) >= w })
+			for _, idx := range seg[lo:] {
+				p := pairs[idx]
+				if int(p.from) != w {
+					break
 				}
 				sb.Put(int(p.to), p.word)
 			}

@@ -123,6 +123,9 @@ func (s *solver) colorPool(pool []int32) (int, error) {
 	if pk := misCluster.PeakMachineSpace(); pk > s.trace.PeakMachineWords {
 		s.trace.PeakMachineWords = pk
 	}
+	if pr := misCluster.Ledger().PeakRoundWords(); pr > s.trace.PeakRoundWords {
+		s.trace.PeakRoundWords = pr
+	}
 	col := growColoring(ws.col, len(live))
 	if err := red.ExtractColoringInto(in, col); err != nil {
 		return 0, err

@@ -32,6 +32,7 @@ type Cluster struct {
 	workPool *fabric.WorkPool // parked round-staging workers (lazy)
 
 	peakSpace   int64 // max over machines and rounds of resident + inbound
+	maxResident int64 // current max over machines of resident (incremental)
 	totalBudget int64 // 0 = unchecked
 
 	// layoutAssign / layoutResident are ResetLinear's retained layout
@@ -132,6 +133,7 @@ func NewLinear(n int, nodeWeight func(v int) int64, spaceFactor int, opts ...Opt
 		return nil, err
 	}
 	copy(c.resident, resident)
+	c.recomputeMaxResident()
 	c.observeSpace(0)
 	return c, nil
 }
@@ -157,6 +159,7 @@ func (c *Cluster) ResetLinear(n int, nodeWeight func(v int) int64, spaceFactor i
 		return err
 	}
 	copy(c.resident, resident)
+	c.recomputeMaxResident()
 	c.observeSpace(0)
 	return nil
 }
@@ -191,6 +194,7 @@ func (c *Cluster) Reset(assign []int, machines int, space int64) error {
 	}
 	c.ledger.Reset()
 	c.peakSpace = 0
+	c.maxResident = 0
 	return nil
 }
 
@@ -241,12 +245,18 @@ func (c *Cluster) AdjustResident(w int, dw int64) error {
 // directly (used when data placement is chunk-granular rather than
 // per-worker).
 func (c *Cluster) AdjustResidentMachine(m int, dw int64) error {
+	old := c.resident[m]
 	c.resident[m] += dw
 	if c.resident[m] < 0 {
 		return fmt.Errorf("mpc: machine %d resident went negative", m)
 	}
 	if c.resident[m] > c.space {
 		return &SpaceError{Machine: m, Used: c.resident[m], Space: c.space, Kind: "resident"}
+	}
+	if c.resident[m] > c.maxResident {
+		c.maxResident = c.resident[m]
+	} else if dw < 0 && old == c.maxResident {
+		c.recomputeMaxResident()
 	}
 	c.observeSpace(0)
 	return nil
@@ -309,13 +319,13 @@ func (c *Cluster) FrameRound(stage func(w int, sb *fabric.SendBuf)) ([][]fabric.
 		return nil, err
 	}
 	var maxSend, maxRecv int64
-	for m := 0; m < c.machines; m++ {
+	for _, m := range stats.Groups {
 		send, recv := stats.SendLoad[m], stats.RecvLoad[m]
 		if send > c.space {
-			return nil, &SpaceError{Machine: m, Used: send, Space: c.space, Kind: "send"}
+			return nil, &SpaceError{Machine: int(m), Used: send, Space: c.space, Kind: "send"}
 		}
 		if recv > c.space {
-			return nil, &SpaceError{Machine: m, Used: recv, Space: c.space, Kind: "recv"}
+			return nil, &SpaceError{Machine: int(m), Used: recv, Space: c.space, Kind: "recv"}
 		}
 		if send > maxSend {
 			maxSend = send
@@ -340,10 +350,21 @@ func (c *Cluster) FrameRound(stage func(w int, sb *fabric.SendBuf)) ([][]fabric.
 	return inboxes, nil
 }
 
+// observeSpace folds the current resident high-water mark (plus any
+// uniform per-machine extra) into the peak. The max resident is maintained
+// incrementally by AdjustResidentMachine — a full scan here made every
+// chunk placement O(machines), i.e. O(machines²) setup at large n.
 func (c *Cluster) observeSpace(extra int64) {
+	if c.maxResident+extra > c.peakSpace {
+		c.peakSpace = c.maxResident + extra
+	}
+}
+
+func (c *Cluster) recomputeMaxResident() {
+	c.maxResident = 0
 	for _, r := range c.resident {
-		if r+extra > c.peakSpace {
-			c.peakSpace = r + extra
+		if r > c.maxResident {
+			c.maxResident = r
 		}
 	}
 }

@@ -1,0 +1,111 @@
+package scenario
+
+import (
+	"testing"
+
+	"ccolor/internal/graph"
+	"ccolor/internal/hashing"
+)
+
+// scaleFamilies are the registry entries the large-instance tier exercises:
+// the unstructured baseline, the heavy-tail adversary, and the flat
+// bounded-degree extreme.
+var scaleFamilies = []string{"gnp", "rmat", "torus"}
+
+// TestScaleTierGeneration builds the scale-tier families at every tier size
+// and checks the basic shape invariants plus streaming-encode consistency:
+// the O(1) word count must match what the chunked writer actually emits,
+// and the streamed fingerprint must be self-consistent across chunkings.
+func TestScaleTierGeneration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-instance tier skipped in -short mode")
+	}
+	for _, name := range scaleFamilies {
+		spec, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range ScaleSizes {
+			g, err := spec.Graph(n, 11)
+			if err != nil {
+				t.Fatalf("%s at n=%d: %v", name, n, err)
+			}
+			// Torus rounds to the nearest square; everything else is exact.
+			if name == "torus" {
+				if g.N() < n/2 || g.N() > n {
+					t.Fatalf("%s at n=%d: got %d nodes", name, n, g.N())
+				}
+			} else if g.N() != n {
+				t.Fatalf("%s at n=%d: got %d nodes", name, n, g.N())
+			}
+			if g.M() == 0 {
+				t.Fatalf("%s at n=%d: no edges", name, n)
+			}
+			var streamed int64
+			s := hashing.NewStream(graph.GraphWordCount(g))
+			if err := graph.WriteGraphWords(g, func(chunk []uint64) error {
+				streamed += int64(len(chunk))
+				s.Write(chunk)
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if streamed != graph.GraphWordCount(g) {
+				t.Fatalf("%s at n=%d: GraphWordCount=%d, streamed %d words",
+					name, n, graph.GraphWordCount(g), streamed)
+			}
+			if s.Sum() == 0 {
+				t.Fatalf("%s at n=%d: zero fingerprint", name, n)
+			}
+		}
+	}
+}
+
+// TestScaleTierMillionNodeSmoke is the top of the tier: a 2²⁰-node build of
+// each scale family, plus instance assembly and a full streamed canonical
+// fingerprint for gnp. No solve — the point is that generation and encoding
+// stay near-linear and never materialize a second full copy, so this must
+// run in seconds, not minutes.
+func TestScaleTierMillionNodeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("million-node smoke skipped in -short mode")
+	}
+	for _, name := range scaleFamilies {
+		spec, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := spec.Graph(ScaleSmokeNodes, 11)
+		if err != nil {
+			t.Fatalf("%s at n=%d: %v", name, ScaleSmokeNodes, err)
+		}
+		if g.M() == 0 {
+			t.Fatalf("%s at n=%d: no edges", name, ScaleSmokeNodes)
+		}
+		if name != "gnp" {
+			continue
+		}
+		// gnp carries shared Δ+1 palettes (O(Δ) extra storage), so the full
+		// instance and its canonical fingerprint are cheap even at 2²⁰.
+		inst, err := spec.Instance(ScaleSmokeNodes, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := hashing.NewStream(graph.InstanceWordCount(inst))
+		var streamed int64
+		if err := graph.WriteInstanceWords(inst, func(chunk []uint64) error {
+			streamed += int64(len(chunk))
+			s.Write(chunk)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if streamed != graph.InstanceWordCount(inst) {
+			t.Fatalf("gnp at n=%d: InstanceWordCount=%d, streamed %d",
+				ScaleSmokeNodes, graph.InstanceWordCount(inst), streamed)
+		}
+		if s.Sum() == 0 {
+			t.Fatal("zero instance fingerprint")
+		}
+	}
+}

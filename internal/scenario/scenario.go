@@ -76,6 +76,25 @@ func (s *Spec) Instance(n int, seed uint64) (*graph.Instance, error) {
 	if err != nil {
 		return nil, err
 	}
+	return s.InstanceFromGraph(g, n, seed)
+}
+
+// InstanceWords predicts the canonical encoded size (graph.
+// InstanceWordCount) of this scenario's instance for an already-built
+// graph, without materializing palettes. Both registry palette kinds give
+// every node Δ+1 colors, so the palette mass is exactly n·(Δ+2) words
+// (one length word plus Δ+1 colors per node). Serving layers use this to
+// bound request size before committing to the palette allocation.
+func (s *Spec) InstanceWords(g *graph.Graph) int64 {
+	return graph.GraphWordCount(g) + int64(g.N())*int64(g.MaxDegree()+2)
+}
+
+// InstanceFromGraph assembles the canonical instance from a graph this spec
+// already built at (n, seed). The split from Instance lets callers inspect
+// the graph — and bound the predicted encoding via InstanceWords — before
+// palettes are materialized. n must be the size the graph was requested at
+// (the list-palette universe is a function of the requested n, not g.N()).
+func (s *Spec) InstanceFromGraph(g *graph.Graph, n int, seed uint64) (*graph.Instance, error) {
 	switch s.Palette {
 	case PaletteList:
 		inst, err := graph.ListInstance(g, Universe(n), seed+1)
@@ -97,6 +116,19 @@ const MinNodes = 16
 // comfortably exceeds Δ+1 for every family while keeping palettes sparse
 // in the universe (the regime that stresses palette intersection logic).
 func Universe(n int) int64 { return int64(4 * n) }
+
+// ScaleSizes are the large-instance tier sizes: every scenario is still a
+// pure function of (n, seed) at these n, and the scaling tests and
+// benchmarks solve them end to end on all three backends. The tier exists
+// to catch superlinear hotspots and memory cliffs the small-n suite cannot
+// see.
+var ScaleSizes = []int{1 << 14, 1 << 16}
+
+// ScaleSmokeNodes is the scaling tier's generation/encoding smoke size:
+// instances this large are built, encoded, and fingerprinted — not solved —
+// to pin the construction path's memory behavior (streamed edge emission,
+// chunked canonical encoding, int32 ID guards).
+const ScaleSmokeNodes = 1 << 20
 
 // registry is the fixed catalog, in presentation order. Keep the three
 // legacy families first — existing tooling defaults reference them by name.

@@ -92,8 +92,26 @@ func keyFor(spec *Spec) cacheKey {
 	for _, b := range []byte(paramText) {
 		words = append(words, uint64(b))
 	}
-	words = graph.AppendInstanceWords(words, spec.Inst)
-	return cacheKey{digest: hashing.Fingerprint(words), sum: sumWords(words)}
+	// Fold the instance's canonical encoding in streamed chunks: the
+	// fingerprint seeds with the total stream length (known in O(1)), so a
+	// large instance is keyed without ever materializing a second full copy
+	// of its word stream.
+	fp := hashing.NewStream(int64(len(words)) + graph.InstanceWordCount(spec.Inst))
+	h := sha256.New()
+	var buf [8]byte
+	fold := func(chunk []uint64) error {
+		fp.Write(chunk)
+		for _, w := range chunk {
+			binary.LittleEndian.PutUint64(buf[:], w)
+			h.Write(buf[:])
+		}
+		return nil
+	}
+	fold(words)
+	graph.WriteInstanceWords(spec.Inst, fold) // fold never errors
+	var sum [sha256.Size]byte
+	h.Sum(sum[:0])
+	return cacheKey{digest: fp.Sum(), sum: sum}
 }
 
 // reportWords approximates a report's resident size in words: the coloring

@@ -115,9 +115,16 @@ func ColoringFingerprint(c graph.Coloring) uint64 {
 }
 
 // InstanceFingerprint fingerprints the instance's canonical wire encoding —
-// the same stream the serving layer's content-addressed cache keys on.
+// the same stream the serving layer's content-addressed cache keys on. The
+// encoding is folded in streamed chunks, so no full word-stream copy of a
+// large instance is ever held.
 func InstanceFingerprint(inst *graph.Instance) uint64 {
-	return hashing.Fingerprint(graph.AppendInstanceWords(nil, inst))
+	s := hashing.NewStream(graph.InstanceWordCount(inst))
+	graph.WriteInstanceWords(inst, func(chunk []uint64) error {
+		s.Write(chunk)
+		return nil
+	})
+	return s.Sum()
 }
 
 // ModelColoring is one backend's output on a shared instance.
