@@ -13,6 +13,8 @@ package ccolor_test
 
 import (
 	"context"
+	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -387,6 +389,36 @@ func benchSolveScale(b *testing.B, n int) {
 func BenchmarkSolveScaling(b *testing.B) {
 	b.Run("gnp4k", func(b *testing.B) { benchSolveScale(b, 1<<12) })
 	b.Run("gnp64k", func(b *testing.B) { benchSolveScale(b, 1<<16) })
+	// The powerlaw pair scales the list-palette discipline — wide packed
+	// domains where the hybrid sparse/dense palette representations, not the
+	// delivery fabric, dominate. Its exponent is gated separately in CI: the
+	// gnp pair cannot see a superlinear slide in the palette scan paths.
+	b.Run("powerlaw4k", func(b *testing.B) {
+		benchSolveWarm(b, ccolor.ModelCClique, solveScenarioInstance("powerlaw", 1<<12, 11))
+	})
+	b.Run("powerlaw64k", func(b *testing.B) {
+		benchSolveWarm(b, ccolor.ModelCClique, solveScenarioInstance("powerlaw", 1<<16, 11))
+	})
+}
+
+// --- multicore round delivery (GOMAXPROCS sweep; efficiency gated in CI) ---
+
+// BenchmarkSolveParallel sweeps GOMAXPROCS over the warm gnp64k solve — the
+// workload whose rounds clear fabric.DeliverParallelMinWords, so Deliver
+// partitions its destination space across the session pool. The p1 point is
+// the serial reference; cmd/benchguard's -parallel gate requires p4 to beat
+// it by the configured speedup on CI's multicore runners. On a single-core
+// machine the sweep still runs (the parallel path is exercised through the
+// pool) but all points measure alike; the gate is only meaningful where the
+// hardware can actually overlap ranges.
+func BenchmarkSolveParallel(b *testing.B) {
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("gnp64k/p%d", p), func(b *testing.B) {
+			prev := runtime.GOMAXPROCS(p)
+			defer runtime.GOMAXPROCS(prev)
+			benchSolveWarm(b, ccolor.ModelCClique, solveScenarioInstance("gnp", 1<<16, 11))
+		})
+	}
 }
 
 // --- traced warm solves (Options.Trace on; pins the tracing overhead) ---

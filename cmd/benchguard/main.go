@@ -28,12 +28,27 @@
 // filter typo must not pass vacuously); use -require to insist specific
 // benchmarks were both run and checked.
 //
-// The -scaling flag adds a fitted-exponent gate over a size pair: given
-// 'small:large:sizeRatio:maxExponent', the growth exponent
-// log(ns_large/ns_small)/log(sizeRatio) must stay at or below maxExponent.
-// Being a ratio of two same-run measurements, it cancels common-mode
-// runner slowdowns — it is the CI tripwire for superlinear hotspots
-// creeping back into the solve path, complementing the absolute gates.
+// The -scaling flag adds a fitted-exponent gate over size pairs: given one
+// or more comma-separated 'small:large:sizeRatio:maxExponent' quads, each
+// growth exponent log(ns_large/ns_small)/log(sizeRatio) must stay at or
+// below its maxExponent. Being a ratio of two same-run measurements, it
+// cancels common-mode runner slowdowns — it is the CI tripwire for
+// superlinear hotspots creeping back into the solve path, complementing the
+// absolute gates.
+//
+// The -parallel flag gates multicore efficiency the same ratio-based way:
+// 'serial:parallel:minSpeedup' requires ns_serial/ns_parallel ≥ minSpeedup.
+// Both points come from one run on one machine, so the gate measures the
+// runner's actual core scaling, not an absolute number a slower runner
+// would flake on. Run it only where the hardware has the cores: on a
+// single-core machine the ratio is ≈1 by construction.
+//
+// The -update flag switches benchguard from gate to regenerator: measured
+// minima overwrite ns_per_op / bytes_per_op / allocs_per_op in the baseline
+// file (new benchmarks get fresh entries), every other field — description,
+// notes, per-entry context like model_rounds or pre_bitset_ns_per_op — is
+// preserved verbatim, and the file is rewritten in place. No gating happens
+// in update mode.
 package main
 
 import (
@@ -46,6 +61,7 @@ import (
 	"regexp"
 	"strconv"
 	"strings"
+	"time"
 )
 
 type baselineFile struct {
@@ -65,6 +81,9 @@ var allocsField = regexp.MustCompile(`(\d+(?:\.\d+)?)\s+allocs/op`)
 // nsField captures the ns/op metric from the measurements tail.
 var nsField = regexp.MustCompile(`(\d+(?:\.\d+)?)\s+ns/op`)
 
+// bytesField captures the B/op metric (update mode records it).
+var bytesField = regexp.MustCompile(`(\d+(?:\.\d+)?)\s+B/op`)
+
 // trimProcs strips the trailing -N GOMAXPROCS suffix go test appends to
 // benchmark names (baseline keys are stored without it).
 func trimProcs(name string) string {
@@ -78,13 +97,27 @@ func trimProcs(name string) string {
 	return name[:i]
 }
 
+// splitSpecs breaks a comma-separated flag value into trimmed non-empty
+// specs; an unset flag yields nil so callers can range unconditionally.
+func splitSpecs(flagValue string) []string {
+	var specs []string
+	for _, s := range strings.Split(flagValue, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			specs = append(specs, s)
+		}
+	}
+	return specs
+}
+
 func main() {
 	baselinePath := flag.String("baseline", "BENCH_solve.json", "baseline JSON with results.<name>.{allocs_per_op,ns_per_op}")
 	threshold := flag.Float64("threshold", 0.20, "maximum tolerated fractional allocs/op regression")
 	nsThreshold := flag.Float64("ns-threshold", 0.35, "maximum tolerated fractional ns/op regression (entries without ns_per_op are exempt)")
 	require := flag.String("require", "", "comma-separated benchmark name substrings that must be checked")
 	unknown := flag.String("unknown", "skip", "benchmarks absent from the baseline: 'skip' (tolerate, report) or 'fail'")
-	scaling := flag.String("scaling", "", "fitted-exponent gate 'small:large:sizeRatio:maxExponent' — both benchmarks must be in the input; fails when log(ns_large/ns_small)/log(sizeRatio) exceeds maxExponent")
+	scaling := flag.String("scaling", "", "comma-separated fitted-exponent gates 'small:large:sizeRatio:maxExponent' — both benchmarks must be in the input; fails when log(ns_large/ns_small)/log(sizeRatio) exceeds maxExponent")
+	parallel := flag.String("parallel", "", "comma-separated efficiency gates 'serial:parallel:minSpeedup' — fails when ns_serial/ns_parallel falls below minSpeedup")
+	update := flag.Bool("update", false, "regenerate the baseline from the measured minima instead of gating: ns/bytes/allocs are overwritten, all other fields are preserved")
 	flag.Parse()
 	if *unknown != "skip" && *unknown != "fail" {
 		fatalf("-unknown must be 'skip' or 'fail', got %q", *unknown)
@@ -104,6 +137,7 @@ func main() {
 	type agg struct {
 		allocs float64
 		ns     float64
+		bytes  float64
 		runs   int
 	}
 	measured := make(map[string]*agg)
@@ -132,9 +166,15 @@ func main() {
 				ns = v
 			}
 		}
+		bytesOp := -1.0
+		if bf := bytesField.FindStringSubmatch(m[2]); bf != nil {
+			if v, err := strconv.ParseFloat(bf[1], 64); err == nil {
+				bytesOp = v
+			}
+		}
 		a, ok := measured[name]
 		if !ok {
-			measured[name] = &agg{allocs: allocs, ns: ns, runs: 1}
+			measured[name] = &agg{allocs: allocs, ns: ns, bytes: bytesOp, runs: 1}
 			order = append(order, name)
 			continue
 		}
@@ -145,9 +185,69 @@ func main() {
 		if ns >= 0 && (a.ns < 0 || ns < a.ns) {
 			a.ns = ns
 		}
+		if bytesOp >= 0 && (a.bytes < 0 || bytesOp < a.bytes) {
+			a.bytes = bytesOp
+		}
 	}
 	if err := sc.Err(); err != nil {
 		fatalf("read input: %v", err)
+	}
+
+	if *update {
+		// Regenerate instead of gate: splice the measured minima into the
+		// baseline's raw JSON. Decoding entries as raw-message maps keeps
+		// every field this tool does not own — descriptions, notes,
+		// model_rounds, historical pre_* context — byte-preserved.
+		if len(measured) == 0 {
+			fatalf("update: no benchmark results in the input (missing -benchmem?)")
+		}
+		var top map[string]json.RawMessage
+		if err := json.Unmarshal(raw, &top); err != nil {
+			fatalf("update: parse baseline: %v", err)
+		}
+		results := map[string]map[string]json.RawMessage{}
+		if r, ok := top["results"]; ok {
+			if err := json.Unmarshal(r, &results); err != nil {
+				fatalf("update: parse baseline results: %v", err)
+			}
+		}
+		num := func(v float64) json.RawMessage {
+			return json.RawMessage(strconv.FormatFloat(v, 'f', -1, 64))
+		}
+		added, updated := 0, 0
+		for _, name := range order {
+			a := measured[name]
+			entry, ok := results[name]
+			if !ok {
+				entry = map[string]json.RawMessage{}
+				results[name] = entry
+				added++
+			} else {
+				updated++
+			}
+			entry["allocs_per_op"] = num(a.allocs)
+			if a.ns >= 0 {
+				entry["ns_per_op"] = num(a.ns)
+			}
+			if a.bytes >= 0 {
+				entry["bytes_per_op"] = num(a.bytes)
+			}
+		}
+		enc, err := json.Marshal(results)
+		if err != nil {
+			fatalf("update: encode results: %v", err)
+		}
+		top["results"] = enc
+		top["date"] = json.RawMessage(strconv.Quote(time.Now().Format("2006-01-02")))
+		out, err := json.MarshalIndent(top, "", "  ")
+		if err != nil {
+			fatalf("update: encode baseline: %v", err)
+		}
+		if err := os.WriteFile(*baselinePath, append(out, '\n'), 0o644); err != nil {
+			fatalf("update: write baseline: %v", err)
+		}
+		fmt.Printf("benchguard: updated %d entries, added %d new in %s\n", updated, added, *baselinePath)
+		return
 	}
 
 	// Second pass: gate the per-benchmark minima against the baseline.
@@ -206,20 +306,20 @@ func main() {
 			fatalf("required benchmark %q was not checked (ran: %s)", want, strings.Join(checked, ", "))
 		}
 	}
-	if *scaling != "" {
+	for _, spec := range splitSpecs(*scaling) {
 		// The exponent gate is ratio-based: a common-mode runner slowdown
 		// multiplies both points and cancels, so it stays meaningful on
 		// noisy machines where an absolute ns gate would flake. It exists
 		// to catch superlinear (accidentally quadratic) growth on the
 		// solve path, not constant-factor drift.
-		parts := strings.Split(*scaling, ":")
+		parts := strings.Split(spec, ":")
 		if len(parts) != 4 {
-			fatalf("-scaling wants 'small:large:sizeRatio:maxExponent', got %q", *scaling)
+			fatalf("-scaling wants 'small:large:sizeRatio:maxExponent', got %q", spec)
 		}
 		sizeRatio, err1 := strconv.ParseFloat(parts[2], 64)
 		maxExp, err2 := strconv.ParseFloat(parts[3], 64)
 		if err1 != nil || err2 != nil || sizeRatio <= 1 || maxExp <= 0 {
-			fatalf("-scaling: bad sizeRatio/maxExponent in %q", *scaling)
+			fatalf("-scaling: bad sizeRatio/maxExponent in %q", spec)
 		}
 		small, okS := measured[parts[0]]
 		large, okL := measured[parts[1]]
@@ -239,6 +339,38 @@ func main() {
 		}
 		fmt.Printf("benchguard: scaling %s: fitted exponent %.2f (limit %.2f; %.0f ns/op → %.0f ns/op over %.0fx)\n",
 			status, exp, maxExp, small.ns, large.ns, sizeRatio)
+	}
+	for _, spec := range splitSpecs(*parallel) {
+		// The efficiency gate is the same ratio trick pointed at core
+		// scaling: serial and parallel points share one run on one machine,
+		// so a slow runner cancels and the measured quantity is the actual
+		// multicore speedup of the guarded path.
+		parts := strings.Split(spec, ":")
+		if len(parts) != 3 {
+			fatalf("-parallel wants 'serial:parallel:minSpeedup', got %q", spec)
+		}
+		minSpeedup, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil || minSpeedup <= 0 {
+			fatalf("-parallel: bad minSpeedup in %q", spec)
+		}
+		serial, okS := measured[parts[0]]
+		par, okP := measured[parts[1]]
+		if !okS || !okP {
+			fatalf("-parallel: benchmarks %q and %q must both be in the input", parts[0], parts[1])
+		}
+		if serial.ns <= 0 || par.ns <= 0 {
+			fatalf("-parallel: %q and %q need ns/op measurements", parts[0], parts[1])
+		}
+		speedup := serial.ns / par.ns
+		status := "ok"
+		if speedup < minSpeedup {
+			status = "REGRESSION"
+			regressions = append(regressions, fmt.Sprintf(
+				"parallel speedup %.2fx below %.2fx (%s %.0f ns/op vs %s %.0f ns/op)",
+				speedup, minSpeedup, parts[0], serial.ns, parts[1], par.ns))
+		}
+		fmt.Printf("benchguard: parallel %s: speedup %.2fx (minimum %.2fx; %.0f ns/op → %.0f ns/op)\n",
+			status, speedup, minSpeedup, serial.ns, par.ns)
 	}
 	if *unknown == "fail" && len(unknowns) > 0 {
 		fatalf("%d benchmark(s) missing from the baseline (-unknown=fail): %s",

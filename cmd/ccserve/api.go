@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 
 	"ccolor"
@@ -32,8 +34,13 @@ type GraphSpec struct {
 	// Attach is the power-law edges-per-new-node attachment count.
 	Attach int    `json:"attach,omitempty"`
 	Seed   uint64 `json:"seed,omitempty"`
-	// Edges is the explicit undirected edge list for kind "edges".
-	Edges [][2]int32 `json:"edges,omitempty"`
+	// Edges is the explicit undirected edge list for kind "edges". It is
+	// deferred as raw JSON and decoded token by token into a graph.EdgeSink
+	// once n is known, so a large request never materializes an
+	// intermediate [][2]int32 alongside the CSR arrays — and admission
+	// (edge count, canonical word budget) runs *during* the stream, not
+	// after the whole list has been allocated.
+	Edges json.RawMessage `json:"edges,omitempty"`
 }
 
 // maxRequestNodes / maxRequestEdges bound per-request instance size so a
@@ -58,9 +65,6 @@ func (gs *GraphSpec) Build() (*ccolor.Graph, error) {
 	if gs.N < 0 || gs.N > maxRequestNodes {
 		return nil, fmt.Errorf("n=%d out of range [0, %d]", gs.N, maxRequestNodes)
 	}
-	if len(gs.Edges) > maxRequestEdges {
-		return nil, fmt.Errorf("%d edges exceeds limit %d", len(gs.Edges), maxRequestEdges)
-	}
 	if gs.D < 0 || gs.Attach < 0 {
 		return nil, fmt.Errorf("negative degree parameters (d=%d, attach=%d)", gs.D, gs.Attach)
 	}
@@ -84,7 +88,7 @@ func (gs *GraphSpec) Build() (*ccolor.Graph, error) {
 		}
 		return ccolor.PowerLaw(gs.N, gs.Attach, gs.Seed)
 	case "edges":
-		return ccolor.FromEdges(gs.N, gs.Edges)
+		return gs.buildEdges()
 	case "scenario":
 		spec, err := gs.scenario()
 		if err != nil {
@@ -101,6 +105,52 @@ func (gs *GraphSpec) Build() (*ccolor.Graph, error) {
 		return g, nil
 	}
 	return nil, fmt.Errorf("unknown graph kind %q (want gnp, regular, powerlaw, edges, or scenario)", gs.Kind)
+}
+
+// buildEdges streams the deferred edge-list JSON through a graph.EdgeSink:
+// each pair is decoded and fed straight into the CSR builder, with the edge
+// cap and the canonical word budget (2 + (n+1) + 2m graph words) enforced as
+// the count grows. A violating request fails after at most maxRequestEdges+1
+// pairs of work regardless of how many the body carries; node-range errors
+// and self loops are latched by the sink and surface from Build.
+func (gs *GraphSpec) buildEdges() (*ccolor.Graph, error) {
+	sink, err := graph.NewEdgeSink(gs.N)
+	if err != nil {
+		return nil, err // ErrTooManyNodes admission (redundant below maxRequestNodes, load-bearing if the cap is ever raised)
+	}
+	if len(gs.Edges) == 0 || bytes.Equal(gs.Edges, []byte("null")) {
+		return sink.Build() // edgeless graph, matching the old nil-slice behavior
+	}
+	dec := json.NewDecoder(bytes.NewReader(gs.Edges))
+	tok, err := dec.Token()
+	if err != nil {
+		return nil, fmt.Errorf("edges: %w", err)
+	}
+	if d, ok := tok.(json.Delim); !ok || d != '[' {
+		return nil, fmt.Errorf("edges: expected an array, got %v", tok)
+	}
+	words := int64(2) + int64(gs.N) + 1 // canonical graph header + offsets
+	pair := make([]int32, 0, 2)         // reused across the stream; unmarshal into a fixed-size array would silently drop extra elements
+	for dec.More() {
+		if sink.M() >= maxRequestEdges {
+			return nil, fmt.Errorf("edge list exceeds limit %d", maxRequestEdges)
+		}
+		pair = pair[:0]
+		if err := dec.Decode(&pair); err != nil {
+			return nil, fmt.Errorf("edges[%d]: %w", sink.M(), err)
+		}
+		if len(pair) != 2 {
+			return nil, fmt.Errorf("edges[%d]: got %d endpoints, want 2", sink.M(), len(pair))
+		}
+		sink.Add(pair[0], pair[1])
+		if words += 2; words > maxRequestWords {
+			return nil, fmt.Errorf("edge list at n=%d encodes past %d words", gs.N, maxRequestWords)
+		}
+	}
+	if _, err := dec.Token(); err != nil { // consume the closing ']'
+		return nil, fmt.Errorf("edges: %w", err)
+	}
+	return sink.Build()
 }
 
 // scenario resolves a kind "scenario" spec. The real admission bound is

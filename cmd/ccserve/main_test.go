@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -413,6 +415,65 @@ func TestSolveEndpointProblems(t *testing.T) {
 	}
 	if mpc := snap.PerModel["mpc"]; mpc.Verified != 2 || mpc.VerifyFailures != 0 {
 		t.Fatalf("mpc verify counters = %d/%d, want 2/0", mpc.Verified, mpc.VerifyFailures)
+	}
+}
+
+// TestEdgesStreamingDecode drives the kind "edges" path, which defers the
+// edge list as raw JSON and streams it into a graph.EdgeSink once n is
+// known: a 50k-node cycle (~1 MB of JSON) must solve and cache like any
+// generated instance, and the stream-time admission errors (node range,
+// self loop, malformed pair) must each surface as 400s.
+func TestEdgesStreamingDecode(t *testing.T) {
+	h, _ := newTestHandler(t, server.Config{Workers: 2, QueueDepth: 16})
+
+	const n = 50000
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `{"graph":{"kind":"edges","n":%d,"edges":[`, n)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "[%d,%d]", i, (i+1)%n)
+	}
+	sb.WriteString(`]},"omit_coloring":true}`)
+	body := sb.String()
+
+	first := post(t, h, "/v1/color", body)
+	if first.Code != http.StatusOK {
+		t.Fatalf("cycle request: %d %.300s", first.Code, first.Body)
+	}
+	var resp ColorResponse
+	if err := json.Unmarshal(first.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.N != n || resp.M != n || resp.ColorsUsed > 3 {
+		t.Fatalf("cycle response shape: n=%d m=%d colors=%d", resp.N, resp.M, resp.ColorsUsed)
+	}
+	// The streamed decode must be canonical: the identical body hits the
+	// content-addressed cache byte for byte.
+	second := post(t, h, "/v1/color", body)
+	if got := second.Header().Get("X-CCServe-Cache"); got != "hit" {
+		t.Fatalf("repeat edges request cache header %q, want hit", got)
+	}
+	if !bytes.Equal(first.Body.Bytes(), second.Body.Bytes()) {
+		t.Fatal("edges responses not byte-identical")
+	}
+
+	for _, tc := range []struct {
+		name, body, wantErr string
+	}{
+		{"out-of-range", `{"graph":{"kind":"edges","n":4,"edges":[[0,1],[1,9]]}}`, "out of range"},
+		{"self-loop", `{"graph":{"kind":"edges","n":4,"edges":[[2,2]]}}`, "self loop"},
+		{"odd-pair", `{"graph":{"kind":"edges","n":4,"edges":[[0,1,2]]}}`, "want 2"},
+		{"not-an-array", `{"graph":{"kind":"edges","n":4,"edges":{"u":0}}}`, "expected an array"},
+	} {
+		rec := post(t, h, "/v1/color", tc.body)
+		if rec.Code != http.StatusBadRequest {
+			t.Fatalf("%s -> %d %s, want 400", tc.name, rec.Code, rec.Body)
+		}
+		if !bytes.Contains(rec.Body.Bytes(), []byte(tc.wantErr)) {
+			t.Fatalf("%s error %s does not mention %q", tc.name, rec.Body, tc.wantErr)
+		}
 	}
 }
 

@@ -142,7 +142,7 @@ func (nw *Network) FrameRound(stage func(w int, sb *fabric.SendBuf)) ([][]fabric
 	nw.runParallel(func(v int) {
 		stage(v, rb.Sender(v))
 	})
-	inboxes, stats, err := rb.Deliver(fabric.DeliverOpts{PairWords: nw.msgWords})
+	inboxes, stats, err := rb.Deliver(fabric.DeliverOpts{PairWords: nw.msgWords, Pool: nw.pool})
 	if err != nil {
 		var re *fabric.RouteError
 		if errors.As(err, &re) {

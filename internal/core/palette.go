@@ -21,6 +21,15 @@ type palState struct {
 	set  graph.PaletteSet
 	size int
 
+	// Hybrid sparse index (packed mode only): when the solve-level gate
+	// decides the instance's palettes are near-disjoint over a wide domain
+	// (list instances: each node holds Δ+1 of ~n·Δ live colors, so its words
+	// are almost all zero), idx lists the indices of set's possibly-nonzero
+	// words, ascending. Packed sets only ever lose bits after init, so the
+	// initial nonzero-word list stays a valid superset forever; restriction
+	// passes re-compact it as words drain. nil means dense: walk every word.
+	idx []int32
+
 	// Compact mode (§3.6): the initial palette is {1..Δ+1}; restrictions
 	// are stored as the chain of (hash, kept bin) pairs applied so far, and
 	// used colors are stored explicitly (≤ one per neighbor ⇒ O(d(v))
@@ -74,6 +83,23 @@ func (s *solver) palForEach(v int32, fn func(graph.Color) bool) {
 	if !ps.compact {
 		dom := s.dom.colors
 		left := ps.size // stop after the last set bit, not the last word
+		if ps.idx != nil {
+			for _, wi := range ps.idx {
+				w := ps.set[wi]
+				base := int(wi) << 6
+				for w != 0 {
+					if !fn(dom[base+bits.TrailingZeros64(w)]) {
+						return
+					}
+					left--
+					w &= w - 1
+				}
+				if left == 0 {
+					return
+				}
+			}
+			return
+		}
 		for wi, w := range ps.set {
 			base := wi << 6
 			for w != 0 {
@@ -101,6 +127,25 @@ func (s *solver) palForEach(v int32, fn func(graph.Color) bool) {
 // uses palCountMask with a precomputed color-bin mask instead; this form
 // remains for compact mode and as the reference implementation.
 func (s *solver) palCountBin(v int32, h hashing.Hash, bin int64) int {
+	ps := &s.pal[v]
+	if !ps.compact && ps.idx != nil {
+		// Sparse packed fast path: walk the nonzero-word index directly
+		// instead of going through the palForEach closure — this is the
+		// per-candidate inner loop when the mask gate is off.
+		dom := s.dom.colors
+		n := 0
+		for _, wi := range ps.idx {
+			w := ps.set[wi]
+			base := int(wi) << 6
+			for w != 0 {
+				if h.Eval(dom[base+bits.TrailingZeros64(w)]) == bin {
+					n++
+				}
+				w &= w - 1
+			}
+		}
+		return n
+	}
 	n := 0
 	s.palForEach(v, func(c graph.Color) bool {
 		if h.Eval(c) == bin {
@@ -114,7 +159,15 @@ func (s *solver) palCountBin(v int32, h hashing.Hash, bin int64) int {
 // palCountMask returns |palette ∩ mask| for a packed-mode node, where mask
 // is a domain-indexed bitset (one popcount-AND pass, no hash evaluation).
 func (s *solver) palCountMask(v int32, mask graph.PaletteSet) int {
-	return s.pal[v].set.IntersectCount(mask)
+	ps := &s.pal[v]
+	if ps.idx != nil {
+		n := 0
+		for _, wi := range ps.idx {
+			n += bits.OnesCount64(ps.set[wi] & mask[wi])
+		}
+		return n
+	}
+	return ps.set.IntersectCount(mask)
 }
 
 // palRestrictMask applies a Partition color restriction as a word-wise AND
@@ -122,6 +175,21 @@ func (s *solver) palCountMask(v int32, mask graph.PaletteSet) int {
 // pass. Packed mode only.
 func (s *solver) palRestrictMask(v int32, mask graph.PaletteSet) {
 	ps := &s.pal[v]
+	if ps.idx != nil {
+		size := 0
+		kept := ps.idx[:0] // compact in place; writes trail reads
+		for _, wi := range ps.idx {
+			w := ps.set[wi] & mask[wi]
+			ps.set[wi] = w
+			if w != 0 {
+				size += bits.OnesCount64(w)
+				kept = append(kept, wi)
+			}
+		}
+		ps.idx = kept
+		ps.size = size
+		return
+	}
 	ps.size = ps.set.Intersect(mask)
 }
 
@@ -132,6 +200,32 @@ func (s *solver) palRestrict(v int32, h hashing.Hash, bin int64) {
 	ps := &s.pal[v]
 	if !ps.compact {
 		dom := s.dom.colors
+		if ps.idx != nil {
+			size := 0
+			keptIdx := ps.idx[:0] // compact in place; writes trail reads
+			for _, wi := range ps.idx {
+				w := ps.set[wi]
+				if w == 0 {
+					continue
+				}
+				base := int(wi) << 6
+				kept := w
+				for t := w; t != 0; t &= t - 1 {
+					b := bits.TrailingZeros64(t)
+					if h.Eval(dom[base+b]) != bin {
+						kept &^= 1 << uint(b)
+					}
+				}
+				ps.set[wi] = kept
+				if kept != 0 {
+					size += bits.OnesCount64(kept)
+					keptIdx = append(keptIdx, wi)
+				}
+			}
+			ps.idx = keptIdx
+			ps.size = size
+			return
+		}
 		left := ps.size // stop after the last set bit, not the last word
 		size := 0
 		for wi, w := range ps.set {
@@ -209,6 +303,20 @@ func (s *solver) palFirstKInto(v int32, k int) []graph.Color {
 	})
 	s.wsp.firstK = out
 	return out
+}
+
+// unionInto ors ps's packed words into union, skipping absent words through
+// the sparse index when one is present — the partition's live-union build is
+// otherwise a full-width pass per node, the other half of the near-disjoint
+// list-palette scan cost.
+func (ps *palState) unionInto(union graph.PaletteSet) {
+	if ps.idx != nil {
+		for _, wi := range ps.idx {
+			union[wi] |= ps.set[wi]
+		}
+		return
+	}
+	union.UnionWith(ps.set)
 }
 
 // palWords returns the number of words node v's palette state occupies —

@@ -77,7 +77,7 @@ func (s *solver) partition(x *call) error {
 		sumPal := 0
 		for _, v := range x.nodes {
 			if s.color[v] == graph.NoColor {
-				union.UnionWith(s.pal[v].set)
+				s.pal[v].unionInto(union)
 				sumPal += s.pal[v].size
 			}
 		}

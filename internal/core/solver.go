@@ -69,6 +69,18 @@ type Workspace struct {
 	tmpl     []uint64
 	tmplSize []int32
 
+	// Hybrid sparse-palette index slab: per-node lists of possibly-nonzero
+	// set words, carved by idxOff, populated only when the near-disjoint
+	// gate fires (see initPackedPalettes). tmplIdx keeps the pristine
+	// init-time copy alongside the packed template (restriction passes
+	// shrink the working lists in place), so a warm solve restores the
+	// index with one memcpy instead of rescanning n×W words; it is valid
+	// only while tmplIdxValid — a template rebuild invalidates it.
+	idxSlab      []int32
+	idxOff       []int32
+	tmplIdx      []int32
+	tmplIdxValid bool
+
 	// Partition scratch: the per-candidate hash tables (node → h₁ bin,
 	// color-bin masks under h₂) the derand Prepare hook fills per batch,
 	// their winner-pair twins for final classification, the live palette
@@ -137,6 +149,16 @@ func (ws *Workspace) assignedColor(v int32) (graph.Color, bool) {
 		return 0, false
 	}
 	return ws.assigned[v], true
+}
+
+// Release stops the workspace's lazily created candidate-table worker pool,
+// parking its goroutines. The owning session calls this when it retires
+// (engine.Session.Release wires it through); the workspace stays usable —
+// the next solve simply spawns a fresh pool on demand.
+func (ws *Workspace) Release() {
+	if ws.pool != nil {
+		ws.pool.Stop()
+	}
 }
 
 func (ws *Workspace) ensure(n int) {
@@ -271,14 +293,19 @@ var tmplCacheMaxWords = 1 << 23 // 64 MiB of template
 // color seen.
 func (s *solver) initPackedPalettes(pals []graph.Palette) graph.Color {
 	ws := s.wsp
-	if ws.tmplMatches(pals) {
+	sumPal := 0
+	hit := ws.tmplMatches(pals)
+	if hit {
 		w := ws.dom.words
 		slab := ws.setSlab[:len(pals)*w]
 		copy(slab, ws.tmpl)
 		for v := range pals {
-			s.pal[v] = palState{set: slab[v*w : (v+1)*w], size: int(ws.tmplSize[v])}
+			sz := int(ws.tmplSize[v])
+			s.pal[v] = palState{set: slab[v*w : (v+1)*w], size: sz}
+			sumPal += sz
 		}
 	} else {
+		ws.tmplIdxValid = false
 		ws.dom.build(pals)
 		w := ws.dom.words
 		need := len(pals) * w
@@ -303,6 +330,7 @@ func (s *solver) initPackedPalettes(pals []graph.Palette) graph.Color {
 			}
 			sz := set.Len()
 			s.pal[v] = palState{set: set, size: sz}
+			sumPal += sz
 			ws.tmplSize[v] = int32(sz)
 			if cache {
 				ws.tmplOff[v] = int32(len(ws.tmplPals))
@@ -316,10 +344,59 @@ func (s *solver) initPackedPalettes(pals []graph.Palette) graph.Color {
 			ws.tmpl = ws.tmpl[:0]
 		}
 	}
+	// Near-disjointness gate, the mirror of the partition's mask-skipping
+	// test: when the union of palettes is more than half of their summed
+	// sizes, palettes barely overlap, each node's bits land in a few of the
+	// W domain words, and word-skipping beats dense scans. Only worth the
+	// index when the domain is wide enough for skipping to matter.
+	if w := ws.dom.words; w >= sparsePalMinWords && 2*len(ws.dom.colors) > sumPal {
+		s.buildSparseIdx(len(pals), hit)
+	}
 	if len(ws.dom.colors) == 0 {
 		return 0
 	}
 	return ws.dom.colors[len(ws.dom.colors)-1]
+}
+
+// sparsePalMinWords is the smallest packed-palette width (words per set) at
+// which the hybrid sparse index is built: below it a dense scan touches so
+// few words that the indirection costs more than it skips. A var so tests
+// can force the sparse representation on small domains.
+var sparsePalMinWords = 8
+
+// buildSparseIdx carves the per-node sparse word indexes out of one slab:
+// for each node, the ascending list of words of its packed set that are
+// nonzero right now. Called only at init time (template hit or fresh pack),
+// when the sets are at their fullest — every later mutation only clears
+// bits, so the lists remain supersets and restriction passes shrink them.
+// Warm template hits skip the n×W word rescan: the sets were just restored
+// to their init state by the template memcpy, so the cached pristine index
+// restores the same way.
+func (s *solver) buildSparseIdx(nPals int, warm bool) {
+	ws := s.wsp
+	if warm && ws.tmplIdxValid {
+		ws.idxSlab = append(ws.idxSlab[:0], ws.tmplIdx...)
+	} else {
+		w := ws.dom.words
+		ws.idxOff = graph.Grow(ws.idxOff, nPals+1)
+		ws.idxSlab = ws.idxSlab[:0]
+		for v := 0; v < nPals; v++ {
+			ws.idxOff[v] = int32(len(ws.idxSlab))
+			set := s.pal[v].set
+			for wi := 0; wi < w; wi++ {
+				if set[wi] != 0 {
+					ws.idxSlab = append(ws.idxSlab, int32(wi))
+				}
+			}
+		}
+		ws.idxOff[nPals] = int32(len(ws.idxSlab))
+		ws.tmplIdx = append(ws.tmplIdx[:0], ws.idxSlab...)
+		ws.tmplIdxValid = true
+	}
+	// Slice after the fill: appends may have moved the slab.
+	for v := 0; v < nPals; v++ {
+		s.pal[v].idx = ws.idxSlab[ws.idxOff[v]:ws.idxOff[v+1]]
+	}
 }
 
 // MemoryWords reports the workspace's retained scratch footprint in 64-bit
@@ -332,6 +409,7 @@ func (ws *Workspace) MemoryWords() int64 {
 	words += int64(cap(ws.tmplPals))
 	// int32 slabs: two entries per word.
 	i32 := cap(ws.callOf) + cap(ws.tmplOff) + cap(ws.tmplSize) +
+		cap(ws.idxSlab) + cap(ws.idxOff) + cap(ws.tmplIdx) +
 		cap(ws.candBins) + cap(ws.winBins) + cap(ws.dx) + cap(ws.targetOf) + cap(ws.liveNodes)
 	words += int64(i32) / 2
 	return words

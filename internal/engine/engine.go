@@ -263,6 +263,10 @@ func (s *Session) Release() {
 	if s.ls != nil {
 		s.ls.Release()
 	}
+	// The core workspace's candidate-table pool is owned here too: worker
+	// pools have no finalizer, so retiring a session must stop the pool
+	// explicitly or its parked goroutines outlive the session.
+	s.cw.Release()
 }
 
 // Solve runs the session's model on an instance and returns a verified

@@ -41,8 +41,10 @@ const workPoolSerialCutoff = 32
 
 // NewWorkPool returns a pool of the given width (≤ 0 means GOMAXPROCS).
 // Goroutines are spawned lazily on the first parallel Run and parked
-// between rounds; a finalizer stops them if the pool is dropped without
-// Stop, so short-lived fabrics cannot leak goroutines.
+// between rounds. Ownership is explicit: whoever creates a pool must call
+// Stop when the fabric or workspace holding it is released — sessions wire
+// this through their Release methods — so parked workers never linger on
+// collector timing in long-lived servers.
 func NewWorkPool(workers int) *WorkPool {
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
@@ -100,10 +102,6 @@ func (p *WorkPool) run(n, chunk int, fn func(int)) {
 			// reading it racily could otherwise see the replacement.
 			go in.loop(in.quit)
 		}
-		// Leak safety: if the owner drops the pool without Stop, the
-		// finalizer closes quit and the parked goroutines exit. Workers
-		// reference only inner, so the outer handle stays collectable.
-		runtime.SetFinalizer(p, func(p *WorkPool) { close(p.inner.quit) })
 	}
 	in.n, in.chunk, in.fn = n, chunk, fn
 	in.cursor.Store(0)
@@ -123,7 +121,6 @@ func (p *WorkPool) Stop() {
 	if !in.spawned {
 		return
 	}
-	runtime.SetFinalizer(p, nil)
 	close(in.quit)
 	in.spawned = false
 	in.quit = make(chan struct{})

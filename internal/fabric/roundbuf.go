@@ -169,6 +169,11 @@ type DeliverOpts struct {
 	// FreeIntraGroup leaves intra-group traffic uncharged (MPC's free
 	// machine-local exchange). Delivery still happens.
 	FreeIntraGroup bool
+	// Pool, when non-nil, lets Deliver partition the destination space into
+	// per-worker ranges and run the counting sort concurrently. Inboxes,
+	// stats, and errors are byte-identical to the serial path; rounds staging
+	// fewer than DeliverParallelMinWords stay serial.
+	Pool *WorkPool
 }
 
 // RoundStats is the traffic profile of one delivered round. SendLoad and
@@ -210,6 +215,27 @@ type RoundBuffer struct {
 	pairCnt   []int32 // per destination, epoch-stamped per sender
 	pairStamp []int64
 	stamp     int64
+
+	// Parallel-delivery scratch: per destination-range worker state. Every
+	// shared per-destination array above is written at disjoint indices (each
+	// range owns a contiguous destination interval); everything that cannot
+	// be destination-owned lands here and is merged serially between the two
+	// parallel phases.
+	rangeTouch [][]int32        // per range: touched destinations (sorted)
+	rangeOff   []int            // per range: offset of its touch run in touched
+	rangeNmsg  []int            // per range: frame count
+	rangeErr   []deliverErrCand // per range: earliest staging-order violation
+	grpSend    []int64          // grouped mode: per (range, group) charged send words
+	grpRecv    []int64          // grouped mode: per (range, group) charged recv words
+	grpHit     []bool           // grouped mode: per (range, group) any charged frame
+}
+
+// deliverErrCand is one range worker's earliest violation, positioned by
+// (sender, arena index) so the serial staging-order error wins the merge.
+type deliverErrCand struct {
+	ok   bool
+	w, i int
+	err  RouteError
 }
 
 // locOffsetLimit is the first arena offset that no longer fits the packed
@@ -218,6 +244,18 @@ type RoundBuffer struct {
 // parallel slab. A var so tests can exercise the wide path without staging
 // 2³² words.
 var locOffsetLimit uint64 = 1 << 32
+
+// DeliverParallelMinWords is the staged-word total below which Deliver
+// ignores DeliverOpts.Pool: waking parked workers and merging per-range
+// state costs more than a small round's counting sort. A var so tests can
+// force the parallel path on tiny deterministic rounds.
+var DeliverParallelMinWords = 1 << 14
+
+// deliverParallelMaxGroups bounds the grouped-accounting parallel path: the
+// per-(range, group) merge slabs are O(ranges·groups), which is only cheap
+// when groups (MPC machines) is far below the worker domain. Beyond it,
+// grouped rounds fall back to serial delivery.
+const deliverParallelMaxGroups = 1 << 13
 
 var roundBufPool = sync.Pool{New: func() any { return new(RoundBuffer) }}
 
@@ -321,18 +359,28 @@ func (rb *RoundBuffer) Deliver(opts DeliverOpts) ([][]Msg, RoundStats, error) {
 		}
 	}
 
+	staged, maxArena := 0, 0
+	for w := 0; w < n; w++ {
+		l := len(rb.send[w].buf)
+		staged += l
+		if l > maxArena {
+			maxArena = l
+		}
+	}
+	if opts.Pool != nil && opts.Pool.Workers() > 1 && staged >= DeliverParallelMinWords &&
+		!(opts.FreeIntraGroup && groupOf == nil) &&
+		(groupOf == nil || groups <= deliverParallelMaxGroups) {
+		return rb.deliverParallel(opts, groups, maxArena)
+	}
+
 	// Pass 1: validate in staging order, count frames per destination, and
 	// charge group loads.
 	var total int64
 	nmsg := 0
-	maxArena := 0
 	for w := 0; w < n; w++ {
 		buf := rb.send[w].buf
 		if len(buf) == 0 {
 			continue
-		}
-		if len(buf) > maxArena {
-			maxArena = len(buf)
 		}
 		rb.stamp++
 		gw := w
@@ -483,6 +531,326 @@ func (rb *RoundBuffer) Deliver(opts DeliverOpts) ([][]Msg, RoundStats, error) {
 	}
 	// The touched list becomes next round's inbox-reset list (swap so both
 	// stay allocation-free in steady state).
+	rb.touched, rb.prevTouch = rb.prevTouch, rb.touched
+	return rb.inboxes[:n], RoundStats{
+		TotalWords:  total,
+		MaxSendLoad: maxSend,
+		MaxRecvLoad: maxRecv,
+		SendLoad:    rb.sendLoad,
+		RecvLoad:    rb.recvLoad,
+		Groups:      rb.tgroups,
+	}, nil
+}
+
+// deliverParallel is Deliver's multicore body: the destination space [0,n)
+// splits into one contiguous range per pool worker, and each range worker
+// counts, scatters, materializes, and tie-break-sorts only the frames
+// addressed into its range. Each worker walks every sender's arena in
+// ascending order (headers skip payloads, so the rescans stream), which
+// preserves the per-destination fill order — ascending sender, then staging
+// order — and the equal-sender payload sort is unchanged, so inboxes come
+// out byte-identical to the serial pass.
+//
+// Everything per-destination (cnt, off, destStamp, pair budgets, ungrouped
+// recvLoad, msgs, inboxes) is written only by the owning range, so the
+// shared arrays need no synchronization beyond the pool's round barrier.
+// What cannot be destination-owned is reconstructed serially between the
+// phases: the first staging-order RouteError wins a min-(sender, index)
+// merge, ungrouped send loads fall out of arena sizes (every frame is
+// charged when no traffic is free), and grouped loads merge per-(range,
+// group) partial sums.
+func (rb *RoundBuffer) deliverParallel(opts DeliverOpts, groups, maxArena int) ([][]Msg, RoundStats, error) {
+	n := rb.n
+	groupOf := opts.GroupOf
+	pool := opts.Pool
+	ep := rb.epoch
+	nr := pool.Workers()
+	if nr > n {
+		nr = n
+	}
+	if cap(rb.rangeTouch) < nr {
+		grown := make([][]int32, nr)
+		copy(grown, rb.rangeTouch)
+		rb.rangeTouch = grown
+	}
+	rb.rangeTouch = rb.rangeTouch[:nr]
+	if cap(rb.rangeOff) < nr+1 {
+		rb.rangeOff = make([]int, nr+1)
+	}
+	rb.rangeOff = rb.rangeOff[:nr+1]
+	if cap(rb.rangeNmsg) < nr {
+		rb.rangeNmsg = make([]int, nr)
+	}
+	rb.rangeNmsg = rb.rangeNmsg[:nr]
+	if cap(rb.rangeErr) < nr {
+		rb.rangeErr = make([]deliverErrCand, nr)
+	}
+	rb.rangeErr = rb.rangeErr[:nr]
+	if groupOf != nil {
+		rb.grpSend = growInt64(rb.grpSend, nr*groups)
+		rb.grpRecv = growInt64(rb.grpRecv, nr*groups)
+		rb.grpHit = growBool(rb.grpHit, nr*groups)
+		clear(rb.grpSend)
+		clear(rb.grpRecv)
+		clear(rb.grpHit)
+	}
+	// Reserve a deterministic pair-budget stamp per sender up front: the
+	// serial pass advances rb.stamp once per non-empty arena, but ranges
+	// visit senders concurrently, so sender w stamps with base+w+1 instead.
+	// Stamps stay strictly increasing across rounds either way.
+	stampBase := rb.stamp
+	rb.stamp += int64(n)
+
+	// Phase A: per range — validate, enforce pair budgets, count frames per
+	// destination, accumulate receive (and grouped) loads.
+	phaseA := func(r int) {
+		lo := r * n / nr
+		hi := (r + 1) * n / nr
+		touch := rb.rangeTouch[r][:0]
+		var cand deliverErrCand
+		count := 0
+		var gSend, gRecv []int64
+		var gHit []bool
+		if groupOf != nil {
+			gSend = rb.grpSend[r*groups : (r+1)*groups]
+			gRecv = rb.grpRecv[r*groups : (r+1)*groups]
+			gHit = rb.grpHit[r*groups : (r+1)*groups]
+		}
+		for w := 0; w < n; w++ {
+			buf := rb.send[w].buf
+			if len(buf) == 0 {
+				continue
+			}
+			st := stampBase + int64(w) + 1
+			gw := w
+			if groupOf != nil {
+				gw = groupOf[w]
+			}
+			for i := 0; i < len(buf); {
+				to, nw := unpackHeader(buf[i])
+				fi := i
+				i += frameHeader + nw
+				if to < lo || to >= hi {
+					// Another range's frame — except invalid destinations,
+					// which belong to no range: every worker spots those, so
+					// the merge still sees the staging-order first.
+					if (to < 0 || to >= n) && !cand.ok {
+						cand = deliverErrCand{ok: true, w: w, i: fi,
+							err: RouteError{OutOfRange: true, From: w, To: to}}
+					}
+					continue
+				}
+				if opts.PairWords > 0 {
+					if rb.pairStamp[to] != st {
+						rb.pairStamp[to] = st
+						rb.pairCnt[to] = 0
+					}
+					rb.pairCnt[to] += int32(nw)
+					if int(rb.pairCnt[to]) > opts.PairWords && !cand.ok {
+						cand = deliverErrCand{ok: true, w: w, i: fi,
+							err: RouteError{From: w, To: to, Words: int(rb.pairCnt[to]), Budget: opts.PairWords}}
+					}
+				}
+				if rb.destStamp[to] != ep {
+					rb.destStamp[to] = ep
+					rb.cnt[to] = 0
+					if groupOf == nil {
+						rb.recvLoad[to] = 0
+					}
+					touch = append(touch, int32(to))
+				}
+				rb.cnt[to]++
+				count++
+				if groupOf == nil {
+					rb.recvLoad[to] += int64(nw)
+				} else {
+					gt := groupOf[to]
+					if !opts.FreeIntraGroup || gt != gw {
+						gSend[gw] += int64(nw)
+						gRecv[gt] += int64(nw)
+						gHit[gw] = true
+						gHit[gt] = true
+					}
+				}
+			}
+		}
+		slices.Sort(touch) // ranges are ascending intervals: concat is sorted
+		rb.rangeTouch[r] = touch
+		rb.rangeNmsg[r] = count
+		rb.rangeErr[r] = cand
+	}
+	pool.RunHeavy(nr, phaseA)
+
+	// Error merge: the earliest (sender, staging index) violation across
+	// ranges is exactly the error the serial pass would have returned.
+	var best *deliverErrCand
+	for r := 0; r < nr; r++ {
+		c := &rb.rangeErr[r]
+		if c.ok && (best == nil || c.w < best.w || (c.w == best.w && c.i < best.i)) {
+			best = c
+		}
+	}
+	if best != nil {
+		e := best.err
+		return nil, RoundStats{}, &e
+	}
+
+	nmsg := 0
+	rb.touched = rb.touched[:0]
+	for r := 0; r < nr; r++ {
+		rb.rangeOff[r] = len(rb.touched)
+		rb.touched = append(rb.touched, rb.rangeTouch[r]...)
+		nmsg += rb.rangeNmsg[r]
+	}
+	rb.rangeOff[nr] = len(rb.touched)
+
+	// Group accounting merge.
+	var total int64
+	if groupOf == nil {
+		// Per-worker groups with nothing free: every staged frame is
+		// charged, so a sender's load is exactly its arena's payload words
+		// and the touched list is the group set's receive side.
+		for w := 0; w < n; w++ {
+			sb := &rb.send[w]
+			if sb.nmsg == 0 {
+				continue
+			}
+			words := int64(len(sb.buf)) - int64(sb.nmsg)*frameHeader
+			if rb.gStamp[w] != ep {
+				rb.gStamp[w] = ep
+				rb.tgroups = append(rb.tgroups, int32(w))
+				if rb.destStamp[w] != ep {
+					rb.recvLoad[w] = 0 // sends but receives nothing
+				}
+			}
+			rb.sendLoad[w] = words
+			total += words
+		}
+		for _, d := range rb.touched {
+			if rb.gStamp[d] != ep {
+				rb.gStamp[d] = ep
+				rb.tgroups = append(rb.tgroups, d)
+				rb.sendLoad[d] = 0 // receives but sends nothing
+			}
+		}
+		if !slices.IsSorted(rb.tgroups) {
+			slices.Sort(rb.tgroups)
+		}
+	} else {
+		for g := 0; g < groups; g++ {
+			hit := false
+			var sw, rw int64
+			for r := 0; r < nr; r++ {
+				if rb.grpHit[r*groups+g] {
+					hit = true
+				}
+				sw += rb.grpSend[r*groups+g]
+				rw += rb.grpRecv[r*groups+g]
+			}
+			if !hit {
+				continue
+			}
+			rb.gStamp[g] = ep
+			rb.tgroups = append(rb.tgroups, int32(g)) // ascending by construction
+			rb.sendLoad[g] = sw
+			rb.recvLoad[g] = rw
+			total += sw
+		}
+	}
+
+	// Prefix offsets over the (globally sorted) touched list, exactly as the
+	// serial pass 2; each range then fills a contiguous region of loc/msgs.
+	run := int32(0)
+	for _, d := range rb.touched {
+		rb.off[d] = run
+		run += rb.cnt[d]
+		rb.cnt[d] = 0 // reuse as fill cursor
+	}
+	if cap(rb.loc) < nmsg {
+		rb.loc = make([]uint64, nmsg)
+	}
+	rb.loc = rb.loc[:nmsg]
+	wide := uint64(maxArena) >= locOffsetLimit
+	if wide {
+		rb.locFrom = growInt32(rb.locFrom, nmsg)
+	}
+	if cap(rb.msgs) < nmsg {
+		rb.msgs = make([]Msg, nmsg)
+	}
+	rb.msgs = rb.msgs[:nmsg]
+
+	// Phase B+C fused per range: scatter locators for the range's
+	// destinations, then materialize Msgs and tie-break-sort its inboxes —
+	// a range reads only locator slots it wrote itself, so no barrier is
+	// needed between the scatter and the sweep.
+	phaseBC := func(r int) {
+		lo := r * n / nr
+		hi := (r + 1) * n / nr
+		for w := 0; w < n; w++ {
+			buf := rb.send[w].buf
+			for i := 0; i < len(buf); {
+				to, nw := unpackHeader(buf[i])
+				plo := i + frameHeader
+				i = plo + nw
+				if to < lo || to >= hi {
+					continue
+				}
+				idx := rb.off[to] + rb.cnt[to]
+				rb.cnt[to]++
+				if wide {
+					rb.loc[idx] = uint64(plo)
+					rb.locFrom[idx] = int32(w)
+				} else {
+					rb.loc[idx] = uint64(w)<<32 | uint64(uint32(plo))
+				}
+			}
+		}
+		for ti := rb.rangeOff[r]; ti < rb.rangeOff[r+1]; ti++ {
+			d := rb.touched[ti]
+			mlo := rb.off[d]
+			mhi := int32(nmsg)
+			if ti+1 < len(rb.touched) {
+				mhi = rb.off[rb.touched[ti+1]]
+			}
+			for idx := mlo; idx < mhi; idx++ {
+				var from, plo int
+				if wide {
+					from, plo = int(rb.locFrom[idx]), int(rb.loc[idx])
+				} else {
+					l := rb.loc[idx]
+					from, plo = int(l>>32), int(uint32(l))
+				}
+				buf := rb.send[from].buf
+				_, nw := unpackHeader(buf[plo-1])
+				phi := plo + nw
+				rb.msgs[idx] = Msg{To: int(d), From: from, Words: buf[plo:phi:phi]}
+			}
+			in := rb.msgs[mlo:mhi]
+			rb.inboxes[d] = in
+			for i := 1; i < len(in); {
+				if in[i].From != in[i-1].From {
+					i++
+					continue
+				}
+				j := i - 1
+				for i < len(in) && in[i].From == in[j].From {
+					i++
+				}
+				insertionSortByWords(in[j:i])
+			}
+		}
+	}
+	pool.RunHeavy(nr, phaseBC)
+
+	var maxSend, maxRecv int64
+	for _, g := range rb.tgroups {
+		if rb.sendLoad[g] > maxSend {
+			maxSend = rb.sendLoad[g]
+		}
+		if rb.recvLoad[g] > maxRecv {
+			maxRecv = rb.recvLoad[g]
+		}
+	}
 	rb.touched, rb.prevTouch = rb.prevTouch, rb.touched
 	return rb.inboxes[:n], RoundStats{
 		TotalWords:  total,

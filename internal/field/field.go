@@ -50,6 +50,23 @@ func Mul(a, b uint64) uint64 {
 	return res
 }
 
+// MulAdd returns (a*b + c) mod P for a, b, c < P. The addend rides into the
+// product's Mersenne fold, so a Horner step pays one fold chain instead of a
+// full Mul followed by a separate Add normalize. Bound: with a, b < 2^61 the
+// 128-bit product has hi < 2^58, so
+// (lo&P) + (lo>>61) + 8·hi + c < 2^61 + 8 + 2^61 + 2^61 < 2^63 — no
+// overflow — and the second fold leaves at most P + 3, which the final
+// conditional subtract maps into [0, P).
+func MulAdd(a, b, c uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	res := (lo & P) + (lo >> 61) + hi*8 + c
+	res = (res & P) + (res >> 61)
+	if res >= P {
+		res -= P
+	}
+	return res
+}
+
 // Pow returns a^e mod P.
 func Pow(a uint64, e uint64) uint64 {
 	result := uint64(1)
@@ -72,9 +89,13 @@ func Inv(a uint64) uint64 {
 // EvalPoly evaluates the polynomial Σ coeffs[i]·x^i at x by Horner's rule.
 // All coefficients and x must be < P.
 func EvalPoly(coeffs []uint64, x uint64) uint64 {
-	var acc uint64
-	for i := len(coeffs) - 1; i >= 0; i-- {
-		acc = Add(Mul(acc, x), coeffs[i])
+	n := len(coeffs)
+	if n == 0 {
+		return 0
+	}
+	acc := coeffs[n-1] // Horner's first step is 0·x + c: skip the multiply
+	for i := n - 2; i >= 0; i-- {
+		acc = MulAdd(acc, x, coeffs[i])
 	}
 	return acc
 }

@@ -46,6 +46,27 @@ func TestMulCommutesAndDistributes(t *testing.T) {
 	}
 }
 
+func TestMulAddMatchesMulThenAdd(t *testing.T) {
+	f := func(a, b, c uint64) bool {
+		x, y, z := Reduce(a), Reduce(b), Reduce(c)
+		return MulAdd(x, y, z) == Add(Mul(x, y), z)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Extremes: the bound analysis is tightest when all operands are P-1.
+	for _, tc := range [][3]uint64{
+		{P - 1, P - 1, P - 1},
+		{P - 1, P - 1, 0},
+		{0, 0, P - 1},
+		{P - 1, 0, P - 1},
+	} {
+		if got, want := MulAdd(tc[0], tc[1], tc[2]), Add(Mul(tc[0], tc[1]), tc[2]); got != want {
+			t.Fatalf("MulAdd(%d,%d,%d) = %d, want %d", tc[0], tc[1], tc[2], got, want)
+		}
+	}
+}
+
 func TestMulSmallValues(t *testing.T) {
 	for _, tc := range []struct{ a, b, want uint64 }{
 		{0, 5, 0},

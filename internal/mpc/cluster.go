@@ -310,6 +310,7 @@ func (c *Cluster) FrameRound(stage func(w int, sb *fabric.SendBuf)) ([][]fabric.
 		GroupOf:        c.assign,
 		Groups:         c.machines,
 		FreeIntraGroup: true,
+		Pool:           c.workPool,
 	})
 	if err != nil {
 		var re *fabric.RouteError

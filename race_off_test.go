@@ -1,0 +1,8 @@
+//go:build !race
+
+package ccolor_test
+
+// raceEnabled reports whether the test binary was built with -race; the
+// large-instance solve test skips itself under the detector, where its
+// wall-time is minutes instead of seconds.
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package ccolor_test
+
+// raceEnabled reports whether the test binary was built with -race; see
+// race_off_test.go.
+const raceEnabled = true
